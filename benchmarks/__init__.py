@@ -1,0 +1,1 @@
+"""Benchmark harness regenerating the paper's tables and figures."""

@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on a scaled-down
+budget (seconds instead of the paper's 4-hour campaigns) and prints the
+regenerated rows/series so they can be compared with the paper side by side.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the printed
+tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Iteration budgets shared by the coverage-style campaigns.  Small enough to
+#: keep the whole benchmark suite to a few minutes, large enough that the
+#: relative ordering of the fuzzers is stable.
+COVERAGE_ITERATIONS = 25
+BUG_STUDY_ITERATIONS = 120
+ABLATION_ITERATIONS = 25
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,41 @@
+"""Figure 4: total branch coverage over time (all files), per compiler.
+
+Paper result: NNSmith beats GraphFuzzer (the 2nd best) by 1.8x on
+ONNXRuntime and 1.08x on TVM in total coverage; LEMON is last and slowest.
+Here the same campaign runs against GraphRT (ONNXRuntime analogue) and DeepC
+(TVM analogue) with a small iteration budget.
+"""
+
+import pytest
+
+from benchmarks.conftest import COVERAGE_ITERATIONS
+from repro.experiments import run_fuzzer_comparison
+from repro.experiments.reporting import format_series
+
+
+@pytest.mark.parametrize("compiler", ["graphrt", "deepc"])
+def test_fig4_total_coverage_over_time(benchmark, compiler):
+    results = benchmark.pedantic(
+        run_fuzzer_comparison, args=(compiler,),
+        kwargs={"max_iterations": COVERAGE_ITERATIONS, "seed": 0},
+        rounds=1, iterations=1)
+
+    print(f"\n[Figure 4 / {compiler}] total branch coverage over time")
+    for name, campaign in results.items():
+        series = campaign.timeline.as_series("total")
+        print(" ", format_series(name, series["elapsed"], series["total"],
+                                 "seconds", "arcs"))
+        print(f"    {name}: final={campaign.total_coverage} arcs "
+              f"in {campaign.elapsed:.1f}s over {campaign.iterations} test cases")
+
+    nnsmith = results["nnsmith"].total_coverage
+    graphfuzzer = results["graphfuzzer"].total_coverage
+    lemon = results["lemon"].total_coverage
+    # Shape check: NNSmith leads clearly on GraphRT (the paper's 1.8x margin
+    # on ONNXRuntime); on DeepC the paper itself reports a near-tie (1.08x),
+    # so at this scaled-down budget a small tolerance is allowed.
+    if compiler == "graphrt":
+        assert nnsmith > graphfuzzer
+        assert nnsmith > lemon
+    else:
+        assert nnsmith >= 0.85 * max(graphfuzzer, lemon)

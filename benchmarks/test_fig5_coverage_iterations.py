@@ -1,0 +1,27 @@
+"""Figure 5: total branch coverage over the number of generated test cases.
+
+Paper result: even though NNSmith generates fewer test cases per unit time
+(constraint solving has a cost), its per-test-case coverage is higher than
+the baselines', so the iteration-indexed curves still dominate.
+"""
+
+from benchmarks.conftest import COVERAGE_ITERATIONS
+from repro.experiments import run_fuzzer_comparison
+from repro.experiments.reporting import format_series
+
+
+def test_fig5_coverage_over_test_cases(benchmark):
+    results = benchmark.pedantic(
+        run_fuzzer_comparison, args=("graphrt",),
+        kwargs={"max_iterations": COVERAGE_ITERATIONS, "seed": 1},
+        rounds=1, iterations=1)
+
+    print("\n[Figure 5 / graphrt] coverage over generated test cases")
+    for name, campaign in results.items():
+        series = campaign.timeline.as_series("total")
+        print(" ", format_series(name, series["iteration"], series["total"],
+                                 "iteration", "arcs"))
+
+    # Same iteration budget for everyone: NNSmith's per-case quality wins.
+    assert results["nnsmith"].total_coverage >= results["graphfuzzer"].total_coverage
+    assert results["nnsmith"].total_coverage > results["lemon"].total_coverage

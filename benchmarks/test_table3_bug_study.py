@@ -1,0 +1,58 @@
+"""Table 3 and §5.4: bug distribution, reachability and tool comparison.
+
+Paper results: 72 bugs total (TVM 40, ONNXRuntime 12, TensorRT 10, PyTorch
+exporter 10); transformation bugs dominate (43); 49 of 72 bugs cannot be
+triggered by LEMON's or GraphFuzzer's designs; in a same-budget run NNSmith
+triggers dozens of unique crashes while the baselines trigger at most one.
+"""
+
+from benchmarks.conftest import BUG_STUDY_ITERATIONS
+from repro.compilers.bugs import all_bugs
+from repro.experiments import crash_comparison, reachability_analysis, run_bug_study
+from repro.experiments.reporting import format_table
+
+
+def test_table3_bug_distribution(benchmark):
+    table = benchmark.pedantic(
+        run_bug_study,
+        kwargs={"max_iterations": BUG_STUDY_ITERATIONS, "n_nodes": 10, "seed": 0},
+        rounds=1, iterations=1)
+
+    rows = table.rows()
+    crash, semantic = table.crash_semantic_split()
+    print("\n[Table 3] seeded bugs found by the NNSmith campaign "
+          f"({table.count()}/{len(all_bugs())} seeded bugs, "
+          f"{crash} crash / {semantic} semantic)")
+    print(format_table(rows, ["system", "transformation", "conversion",
+                              "unclassified", "total"]))
+
+    deepc_row = next(row for row in rows if row["system"] == "DeepC")
+    total_row = rows[-1]
+    # Shape checks mirroring the paper's distribution:
+    assert table.count() >= 6
+    assert deepc_row["total"] == max(row["total"] for row in rows[:-1])
+    assert total_row["transformation"] >= total_row["unclassified"]
+
+
+def test_design_reachability(benchmark):
+    analysis = benchmark.pedantic(reachability_analysis, rounds=1, iterations=1)
+    print("\n[§5.4] design-level reachability of the seeded bug population")
+    for key, value in analysis.items():
+        print(f"  {key}: {value}")
+    # Paper: 49/72 (68%) of bugs are unreachable by the baseline designs.
+    assert analysis["unreachable_by_baselines"] >= 0.5 * analysis["total_bugs"]
+    assert analysis["nnsmith"] > analysis["graphfuzzer"] >= analysis["lemon"]
+
+
+def test_same_budget_crash_comparison(benchmark):
+    result = benchmark.pedantic(
+        crash_comparison, kwargs={"max_iterations": 40, "seed": 1, "n_nodes": 10},
+        rounds=1, iterations=1)
+    print("\n[§5.4] unique crashes within the same budget")
+    for fuzzer, per_compiler in result.unique_crashes.items():
+        found = len(result.seeded_found.get(fuzzer, ()))
+        print(f"  {fuzzer:<12} {per_compiler}  (seeded bugs hit: {found})")
+    nnsmith_total = sum(result.unique_crashes["nnsmith"].values())
+    for baseline in ("graphfuzzer", "lemon"):
+        assert nnsmith_total >= sum(result.unique_crashes[baseline].values())
+    assert len(result.seeded_found["nnsmith"]) >= len(result.seeded_found["lemon"])

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that ``pip install -e .`` also works on environments without the ``wheel``
+package (legacy ``setup.py develop`` editable installs).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""repro — a from-scratch reproduction of NNSmith (ASPLOS 2023).
+
+The package contains both the paper's contribution (the NNSmith fuzzer, in
+:mod:`repro.core`) and every substrate it depends on, rebuilt natively:
+
+* :mod:`repro.graph` — the model interchange format (ONNX analogue);
+* :mod:`repro.ops` — reference operator semantics and shape inference;
+* :mod:`repro.solver` — an incremental integer constraint solver (Z3 analogue);
+* :mod:`repro.autodiff` — reverse-mode autodiff over graphs (PyTorch analogue);
+* :mod:`repro.runtime` — the oracle interpreter and the model exporter;
+* :mod:`repro.compilers` — the systems under test (GraphRT, DeepC, Turbo)
+  with seeded bugs and coverage instrumentation;
+* :mod:`repro.baselines` — LEMON / GraphFuzzer / Tzer baseline generators;
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

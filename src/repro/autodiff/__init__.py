@@ -1,0 +1,19 @@
+"""Reverse-mode autodiff over computation graphs (the PyTorch-autograd stand-in)."""
+
+from repro.autodiff.backprop import backpropagate, gradient_norm
+from repro.autodiff.optim import SGD, Adam
+from repro.autodiff.proxy import DEFAULT_PROXY, NO_PROXY, ProxyConfig
+from repro.autodiff.vjp import backward_node, has_vjp, unbroadcast
+
+__all__ = [
+    "Adam",
+    "DEFAULT_PROXY",
+    "NO_PROXY",
+    "ProxyConfig",
+    "SGD",
+    "backpropagate",
+    "backward_node",
+    "gradient_norm",
+    "has_vjp",
+    "unbroadcast",
+]

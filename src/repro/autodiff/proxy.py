@@ -1,0 +1,44 @@
+"""Proxy-derivative configuration for gradient-guided value search.
+
+Some operators are not differentiable everywhere (``Floor``, ``Ceil``,
+``Round``) or have zero gradient over large regions (``ReLU`` for negative
+inputs, ``Clip`` outside its range).  Following §3.3 of the paper, the
+backward pass can replace the true (zero or undefined) derivative with a
+small *proxy derivative* whose sign follows the overall trend of the
+function, so that gradient descent keeps making progress.
+
+The Figure 11 ablation compares gradient search with and without this
+mechanism, so it is a run-time switch rather than a hard-coded behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProxyConfig:
+    """Controls proxy derivatives during backpropagation.
+
+    Attributes:
+        enabled: when False, non-differentiable / zero-gradient regions
+            propagate a zero gradient (the "Gradient" baseline in Figure 11).
+        alpha: magnitude of the proxy slope used in zero-gradient regions
+            (ReLU's negative side, Clip outside its bounds, ...), kept small
+            as in LeakyReLU so the proxy stays close to the true derivative.
+        straight_through: slope used for integer-valued step functions
+            (Floor, Ceil, Round); the closest left-derivative of these is 1
+            between integers, so the straight-through estimator uses 1.
+    """
+
+    enabled: bool = True
+    alpha: float = 0.01
+    straight_through: float = 1.0
+
+
+#: Default configuration: proxy derivatives on (the full "Gradient (Proxy
+#: Deriv.)" method in the paper).
+DEFAULT_PROXY = ProxyConfig(enabled=True)
+
+#: Configuration matching the paper's "Gradient" baseline (no proxies).
+NO_PROXY = ProxyConfig(enabled=False)

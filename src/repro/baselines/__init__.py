@@ -1,0 +1,13 @@
+"""Baseline test-case generators: LEMON, GraphFuzzer and Tzer."""
+
+from repro.baselines.graphfuzzer import GraphFuzzerGenerator
+from repro.baselines.lemon import LemonGenerator
+from repro.baselines.seeds import build_seed_models
+from repro.baselines.tzer import TzerFuzzer
+
+__all__ = [
+    "GraphFuzzerGenerator",
+    "LemonGenerator",
+    "TzerFuzzer",
+    "build_seed_models",
+]

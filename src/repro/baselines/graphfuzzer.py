@@ -1,0 +1,138 @@
+"""GraphFuzzer baseline: random operator stitching with slicing/padding fixes.
+
+Reimplements the design of Luo et al.'s graph-based fuzzer as the paper
+describes it (§5.1, §6.1): models are built by randomly connecting operators
+from a block corpus; when two tensors' shapes do not match, the generator
+*aligns* them by slicing the larger one (or padding the smaller one) instead
+of reasoning about operator constraints; non-shape-preserving operators are
+only used in shape-preserving configurations (e.g. Conv2d with 1x1 kernels,
+stride 1 and equal channel counts).
+
+These alignment nodes are exactly what hides bugs like the paper's M0/M1
+example, and the fixed default attributes keep its attribute diversity low.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import Model
+
+#: Elementwise unary block corpus.
+_UNARY_OPS = ("Relu", "Sigmoid", "Tanh", "Abs", "Exp", "Neg", "LeakyRelu",
+              "Sqrt", "Floor", "Ceil", "Identity", "Clip")
+#: Binary block corpus (shapes aligned by slicing when needed).
+_BINARY_OPS = ("Add", "Sub", "Mul", "Max", "Min")
+
+
+class GraphFuzzerGenerator:
+    """Produces randomly stitched models with slice/pad shape alignment."""
+
+    name = "graphfuzzer"
+
+    def __init__(self, seed: int = 0, n_nodes: int = 10) -> None:
+        self.rng = random.Random(seed)
+        self.n_nodes = n_nodes
+
+    # ------------------------------------------------------------------ #
+    def next_case(self) -> Model:
+        from repro.dtypes import DType
+
+        builder = GraphBuilder("graphfuzzer")
+        rank4 = [1, self.rng.choice([2, 4, 8]),
+                 self.rng.choice([4, 8, 16]), self.rng.choice([4, 8, 16])]
+        # GraphFuzzer occasionally uses double-precision inputs (this is how
+        # it found the ReLU/Clip fusion bug the paper mentions).
+        dtype = DType.float64 if self.rng.random() < 0.25 else DType.float32
+        values: List[str] = [builder.input(rank4, dtype)]
+        # A second independent input with its own shape (shape mismatches are
+        # later "fixed" by slicing, GraphFuzzer's signature behaviour).
+        values.append(builder.input([1, self.rng.choice([2, 4, 8]),
+                                     self.rng.choice([4, 8, 16]),
+                                     self.rng.choice([4, 8, 16])]))
+        inserted = 0
+        while inserted < self.n_nodes:
+            kind = self.rng.random()
+            if kind < 0.45:
+                values.append(self._insert_unary(builder, values))
+            elif kind < 0.8:
+                values.append(self._insert_binary(builder, values))
+            else:
+                values.append(self._insert_pseudo_complex(builder, values))
+            inserted += 1
+        return builder.build()
+
+    # ------------------------------------------------------------------ #
+    def _insert_unary(self, builder: GraphBuilder, values: List[str]) -> str:
+        source = self.rng.choice(values)
+        op = self.rng.choice(_UNARY_OPS)
+        attrs = {}
+        if op == "LeakyRelu":
+            attrs = {"alpha": 0.01}
+        elif op == "Clip":
+            attrs = {"min": -1.0, "max": 1.0}
+        return builder.op1(op, [source], **attrs)
+
+    def _insert_binary(self, builder: GraphBuilder, values: List[str]) -> str:
+        lhs = self.rng.choice(values)
+        rhs = self.rng.choice(values)
+        lhs, rhs = self._align_shapes(builder, lhs, rhs)
+        op = self.rng.choice(_BINARY_OPS)
+        return builder.op1(op, [lhs, rhs])
+
+    def _insert_pseudo_complex(self, builder: GraphBuilder, values: List[str]) -> str:
+        """Non-unary operators used only in shape-preserving configurations."""
+        rank4 = [name for name in values if builder.model.type_of(name).rank == 4]
+        if not rank4:
+            return self._insert_unary(builder, values)
+        source = self.rng.choice(rank4)
+        shape = builder.model.type_of(source).shape
+        choice = self.rng.random()
+        if choice < 0.5:
+            # Conv2d restricted to a 1x1 kernel, stride 1, same channel count.
+            weight = builder.weight(np.random.default_rng(
+                self.rng.randrange(1 << 30)).normal(0, 0.3, size=(shape[1], shape[1], 1, 1)
+                                                    ).astype(np.float32))
+            return builder.op1("Conv2d", [source, weight], stride=1, padding=0)
+        if choice < 0.75:
+            # Pooling with a unit kernel is shape preserving.
+            return builder.op1("MaxPool2d", [source], kh=1, kw=1, stride=1, padding=0)
+        return builder.op1("AvgPool2d", [source], kh=1, kw=1, stride=1, padding=0)
+
+    # ------------------------------------------------------------------ #
+    def _align_shapes(self, builder: GraphBuilder, lhs: str, rhs: str):
+        """Slice both operands down to their common shape (GraphFuzzer's fix)."""
+        lhs_type = builder.model.type_of(lhs)
+        rhs_type = builder.model.type_of(rhs)
+        if lhs_type.shape == rhs_type.shape:
+            return lhs, rhs
+        if lhs_type.rank != rhs_type.rank:
+            # Flatten both to rank 1 and slice to the shorter length.
+            lhs = builder.op1("Flatten", [lhs], axis=0)
+            lhs = builder.op1("Reshape", [lhs],
+                              shape=[builder.model.type_of(lhs).numel])
+            rhs = builder.op1("Flatten", [rhs], axis=0)
+            rhs = builder.op1("Reshape", [rhs],
+                              shape=[builder.model.type_of(rhs).numel])
+            lhs_type = builder.model.type_of(lhs)
+            rhs_type = builder.model.type_of(rhs)
+        target = [min(a, b) for a, b in zip(lhs_type.shape, rhs_type.shape)]
+        lhs = self._slice_to(builder, lhs, target)
+        rhs = self._slice_to(builder, rhs, target)
+        return lhs, rhs
+
+    @staticmethod
+    def _slice_to(builder: GraphBuilder, value: str, target) -> str:
+        current = builder.model.type_of(value).shape
+        if list(current) == list(target):
+            return value
+        axes = list(range(len(target)))
+        return builder.op1("Slice", [value],
+                           starts=[0] * len(target),
+                           ends=list(target),
+                           axes=axes,
+                           steps=[1] * len(target))

@@ -1,0 +1,109 @@
+"""LEMON baseline: mutation of pre-trained models with shape-preserving ops.
+
+Reimplements LEMON's *design* as described in §5.1/§6.1 of the paper: starting
+from a zoo of real models, each test case is obtained by applying mutation
+rules — inserting or deleting *shape-preserving* (elementwise unary) layers,
+or perturbing weights.  Because only type-preserving operators may be touched,
+LEMON can never create the non-shape-preserving connections (broadcasts,
+convolution/slice patterns, ...) that trigger most of the seeded bugs, which
+is exactly the limitation the paper demonstrates.
+
+LEMON is also the slowest generator: it always carries full-size real models,
+which the coverage experiments reflect in its lower iteration throughput.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.seeds import build_seed_models
+from repro.graph.model import Model
+from repro.graph.node import Node
+from repro.graph.validate import is_valid
+from repro.ops.registry import SHAPE_PRESERVING_OPS
+
+#: Unary shape-preserving operators LEMON may insert (float-friendly subset).
+_INSERTABLE = tuple(op for op in SHAPE_PRESERVING_OPS
+                    if op not in ("Not", "Cast", "Clip", "Softmax"))
+
+
+class LemonGenerator:
+    """Produces mutated models from the seed zoo."""
+
+    name = "lemon"
+
+    def __init__(self, seed: int = 0, max_pool_size: int = 32) -> None:
+        self.rng = random.Random(seed)
+        self.max_pool_size = max_pool_size
+        self._pool: List[Model] = build_seed_models()
+
+    # ------------------------------------------------------------------ #
+    def next_case(self) -> Model:
+        """One LEMON iteration: pick a model from the pool and mutate it."""
+        parent = self.rng.choice(self._pool)
+        mutant = self._mutate(parent)
+        if mutant is not None and is_valid(mutant):
+            if len(self._pool) < self.max_pool_size:
+                self._pool.append(mutant)
+            else:
+                self._pool[self.rng.randrange(len(self._pool))] = mutant
+            return mutant
+        return parent.clone()
+
+    # ------------------------------------------------------------------ #
+    def _mutate(self, parent: Model) -> Optional[Model]:
+        rule = self.rng.choice(["insert_layer", "delete_layer", "mutate_weights"])
+        model = parent.clone()
+        if rule == "insert_layer":
+            return self._insert_layer(model)
+        if rule == "delete_layer":
+            return self._delete_layer(model)
+        return self._mutate_weights(model)
+
+    def _insert_layer(self, model: Model) -> Optional[Model]:
+        """Insert a shape-preserving unary operator on a random float edge."""
+        candidates = [name for name in model.intermediate_values()
+                      if model.type_of(name).dtype.is_float]
+        if not candidates:
+            return None
+        value = self.rng.choice(candidates)
+        op_kind = self.rng.choice(_INSERTABLE)
+        new_value = model.fresh_value_name("lemon")
+        node = Node(op_kind, model.fresh_node_name(f"lemon_{op_kind.lower()}"),
+                    [value], [new_value], {})
+        # Rewire consumers of the original value to the inserted layer's
+        # output, keeping graph outputs stable.
+        consumers = model.consumer_map().get(value, [])
+        model.add_node(node, [model.type_of(value)])
+        for consumer in consumers:
+            consumer.inputs = [new_value if name == value else name
+                               for name in consumer.inputs]
+        return model
+
+    def _delete_layer(self, model: Model) -> Optional[Model]:
+        """Remove one shape-preserving unary operator."""
+        removable = [node for node in model.nodes
+                     if node.op in SHAPE_PRESERVING_OPS and len(node.inputs) == 1
+                     and node.outputs[0] not in model.outputs
+                     and model.type_of(node.inputs[0]) == model.type_of(node.outputs[0])]
+        if not removable:
+            return None
+        node = self.rng.choice(removable)
+        model.replace_uses(node.outputs[0], node.inputs[0])
+        model.remove_node(node)
+        return model
+
+    def _mutate_weights(self, model: Model) -> Model:
+        """Gaussian perturbation of one weight tensor."""
+        if not model.initializers:
+            return model
+        name = self.rng.choice(sorted(model.initializers))
+        array = model.initializers[name]
+        if array.dtype.kind == "f":
+            noise = np.random.default_rng(self.rng.randrange(1 << 30)).normal(
+                0, 0.1, size=array.shape)
+            model.initializers[name] = (array + noise).astype(array.dtype)
+        return model

@@ -1,0 +1,87 @@
+"""Seed models for the LEMON baseline (its "pre-trained model zoo").
+
+LEMON mutates existing real-world models rather than generating graphs from
+scratch.  The zoo here contains three hand-built architectures of realistic
+shape — a small CNN classifier, an MLP and a two-branch (multi-input) network
+— which play the role of LEMON's Keras model corpus.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import Model
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def build_cnn_classifier(seed: int = 0) -> Model:
+    """Conv/BN/ReLU/Pool stacks followed by a dense classifier head."""
+    rng = _rng(seed)
+    builder = GraphBuilder("seed_cnn")
+    x = builder.input([1, 4, 16, 16], name="image")
+    channels = 4
+    value = x
+    for stage, out_channels in enumerate((8, 16)):
+        weight = builder.weight(
+            rng.normal(0, 0.4, size=(out_channels, channels, 3, 3)).astype(np.float32))
+        value = builder.op1("Conv2d", [value, weight], stride=1, padding=1)
+        scale = builder.weight(np.ones(out_channels, dtype=np.float32))
+        bias = builder.weight(np.zeros(out_channels, dtype=np.float32))
+        mean = builder.weight(np.zeros(out_channels, dtype=np.float32))
+        var = builder.weight(np.ones(out_channels, dtype=np.float32))
+        value = builder.op1("BatchNorm", [value, scale, bias, mean, var], epsilon=1e-5)
+        value = builder.op1("Relu", [value])
+        value = builder.op1("MaxPool2d", [value], kh=2, kw=2, stride=2, padding=0)
+        channels = out_channels
+    value = builder.op1("GlobalAvgPool2d", [value])
+    value = builder.op1("Flatten", [value], axis=1)
+    dense_w = builder.weight(rng.normal(0, 0.4, size=(channels, 10)).astype(np.float32))
+    dense_b = builder.weight(np.zeros(10, dtype=np.float32))
+    value = builder.op1("Gemm", [value, dense_w, dense_b])
+    value = builder.op1("Softmax", [value], axis=1)
+    builder.output(value)
+    return builder.build()
+
+
+def build_mlp(seed: int = 1) -> Model:
+    """A plain three-layer perceptron with elementwise activations."""
+    rng = _rng(seed)
+    builder = GraphBuilder("seed_mlp")
+    value = builder.input([4, 32], name="features")
+    widths = (32, 24, 16, 8)
+    for index in range(len(widths) - 1):
+        weight = builder.weight(
+            rng.normal(0, 0.3, size=(widths[index], widths[index + 1])).astype(np.float32))
+        bias = builder.weight(np.zeros(widths[index + 1], dtype=np.float32))
+        value = builder.op1("Gemm", [value, weight, bias])
+        value = builder.op1("Tanh" if index % 2 else "Relu", [value])
+    value = builder.op1("Softmax", [value], axis=1)
+    builder.output(value)
+    return builder.build()
+
+
+def build_two_branch(seed: int = 2) -> Model:
+    """A two-input network whose branches are merged by broadcasadd."""
+    rng = _rng(seed)
+    builder = GraphBuilder("seed_two_branch")
+    image = builder.input([1, 4, 8, 8], name="image")
+    side = builder.input([1, 4, 1, 1], name="side")
+    weight = builder.weight(rng.normal(0, 0.4, size=(4, 4, 3, 3)).astype(np.float32))
+    conv = builder.op1("Conv2d", [image, weight], stride=1, padding=1)
+    act = builder.op1("Sigmoid", [conv])
+    merged = builder.op1("Add", [act, side])
+    pooled = builder.op1("AvgPool2d", [merged], kh=2, kw=2, stride=2, padding=0)
+    flat = builder.op1("Flatten", [pooled], axis=1)
+    builder.output(flat)
+    return builder.build()
+
+
+def build_seed_models() -> List[Model]:
+    """The full LEMON seed corpus."""
+    return [build_cnn_classifier(), build_mlp(), build_two_branch()]

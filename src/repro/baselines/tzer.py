@@ -1,0 +1,120 @@
+"""Tzer baseline: coverage-guided mutation of DeepC's low-level IR.
+
+The original Tzer fuzzes TVM by jointly mutating low-level TIR programs and
+the pass pipeline applied to them; it never exercises graph-level importers
+or graph optimizations, which is why the paper finds it strong on low-level
+passes but weak on graph-level coverage (Figure 8).
+
+The reimplementation mirrors that design against DeepC: seed low-level
+modules are obtained by lowering a few small graphs, and each iteration
+mutates either a module (instruction metadata, deletion, duplication) or the
+low-level pass pipeline, then runs the low passes and the generated code.
+Coverage feedback decides whether the mutant joins the corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.seeds import build_seed_models
+from repro.compilers.bugs import BugConfig
+from repro.compilers.coverage import CoverageTracer
+from repro.compilers.deepc import codegen
+from repro.compilers.deepc.converter import convert_model
+from repro.compilers.deepc.lowering import lower_graph
+from repro.compilers.deepc.lowir import LowModule
+from repro.compilers.deepc.lowpasses import LowPassContext, default_low_pipeline
+from repro.errors import ReproError
+
+
+class TzerFuzzer:
+    """Low-level-IR mutation fuzzer for DeepC."""
+
+    name = "tzer"
+
+    def __init__(self, seed: int = 0, bugs: Optional[BugConfig] = None) -> None:
+        self.rng = random.Random(seed)
+        self.bugs = bugs or BugConfig.all()
+        self.corpus: List[LowModule] = self._build_seed_corpus()
+        self.crashes: List[str] = []
+        self._best_coverage = 0
+
+    # ------------------------------------------------------------------ #
+    def _build_seed_corpus(self) -> List[LowModule]:
+        corpus = []
+        for model in build_seed_models():
+            try:
+                graph, _ = convert_model(model, BugConfig.none())
+                module, _ = lower_graph(graph, BugConfig.none())
+                corpus.append(module)
+            except ReproError:
+                continue
+        if not corpus:
+            raise ReproError("Tzer could not build a seed corpus")
+        return corpus
+
+    # ------------------------------------------------------------------ #
+    def run_iteration(self, tracer: Optional[CoverageTracer] = None) -> bool:
+        """One fuzzing iteration; returns True when a crash was found."""
+        parent = self.rng.choice(self.corpus)
+        module = self._mutate_module(parent.clone())
+        passes = self._mutate_pipeline()
+        crashed = False
+
+        before = tracer.count() if tracer is not None else 0
+        try:
+            ctx = LowPassContext(bugs=self.bugs, opt_level=2)
+            for low_pass in passes:
+                low_pass.run(module, ctx)
+            self._execute(module)
+        except ReproError as exc:
+            crashed = True
+            self.crashes.append(str(exc))
+        after = tracer.count() if tracer is not None else 0
+
+        if tracer is None or after > before:
+            # Coverage feedback: keep mutants that discovered new behaviour.
+            if len(self.corpus) < 64:
+                self.corpus.append(module)
+            else:
+                self.corpus[self.rng.randrange(len(self.corpus))] = module
+        return crashed
+
+    # ------------------------------------------------------------------ #
+    def _mutate_module(self, module: LowModule) -> LowModule:
+        if not module.kernels:
+            return module
+        kernel = self.rng.choice(module.kernels)
+        if not kernel.instrs:
+            return module
+        mutation = self.rng.choice(["vector_width", "loop_extent", "index_dtype",
+                                    "duplicate", "drop"])
+        instr = self.rng.choice(kernel.instrs)
+        if mutation == "vector_width":
+            instr.vector_width = self.rng.choice([None, 2, 4, 8])
+        elif mutation == "loop_extent":
+            instr.loop_extent = max(1, instr.loop_extent + self.rng.randint(-3, 3))
+        elif mutation == "index_dtype":
+            instr.index_dtype = self.rng.choice(["int32", "int64"])
+        elif mutation == "duplicate" and len(kernel.instrs) < 24:
+            kernel.instrs.insert(kernel.instrs.index(instr), instr.clone())
+        elif mutation == "drop" and len(kernel.instrs) > 1:
+            kernel.instrs.remove(instr)
+        return module
+
+    def _mutate_pipeline(self):
+        passes = default_low_pipeline()
+        self.rng.shuffle(passes)
+        keep = self.rng.randint(1, len(passes))
+        return passes[:keep]
+
+    def _execute(self, module: LowModule) -> None:
+        rng = np.random.default_rng(self.rng.randrange(1 << 30))
+        inputs = {}
+        for name in module.graph_inputs:
+            ttype = module.value_types[name]
+            inputs[name] = rng.uniform(1, 4, size=ttype.shape).astype(ttype.dtype.numpy)
+        codegen.execute_module(module, inputs)

@@ -1,0 +1,41 @@
+"""The systems under test: GraphRT, DeepC and Turbo, plus shared infrastructure."""
+
+from repro.compilers.base import CompiledModel, Compiler, CompileOptions
+from repro.compilers.bugs import BugConfig, BugSpec, all_bugs, bug_spec, bugs_of_system
+from repro.compilers.coverage import CoverageTracer, CoverageTimeline, estimate_total_arcs
+from repro.compilers.deepc import DeepCCompiler, DeepCExecutable
+from repro.compilers.graphrt import GraphRTCompiler, GraphRTExecutable
+from repro.compilers.turbo import TurboCompiler, TurboEngine
+
+__all__ = [
+    "BugConfig",
+    "BugSpec",
+    "CompileOptions",
+    "CompiledModel",
+    "Compiler",
+    "CoverageTimeline",
+    "CoverageTracer",
+    "DeepCCompiler",
+    "DeepCExecutable",
+    "GraphRTCompiler",
+    "GraphRTExecutable",
+    "TurboCompiler",
+    "TurboEngine",
+    "all_bugs",
+    "bug_spec",
+    "bugs_of_system",
+    "estimate_total_arcs",
+]
+
+
+def make_compiler(name: str, options: CompileOptions = None) -> Compiler:
+    """Instantiate a compiler under test by its short name."""
+    registry = {
+        "graphrt": GraphRTCompiler,
+        "deepc": DeepCCompiler,
+        "turbo": TurboCompiler,
+    }
+    try:
+        return registry[name](options)
+    except KeyError:
+        raise KeyError(f"unknown compiler {name!r}; available: {sorted(registry)}") from None

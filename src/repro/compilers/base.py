@@ -1,0 +1,85 @@
+"""Common interfaces for the compilers under test.
+
+Every compiler in :mod:`repro.compilers` follows the same two-phase shape the
+paper describes (§2.2):
+
+1. **conversion** — the serialized model is imported into the compiler's own
+   intermediate representation;
+2. **transformation** — optimization passes rewrite the IR, after which the
+   model is "code generated" into an executable.
+
+``compile_model`` covers both phases and returns a :class:`CompiledModel`
+whose ``run`` method executes the optimized program.  Compilers accept an
+optimization level so the differential-testing harness can re-compile at
+"O0" to localize faults, exactly as §4 describes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.compilers.bugs import BugConfig
+from repro.graph.model import Model
+
+
+@dataclass
+class CompileOptions:
+    """Options shared by every compiler."""
+
+    opt_level: int = 2          # 0 disables every optimization pass
+    bugs: BugConfig = field(default_factory=BugConfig.all)
+
+
+class CompiledModel(abc.ABC):
+    """An executable produced by a compiler."""
+
+    def __init__(self, model: Model, applied_passes: Sequence[str]) -> None:
+        self.model = model
+        self.applied_passes = list(applied_passes)
+
+    @abc.abstractmethod
+    def run(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Execute the compiled model on concrete inputs.
+
+        Returns a mapping from graph-output name to array.  Raises
+        :class:`repro.errors.ExecutionError` on runtime failures.
+        """
+
+
+class Compiler(abc.ABC):
+    """Base class for every system under test."""
+
+    #: Short identifier used in bug reports and experiment tables.
+    name: str = "compiler"
+    #: Whether source coverage of this compiler can be measured (TensorRT's
+    #: stand-in is treated as closed source, like in the paper).
+    open_source: bool = True
+
+    def __init__(self, options: Optional[CompileOptions] = None) -> None:
+        self.options = options or CompileOptions()
+
+    @abc.abstractmethod
+    def compile_model(self, model: Model) -> CompiledModel:
+        """Convert, optimize and code-generate ``model``.
+
+        Raises:
+            ConversionError: for failures while importing the model.
+            TransformationError: for failures inside optimization passes.
+        """
+
+    def supported_ops(self, candidate_ops: Sequence[str]) -> List[str]:
+        """Which of ``candidate_ops`` this compiler can compile.
+
+        NNSmith probes compilers with single-operator models to learn their
+        support matrix and avoid "Not-Implemented" errors (§4).  The default
+        implementation reports everything as supported; compilers override
+        this with their real kernel tables.
+        """
+        return list(candidate_ops)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(opt_level={self.options.opt_level})"

@@ -1,0 +1,5 @@
+"""DeepC: the TVM analogue (graph IR, layout transform, lowering, codegen)."""
+
+from repro.compilers.deepc.compiler import DeepCCompiler, DeepCExecutable
+
+__all__ = ["DeepCCompiler", "DeepCExecutable"]

@@ -1,0 +1,110 @@
+"""Code generation: turn a lowered DeepC module into an executable.
+
+Real TVM emits LLVM/C source here; the scaled-down DeepC instead generates a
+Python execution plan whose per-instruction behaviour honours the loop-level
+metadata the low-level passes produced (in particular the vector width and
+the buggy ``drop_remainder`` flag, which leaves tail elements unwritten —
+zero, since buffers are zero-initialized).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from repro.compilers.deepc.lowir import Kernel, LowModule, TensorInstr
+from repro.errors import ExecutionError, UnsupportedOperatorError
+from repro.graph.node import Node
+from repro.ops import semantics
+
+
+def pack_nchw4c(array: np.ndarray) -> np.ndarray:
+    """NCHW -> NCHW4c packing (channels must be divisible by four)."""
+    batch, channels, height, width = array.shape
+    if channels % 4 != 0:
+        raise ExecutionError("cannot pack a channel count not divisible by 4")
+    reshaped = array.reshape(batch, channels // 4, 4, height, width)
+    return np.transpose(reshaped, (0, 1, 3, 4, 2)).copy()
+
+
+def unpack_nchw4c(array: np.ndarray) -> np.ndarray:
+    """NCHW4c -> NCHW unpacking."""
+    batch, chunks, height, width, lanes = array.shape
+    transposed = np.transpose(array, (0, 1, 4, 2, 3))
+    return transposed.reshape(batch, chunks * lanes, height, width).copy()
+
+
+def _run_internal(instr: TensorInstr, inputs: List[np.ndarray]) -> List[np.ndarray]:
+    if instr.op == "LayoutPack4c":
+        return [pack_nchw4c(inputs[0])]
+    if instr.op == "LayoutUnpack4c":
+        return [unpack_nchw4c(inputs[0])]
+    if instr.op == "Conv2dNCHW4c":
+        unpacked = unpack_nchw4c(inputs[0])
+        node = Node("Conv2d", instr.name, [], [], instr.attrs)
+        outputs = semantics.execute_node(node, [unpacked] + list(inputs[1:]))
+        return [pack_nchw4c(outputs[0])]
+    raise UnsupportedOperatorError(f"DeepC codegen: unknown internal op {instr.op!r}")
+
+
+_INTERNAL_OPS = {"LayoutPack4c", "LayoutUnpack4c", "Conv2dNCHW4c"}
+
+
+def execute_instr(instr: TensorInstr, inputs: List[np.ndarray]) -> List[np.ndarray]:
+    """Execute one lowered instruction, honouring its loop metadata."""
+    if instr.op in _INTERNAL_OPS:
+        outputs = _run_internal(instr, inputs)
+    else:
+        node = Node(instr.op, instr.name, [], [], instr.attrs)
+        outputs = semantics.execute_node(node, inputs)
+    if instr.drop_remainder and instr.vector_width:
+        processed = (instr.loop_extent // instr.vector_width) * instr.vector_width
+        patched = []
+        for array in outputs:
+            flat = np.array(array, copy=True).reshape(-1)
+            # The buggy vectorized loop never writes the tail elements; the
+            # zero-initialized output buffer shows through.
+            flat[processed:] = 0
+            patched.append(flat.reshape(array.shape).astype(array.dtype))
+        outputs = patched
+    return outputs
+
+
+def execute_kernel(kernel: Kernel, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Execute one kernel given its external input buffers."""
+    values: Dict[str, np.ndarray] = {}
+    for name in kernel.inputs:
+        if name not in inputs:
+            raise ExecutionError(f"kernel {kernel.name}: missing input {name!r}")
+        values[name] = np.asarray(inputs[name])
+    for instr in kernel.instrs:
+        instr_inputs = [values[name] for name in instr.inputs]
+        results = execute_instr(instr, instr_inputs)
+        values.update(zip(instr.outputs, results))
+    missing = [name for name in kernel.outputs if name not in values]
+    if missing:
+        raise ExecutionError(f"kernel {kernel.name}: outputs never written: {missing}")
+    return {name: values[name] for name in kernel.outputs}
+
+
+def execute_module(module: LowModule, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Execute the whole lowered program."""
+    values: Dict[str, np.ndarray] = {}
+    for name in module.graph_inputs:
+        if name not in inputs:
+            raise ExecutionError(f"missing graph input {name!r}")
+        values[name] = np.asarray(inputs[name],
+                                  dtype=module.value_types[name].dtype.numpy)
+    for name, array in module.params.items():
+        values[name] = np.asarray(array)
+
+    for kernel in module.kernels:
+        kernel_inputs = {name: values[name] for name in kernel.inputs if name in values}
+        results = execute_kernel(kernel, kernel_inputs)
+        values.update(results)
+
+    missing = [name for name in module.graph_outputs if name not in values]
+    if missing:
+        raise ExecutionError(f"graph outputs never produced: {missing}")
+    return {name: values[name] for name in module.graph_outputs}

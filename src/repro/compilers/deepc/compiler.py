@@ -1,0 +1,77 @@
+"""The DeepC compiler: conversion, graph passes, lowering, low passes, codegen."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.compilers.base import CompiledModel, Compiler, CompileOptions
+from repro.compilers.deepc import codegen, converter
+from repro.compilers.deepc.lowering import lower_graph
+from repro.compilers.deepc.lowir import LowModule
+from repro.compilers.deepc.lowpasses import LowPassContext, run_low_pipeline
+from repro.compilers.deepc.passes import DeepCPassContext, run_pipeline
+from repro.errors import ExecutionError, ReproError
+from repro.graph.model import Model
+
+
+class DeepCExecutable(CompiledModel):
+    """A fully lowered and "code generated" DeepC program."""
+
+    def __init__(self, model: Model, module: LowModule,
+                 applied_passes: Sequence[str],
+                 triggered_bugs: Sequence[str] = ()) -> None:
+        super().__init__(model, applied_passes)
+        self.module = module
+        self.triggered_bugs = list(triggered_bugs)
+
+    def run(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        try:
+            return codegen.execute_module(self.module, inputs)
+        except ReproError:
+            raise
+        except (ValueError, IndexError, KeyError) as exc:
+            raise ExecutionError(f"DeepC runtime failure: {exc}") from exc
+
+
+class DeepCCompiler(Compiler):
+    """TVM analogue: end-to-end compiler with graph and loop-level passes."""
+
+    name = "deepc"
+    open_source = True
+
+    def __init__(self, options: CompileOptions = None) -> None:
+        super().__init__(options)
+
+    def compile_model(self, model: Model) -> DeepCExecutable:
+        triggered: List[str] = []
+
+        # Conversion phase.
+        graph, conversion_bugs = converter.convert_model(model, self.options.bugs)
+        triggered.extend(conversion_bugs)
+
+        # Graph-level transformation phase.
+        applied: List[str] = []
+        graph_ctx = DeepCPassContext(bugs=self.options.bugs,
+                                     opt_level=self.options.opt_level)
+        if self.options.opt_level > 0:
+            applied.extend(run_pipeline(graph, graph_ctx))
+        triggered.extend(graph_ctx.triggered_bugs)
+
+        # Lowering to the loop-level IR.
+        module, lowering_bugs = lower_graph(graph, self.options.bugs)
+        triggered.extend(lowering_bugs)
+
+        # Low-level transformation phase.
+        low_ctx = LowPassContext(bugs=self.options.bugs,
+                                 opt_level=self.options.opt_level)
+        if self.options.opt_level > 0:
+            applied.extend(run_low_pipeline(module, low_ctx))
+        triggered.extend(low_ctx.triggered_bugs)
+
+        return DeepCExecutable(model, module, applied, triggered)
+
+    def supported_ops(self, candidate_ops: Sequence[str]) -> List[str]:
+        available = set(converter.supported_operators())
+        return [op for op in candidate_ops if op in available]

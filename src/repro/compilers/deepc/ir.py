@@ -1,0 +1,99 @@
+"""DeepC's graph-level intermediate representation.
+
+DeepC (the TVM analogue) does not operate on the interchange
+:class:`~repro.graph.model.Model` directly: its front end *converts* the
+model into this internal graph IR, mirroring how TVM imports ONNX into Relay.
+The IR reuses the interchange :class:`~repro.graph.tensor_type.TensorType`
+and :class:`~repro.graph.node.Node` containers but adds the annotations the
+DeepC pass pipeline needs:
+
+* an operator *pattern kind* (elementwise / broadcast / injective / reduction
+  / complex), which drives the property-based fusion pass;
+* a *layout* tag per value (``"NCHW"`` vs ``"NCHW4c"``) maintained by the
+  layout-transform pass;
+* *fusion groups* assigned by the fusion pass and consumed by lowering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.graph.model import Model
+from repro.graph.node import Node
+from repro.ops.registry import OpCategory, is_registered, op_info
+
+#: Internal DeepC operators introduced by its own passes (not part of the
+#: interchange operator set).
+INTERNAL_OPS = {
+    "LayoutPack4c": OpCategory.injective,
+    "LayoutUnpack4c": OpCategory.injective,
+    "Conv2dNCHW4c": OpCategory.complex_,
+}
+
+
+class DGraph(Model):
+    """DeepC's typed dataflow graph.
+
+    Inherits the structural machinery of :class:`Model` (values, nodes,
+    topological order, mutation helpers) and adds DeepC-specific analysis
+    state.  Subclassing is an implementation convenience; conceptually this
+    is a different IR, which is why models must go through
+    :mod:`repro.compilers.deepc.converter` rather than being used directly.
+    """
+
+    def __init__(self, name: str = "dgraph") -> None:
+        super().__init__(name)
+        #: Per-value layout tag; values without an entry are in natural layout.
+        self.layouts: Dict[str, str] = {}
+        #: Fusion groups: list of lists of node names (set by the fusion pass).
+        self.fusion_groups: List[List[str]] = []
+        #: Free-form per-node annotations (pattern kind, lowering hints).
+        self.annotations: Dict[str, Dict[str, object]] = {}
+
+    # ------------------------------------------------------------------ #
+    def pattern_kind(self, node: Node) -> OpCategory:
+        """The fusion property of a node's operator."""
+        note = self.annotations.get(node.name, {})
+        if "pattern" in note:
+            return note["pattern"]
+        if node.op in INTERNAL_OPS:
+            return INTERNAL_OPS[node.op]
+        if is_registered(node.op):
+            return op_info(node.op).category
+        return OpCategory.control
+
+    def annotate(self, node: Node, **entries: object) -> None:
+        self.annotations.setdefault(node.name, {}).update(entries)
+
+    def annotation(self, node: Node, key: str, default=None):
+        return self.annotations.get(node.name, {}).get(key, default)
+
+    def layout_of(self, value: str) -> str:
+        return self.layouts.get(value, "NCHW")
+
+    def group_of(self, node_name: str) -> Optional[int]:
+        """Index of the fusion group containing a node (None before fusion)."""
+        for index, group in enumerate(self.fusion_groups):
+            if node_name in group:
+                return index
+        return None
+
+    def clone(self) -> "DGraph":
+        copy = DGraph(self.name)
+        copy.nodes = [node.clone() for node in self.nodes]
+        copy.value_types = dict(self.value_types)
+        copy.inputs = list(self.inputs)
+        copy.outputs = list(self.outputs)
+        copy.initializers = {k: v.copy() for k, v in self.initializers.items()}
+        copy.layouts = dict(self.layouts)
+        copy.fusion_groups = [list(group) for group in self.fusion_groups]
+        copy.annotations = {k: dict(v) for k, v in self.annotations.items()}
+        return copy
+
+    def remove_node(self, node: Node) -> None:
+        super().remove_node(node)
+        self.annotations.pop(node.name, None)
+        for group in self.fusion_groups:
+            if node.name in group:
+                group.remove(node.name)
+        self.fusion_groups = [group for group in self.fusion_groups if group]

@@ -1,0 +1,139 @@
+"""DeepC's low-level IR: kernels of tensor instructions.
+
+After graph-level optimization DeepC *lowers* each fusion group into a
+:class:`Kernel`: an ordered list of :class:`TensorInstr` operating on named
+:class:`Buffer` objects, annotated with the loop-level metadata the low-level
+passes manipulate (loop extents, index dtype, vector width).  The whole
+program is a :class:`LowModule`, which the code generator turns into an
+executable.
+
+This IR is also the mutation target of the Tzer-like baseline fuzzer
+(:mod:`repro.baselines.tzer`), mirroring how the original Tzer mutates TVM's
+TIR rather than graph-level models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph.tensor_type import TensorType
+
+
+@dataclass
+class Buffer:
+    """A named tensor storage location inside a kernel."""
+
+    name: str
+    ttype: TensorType
+    kind: str = "intermediate"  # "input" | "param" | "intermediate" | "output"
+
+    @property
+    def numel(self) -> int:
+        return self.ttype.numel
+
+
+@dataclass
+class TensorInstr:
+    """One tensor operation inside a kernel.
+
+    Attributes:
+        op: operator kind (interchange operators plus DeepC-internal ones).
+        name: original graph-node name (used for bug attribution/debugging).
+        inputs: buffer names read by the instruction.
+        outputs: buffer names written by the instruction.
+        attrs: operator attributes.
+        loop_extent: number of elements of the (first) output; the nominal
+            iteration count of the generated loop nest.
+        index_dtype: ``"int32"`` or ``"int64"`` index arithmetic.
+        vector_width: when set, the innermost loop is processed in blocks of
+            this many elements.
+        drop_remainder: set by the (buggy) vectorization pass; the code
+            generator then leaves the tail elements unwritten.
+        loop_id: identifier of the fused loop nest this instruction joined.
+    """
+
+    op: str
+    name: str
+    inputs: List[str]
+    outputs: List[str]
+    attrs: Dict[str, object] = field(default_factory=dict)
+    loop_extent: int = 0
+    index_dtype: str = "int32"
+    vector_width: Optional[int] = None
+    drop_remainder: bool = False
+    loop_id: Optional[int] = None
+
+    def clone(self) -> "TensorInstr":
+        return TensorInstr(self.op, self.name, list(self.inputs), list(self.outputs),
+                           dict(self.attrs), self.loop_extent, self.index_dtype,
+                           self.vector_width, self.drop_remainder, self.loop_id)
+
+
+@dataclass
+class Kernel:
+    """A lowered fusion group."""
+
+    name: str
+    instrs: List[TensorInstr]
+    buffers: Dict[str, Buffer]
+    inputs: List[str]
+    outputs: List[str]
+    index_dtype: str = "int32"
+
+    def buffer(self, name: str) -> Buffer:
+        return self.buffers[name]
+
+    def intermediate_buffers(self) -> List[Buffer]:
+        return [b for b in self.buffers.values() if b.kind == "intermediate"]
+
+    def text(self) -> str:
+        """A textual dump of the kernel (used by the Tzer baseline and tests)."""
+        lines = [f"kernel {self.name} (index={self.index_dtype}):"]
+        for buf in self.buffers.values():
+            lines.append(f"  buffer {buf.kind:<12} {buf.name}: {buf.ttype}")
+        for instr in self.instrs:
+            vec = f" vec={instr.vector_width}" if instr.vector_width else ""
+            rem = " drop_remainder" if instr.drop_remainder else ""
+            lines.append(
+                f"  {', '.join(instr.outputs)} = {instr.op}({', '.join(instr.inputs)})"
+                f" extent={instr.loop_extent}{vec}{rem}")
+        return "\n".join(lines)
+
+
+@dataclass
+class LowModule:
+    """The fully lowered program: an ordered list of kernels."""
+
+    name: str
+    kernels: List[Kernel]
+    graph_inputs: List[str]
+    graph_outputs: List[str]
+    params: Dict[str, np.ndarray]
+    value_types: Dict[str, TensorType]
+
+    def kernel_by_name(self, name: str) -> Kernel:
+        for kernel in self.kernels:
+            if kernel.name == name:
+                return kernel
+        raise KeyError(name)
+
+    def text(self) -> str:
+        return "\n".join(kernel.text() for kernel in self.kernels)
+
+    def instr_count(self) -> int:
+        return sum(len(kernel.instrs) for kernel in self.kernels)
+
+    def clone(self) -> "LowModule":
+        return LowModule(
+            self.name,
+            [Kernel(k.name, [i.clone() for i in k.instrs], dict(k.buffers),
+                    list(k.inputs), list(k.outputs), k.index_dtype)
+             for k in self.kernels],
+            list(self.graph_inputs),
+            list(self.graph_outputs),
+            dict(self.params),
+            dict(self.value_types),
+        )

@@ -1,0 +1,69 @@
+"""Low-level optimization passes over DeepC's lowered IR.
+
+These are the analogue of TVM's TIR-level transformations: they run after
+lowering and manipulate loop-level metadata (extents, vector widths, fused
+loop nests) on :class:`~repro.compilers.deepc.lowir.LowModule`.  The Tzer
+baseline fuzzer drives exactly this layer.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.compilers.bugs import BugConfig
+from repro.compilers.deepc.lowir import LowModule
+
+
+@dataclass
+class LowPassContext:
+    """State shared by low-level passes of one compilation."""
+
+    bugs: BugConfig = field(default_factory=BugConfig.none)
+    opt_level: int = 2
+    triggered_bugs: List[str] = field(default_factory=list)
+    modified_by: List[str] = field(default_factory=list)
+
+    def record_bug(self, bug_id: str) -> None:
+        if bug_id not in self.triggered_bugs:
+            self.triggered_bugs.append(bug_id)
+
+
+class LowPass(abc.ABC):
+    """One low-level transformation."""
+
+    min_opt_level: int = 1
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @abc.abstractmethod
+    def run(self, module: LowModule, ctx: LowPassContext) -> bool:
+        """Apply the pass in place; return True when the module changed."""
+
+
+def default_low_pipeline() -> List[LowPass]:
+    from repro.compilers.deepc.lowpasses import loops, memory, vectorize
+
+    return [
+        loops.SimplifyLoopExtents(),
+        loops.FuseElementwiseLoops(),
+        vectorize.VectorizeInnerLoop(),
+        memory.DeadStoreElimination(),
+        memory.PlanBufferReuse(),
+    ]
+
+
+def run_low_pipeline(module: LowModule, ctx: LowPassContext) -> List[str]:
+    """Run every applicable low-level pass once."""
+    applied: List[str] = []
+    for low_pass in default_low_pipeline():
+        if ctx.opt_level < low_pass.min_opt_level:
+            continue
+        changed = low_pass.run(module, ctx)
+        applied.append(low_pass.name)
+        if changed:
+            ctx.modified_by.append(low_pass.name)
+    return applied

@@ -1,0 +1,74 @@
+"""Loop-structure passes: extent simplification and elementwise loop fusion."""
+
+from __future__ import annotations
+
+from repro.compilers.deepc.lowir import LowModule
+from repro.compilers.deepc.lowpasses import LowPass, LowPassContext
+from repro.errors import TransformationError
+from repro.ops.registry import OpCategory, is_registered, op_info
+
+#: Operators whose lowered loop body is a pure elementwise statement.
+_ELEMENTWISE_LIKE = {OpCategory.elemwise, OpCategory.broadcast}
+
+
+def _instr_category(op: str):
+    if is_registered(op):
+        return op_info(op).category
+    return OpCategory.control
+
+
+class SimplifyLoopExtents(LowPass):
+    """Recompute loop extents from buffer shapes and drop stale metadata."""
+
+    def run(self, module: LowModule, ctx: LowPassContext) -> bool:
+        changed = False
+        for kernel in module.kernels:
+            for instr in kernel.instrs:
+                extent = kernel.buffer(instr.outputs[0]).numel
+                if instr.loop_extent != extent:
+                    instr.loop_extent = extent
+                    changed = True
+                if instr.vector_width is not None and extent < instr.vector_width:
+                    instr.vector_width = None
+                    changed = True
+        return changed
+
+
+class FuseElementwiseLoops(LowPass):
+    """Assign adjacent elementwise instructions to a shared loop nest.
+
+    The fused loop nest is recorded via ``loop_id`` — the code generator
+    treats instructions with the same id as a single kernel-internal loop.
+    Seeded bug: an instruction whose output keeps a unit-extent reduced
+    dimension (``keepdims=True``) makes the fusion emit an inconsistent loop
+    nest, aborting compilation.
+    """
+
+    def run(self, module: LowModule, ctx: LowPassContext) -> bool:
+        changed = False
+        next_loop_id = 0
+        for kernel in module.kernels:
+            has_keepdims_reduce = any(
+                instr.op.startswith("Reduce") and bool(instr.attrs.get("keepdims", False))
+                for instr in kernel.instrs)
+            if has_keepdims_reduce and len(kernel.instrs) > 1 and \
+                    ctx.bugs.enabled("deepc-lowlevel-unitloop-fusion"):
+                # BUG: a fused kernel mixing a keepdims reduction with other
+                # loop nests produces an inconsistent unit-extent loop.
+                ctx.record_bug("deepc-lowlevel-unitloop-fusion")
+                raise TransformationError(
+                    "[deepc-lowlevel-unitloop-fusion] loop fusion produced "
+                    "a mismatched unit-extent loop nest")
+            previous = None
+            for instr in kernel.instrs:
+                category = _instr_category(instr.op)
+                if category in _ELEMENTWISE_LIKE and previous is not None and \
+                        _instr_category(previous.op) in _ELEMENTWISE_LIKE and \
+                        previous.loop_extent == instr.loop_extent:
+                    if previous.loop_id is None:
+                        previous.loop_id = next_loop_id
+                        next_loop_id += 1
+                    instr.loop_id = previous.loop_id
+                    changed = True
+                previous = instr
+        return changed

@@ -1,0 +1,74 @@
+"""Memory-oriented low-level passes: dead stores and buffer reuse planning."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.compilers.deepc.lowir import LowModule
+from repro.compilers.deepc.lowpasses import LowPass, LowPassContext
+
+
+class DeadStoreElimination(LowPass):
+    """Remove instructions whose results are never read."""
+
+    def run(self, module: LowModule, ctx: LowPassContext) -> bool:
+        changed = False
+        for kernel in module.kernels:
+            live: Set[str] = set(kernel.outputs)
+            keep = []
+            for instr in reversed(kernel.instrs):
+                if any(output in live for output in instr.outputs):
+                    keep.append(instr)
+                    live.update(instr.inputs)
+                else:
+                    changed = True
+            keep.reverse()
+            kernel.instrs = keep
+        return changed
+
+
+class PlanBufferReuse(LowPass):
+    """Annotate intermediate buffers that can share storage.
+
+    A purely analytical pass (it records a reuse plan in the kernel buffers'
+    ``kind`` untouched and stores the plan on the module via instruction
+    metadata); it exists because real compilers spend substantial pass code
+    on memory planning and it widens the covered surface for the coverage
+    experiments without changing semantics.
+    """
+
+    min_opt_level = 2
+
+    def run(self, module: LowModule, ctx: LowPassContext) -> bool:
+        changed = False
+        for kernel in module.kernels:
+            last_use: Dict[str, int] = {}
+            for index, instr in enumerate(kernel.instrs):
+                for name in instr.inputs:
+                    last_use[name] = index
+            free_pool: List[str] = []
+            reuse_plan: Dict[str, str] = {}
+            for index, instr in enumerate(kernel.instrs):
+                for output in instr.outputs:
+                    buffer = kernel.buffers.get(output)
+                    if buffer is None or buffer.kind != "intermediate":
+                        continue
+                    for candidate in list(free_pool):
+                        if kernel.buffers[candidate].ttype == buffer.ttype:
+                            reuse_plan[output] = candidate
+                            free_pool.remove(candidate)
+                            break
+                for name in instr.inputs:
+                    buffer = kernel.buffers.get(name)
+                    if buffer is None or buffer.kind != "intermediate":
+                        continue
+                    if last_use.get(name) == index:
+                        free_pool.append(name)
+            if reuse_plan:
+                changed = True
+                for instr in kernel.instrs:
+                    reused = {out: reuse_plan[out] for out in instr.outputs
+                              if out in reuse_plan}
+                    if reused:
+                        instr.attrs.setdefault("_buffer_reuse", reused)
+        return changed

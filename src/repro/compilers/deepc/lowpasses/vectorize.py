@@ -1,0 +1,42 @@
+"""Inner-loop vectorization.
+
+Elementwise loop bodies are processed in blocks of four elements.  The
+correct transformation also emits a scalar tail loop for the remaining
+``extent % 4`` elements; the seeded bug omits the tail loop, leaving those
+elements unwritten (a semantic bug observable by differential testing).
+"""
+
+from __future__ import annotations
+
+from repro.compilers.deepc.lowir import LowModule
+from repro.compilers.deepc.lowpasses import LowPass, LowPassContext
+from repro.ops.registry import OpCategory, is_registered, op_info
+
+_VECTOR_WIDTH = 4
+
+_VECTORIZABLE = {OpCategory.elemwise, OpCategory.broadcast}
+
+
+class VectorizeInnerLoop(LowPass):
+    """Mark elementwise instructions for 4-wide vector execution."""
+
+    min_opt_level = 2
+
+    def run(self, module: LowModule, ctx: LowPassContext) -> bool:
+        changed = False
+        for kernel in module.kernels:
+            for instr in kernel.instrs:
+                if not is_registered(instr.op):
+                    continue
+                if op_info(instr.op).category not in _VECTORIZABLE:
+                    continue
+                if instr.loop_extent < _VECTOR_WIDTH:
+                    continue
+                instr.vector_width = _VECTOR_WIDTH
+                remainder = instr.loop_extent % _VECTOR_WIDTH
+                if remainder and ctx.bugs.enabled("deepc-lowlevel-vectorize-remainder"):
+                    # BUG: the scalar tail loop is never emitted.
+                    instr.drop_remainder = True
+                    ctx.record_bug("deepc-lowlevel-vectorize-remainder")
+                changed = True
+        return changed

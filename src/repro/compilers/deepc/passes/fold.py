@@ -1,0 +1,87 @@
+"""Structural folding and cleanup passes for DeepC."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.compilers.deepc.ir import DGraph
+from repro.compilers.deepc.passes import DeepCPass, DeepCPassContext
+
+
+class FoldTransposeIntoReshape(DeepCPass):
+    """Fold ``Transpose`` directly followed by ``Reshape`` into the reshape.
+
+    The rewrite is only valid when the transpose permutation is the identity
+    on the non-unit dimensions (the reshape then reads elements in the same
+    order).  Seeded bug: the permutation check is skipped entirely.
+    """
+
+    def run(self, graph: DGraph, ctx: DeepCPassContext) -> bool:
+        changed = False
+        producers = graph.producer_map()
+        for node in list(graph.nodes):
+            if node.op != "Reshape":
+                continue
+            upstream = producers.get(node.inputs[0])
+            if upstream is None or upstream.op != "Transpose":
+                continue
+            consumers = graph.consumer_map().get(upstream.outputs[0], [])
+            if len(consumers) != 1 or upstream.outputs[0] in graph.outputs:
+                continue
+            source_type = graph.type_of(upstream.inputs[0])
+            perm = [int(p) for p in upstream.attrs.get(
+                "perm", range(source_type.rank)[::-1])]
+            if ctx.bugs.enabled("deepc-fold-transpose-reshape"):
+                ctx.record_bug("deepc-fold-transpose-reshape")
+                permutation_ok = True  # BUG: never checks the permutation.
+            else:
+                permutation_ok = self._order_preserving(perm, source_type.shape)
+            if not permutation_ok:
+                continue
+            node.inputs = [upstream.inputs[0]]
+            graph.remove_node(upstream)
+            producers = graph.producer_map()
+            changed = True
+        if changed:
+            graph.prune_dead_nodes()
+        return changed
+
+    @staticmethod
+    def _order_preserving(perm, shape) -> bool:
+        """True when transposing by ``perm`` keeps the linear element order."""
+        significant = [axis for axis in perm if shape[axis] != 1]
+        return significant == sorted(significant)
+
+
+class EliminateCommonSubexpr(DeepCPass):
+    """Merge identical nodes fed by identical inputs."""
+
+    def run(self, graph: DGraph, ctx: DeepCPassContext) -> bool:
+        changed = False
+        seen: Dict[str, str] = {}
+        for node in list(graph.topological_order()):
+            if node.op == "Split":
+                continue
+            key = f"{node.op}|{','.join(node.inputs)}|{node.signature()}"
+            if key in seen and node.outputs[0] not in graph.outputs:
+                graph.replace_uses(node.outputs[0], seen[key])
+                graph.remove_node(node)
+                changed = True
+            else:
+                seen.setdefault(key, node.outputs[0])
+        return changed
+
+
+class RemoveDeadNodes(DeepCPass):
+    """Drop nodes that do not contribute to any graph output."""
+
+    def run(self, graph: DGraph, ctx: DeepCPassContext) -> bool:
+        live = set(graph.outputs)
+        changed = False
+        for node in reversed(graph.topological_order()):
+            if any(output in live for output in node.outputs):
+                live.update(node.inputs)
+            else:
+                graph.remove_node(node)
+                changed = True
+        return changed

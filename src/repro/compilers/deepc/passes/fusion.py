@@ -1,0 +1,121 @@
+"""Property-based operator fusion.
+
+DeepC fuses operators by their *pattern kind* (injective, broadcast,
+reduction, complex), not by concrete operator identity — the same design TVM
+uses and the reason the paper observes that TVM's coverage is less sensitive
+to graph-pattern diversity than ONNXRuntime's (§5.2).
+
+A fusion group is a connected chain of elementwise / broadcast / injective
+operators, optionally ending in one reduction, or one complex operator
+(Conv2d, MatMul, ...) followed by elementwise epilogues.  Groups become one
+lowered kernel each.
+
+Seeded bug: a *full* reduction (scalar output) fused with injective
+consumers cannot be emitted by the lowering stage; the buggy fusion pass
+builds such groups anyway, and compilation crashes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.compilers.deepc.ir import DGraph
+from repro.compilers.deepc.passes import DeepCPass, DeepCPassContext
+from repro.errors import TransformationError
+from repro.graph.node import Node
+from repro.ops.registry import OpCategory
+
+#: Pattern kinds that may join an existing fusion group as "epilogue" ops.
+_FUSABLE = (OpCategory.elemwise, OpCategory.broadcast, OpCategory.injective)
+#: Pattern kinds that may start a group and absorb epilogues.
+_ANCHORS = (OpCategory.complex_, OpCategory.reduction)
+
+
+class FuseOps(DeepCPass):
+    """Greedy fusion of operator chains into kernel groups."""
+
+    max_group_size = 6
+
+    def run(self, graph: DGraph, ctx: DeepCPassContext) -> bool:
+        order = graph.topological_order()
+        consumer_map = graph.consumer_map()
+        group_of: Dict[str, int] = {}
+        groups: List[List[str]] = []
+
+        for node in order:
+            kind = graph.pattern_kind(node)
+            upstream_group = self._joinable_group(graph, node, group_of, groups,
+                                                  consumer_map, ctx)
+            if upstream_group is not None:
+                groups[upstream_group].append(node.name)
+                group_of[node.name] = upstream_group
+                continue
+            if kind in _FUSABLE or kind in _ANCHORS:
+                groups.append([node.name])
+                group_of[node.name] = len(groups) - 1
+            else:
+                groups.append([node.name])
+                group_of[node.name] = len(groups) - 1
+
+        graph.fusion_groups = groups
+        for node in order:
+            graph.annotate(node, fusion_group=group_of[node.name])
+        return bool(groups)
+
+    def _joinable_group(self, graph: DGraph, node: Node, group_of: Dict[str, int],
+                        groups: List[List[str]], consumer_map, ctx: DeepCPassContext):
+        """Can ``node`` join the fusion group of one of its producers?"""
+        kind = graph.pattern_kind(node)
+        if kind not in _FUSABLE:
+            return None
+        producers = graph.producer_map()
+        candidate = None
+        for input_name in node.inputs:
+            producer = producers.get(input_name)
+            if producer is None:
+                continue
+            group_index = group_of.get(producer.name)
+            if group_index is None:
+                continue
+            group = groups[group_index]
+            if len(group) >= self.max_group_size:
+                continue
+            producer_kind = graph.pattern_kind(producer)
+            if producer_kind is OpCategory.reduction:
+                scalar_output = graph.type_of(producer.outputs[0]).rank == 0
+                if scalar_output:
+                    if ctx.bugs.enabled("deepc-fusion-scalar-reduce"):
+                        # BUG: lowering cannot emit a fused kernel whose
+                        # intermediate collapses to a scalar; building the
+                        # group anyway fails compilation.
+                        ctx.record_bug("deepc-fusion-scalar-reduce")
+                        raise TransformationError(
+                            "[deepc-fusion-scalar-reduce] cannot emit fused "
+                            "kernel for a full reduction with injective "
+                            "consumers")
+                    continue
+                # Non-scalar reductions may absorb elementwise epilogues
+                # (TVM's kCommReduce output fusion); fall through to the
+                # privacy check below.
+            # The whole group must produce values only consumed inside the
+            # group or by this node; otherwise keep kernels separate so the
+            # intermediate stays materialized.
+            if not self._group_output_private(graph, group, node, consumer_map):
+                continue
+            candidate = group_index
+            break
+        return candidate
+
+    @staticmethod
+    def _group_output_private(graph: DGraph, group: List[str], node: Node,
+                              consumer_map) -> bool:
+        members = set(group) | {node.name}
+        for member_name in group:
+            member = graph.node_by_name(member_name)
+            for output in member.outputs:
+                if output in graph.outputs:
+                    return False
+                for consumer in consumer_map.get(output, []):
+                    if consumer.name not in members:
+                        return False
+        return True

@@ -1,0 +1,111 @@
+"""Memory-layout optimization: rewrite convolutions to the NCHW4c layout.
+
+Mirrors TVM's AlterOpLayout: the most profitable operators (Conv2d) are
+rewritten to a SIMD-friendly packed layout (``N C//4 H W 4c``) and the
+surrounding operators must adapt.  Two seeded bugs reproduce the layout
+bug patterns the paper reports:
+
+* a broadcasting ``Add`` whose other operand has lower rank cannot adapt the
+  packed layout, but the buggy pass pushes the layout past it anyway;
+* a ``Slice`` over the channel axis with stride greater than one crashes the
+  layout rewriter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compilers.deepc.ir import DGraph
+from repro.compilers.deepc.passes import DeepCPass, DeepCPassContext
+from repro.errors import TransformationError
+from repro.graph.node import Node
+from repro.graph.tensor_type import TensorType
+from repro.ops.registry import OpCategory
+
+
+def packed_type(ttype: TensorType) -> TensorType:
+    """The NCHW4c type corresponding to an NCHW tensor type."""
+    batch, channels, height, width = ttype.shape
+    return TensorType((batch, channels // 4, height, width, 4), ttype.dtype)
+
+
+class AlterConvLayout(DeepCPass):
+    """Rewrite eligible Conv2d nodes to the packed NCHW4c layout."""
+
+    def run(self, graph: DGraph, ctx: DeepCPassContext) -> bool:
+        changed = False
+        for node in list(graph.nodes):
+            if node.op != "Conv2d":
+                continue
+            input_type = graph.type_of(node.inputs[0])
+            output_type = graph.type_of(node.outputs[0])
+            if input_type.shape[1] % 4 != 0 or output_type.shape[1] % 4 != 0:
+                continue
+            self._check_consumers(graph, node, ctx)
+            self._rewrite_conv(graph, node)
+            changed = True
+        return changed
+
+    # ------------------------------------------------------------------ #
+    def _check_consumers(self, graph: DGraph, conv: Node, ctx: DeepCPassContext) -> None:
+        """Layout analysis of the operators downstream of a packed Conv2d."""
+        consumers = graph.consumer_map().get(conv.outputs[0], [])
+        for consumer in consumers:
+            kind = graph.pattern_kind(consumer)
+            if consumer.op == "Slice":
+                axes = [int(a) for a in consumer.attrs.get(
+                    "axes", range(len(consumer.attrs.get("starts", []))))]
+                steps = [int(s) for s in consumer.attrs.get(
+                    "steps", [1] * len(axes))]
+                channel_strided = any(axis == 1 and step > 1
+                                      for axis, step in zip(axes, steps))
+                if channel_strided and ctx.bugs.enabled("deepc-layout-conv-slice-stride"):
+                    ctx.record_bug("deepc-layout-conv-slice-stride")
+                    raise TransformationError(
+                        "[deepc-layout-conv-slice-stride] cannot adapt strided "
+                        "channel Slice to the NCHW4c layout")
+            if kind is OpCategory.broadcast and consumer.op in ("Add", "Sub", "Mul",
+                                                                "Div", "Max", "Min"):
+                other = next((name for name in consumer.inputs
+                              if name != conv.outputs[0]), None)
+                if other is None:
+                    continue
+                other_rank = graph.type_of(other).rank
+                if other_rank not in (0, 4) and \
+                        ctx.bugs.enabled("deepc-layout-broadcast-add"):
+                    # BUG: the packed layout is pushed past a broadcasting
+                    # elementwise op whose other operand cannot be packed.
+                    ctx.record_bug("deepc-layout-broadcast-add")
+                    raise TransformationError(
+                        "[deepc-layout-broadcast-add] layout analysis failed "
+                        "to adapt a lower-rank broadcast operand to NCHW4c")
+
+    def _rewrite_conv(self, graph: DGraph, conv: Node) -> None:
+        """Insert pack/unpack nodes around the convolution and retag it."""
+        input_name = conv.inputs[0]
+        input_type = graph.type_of(input_name)
+        output_name = conv.outputs[0]
+        output_type = graph.type_of(output_name)
+
+        packed_in = graph.fresh_value_name("packed_in")
+        graph.value_types[packed_in] = packed_type(input_type)
+        pack = Node("LayoutPack4c", graph.fresh_node_name("layout_pack"),
+                    [input_name], [packed_in], {})
+        packed_out = graph.fresh_value_name("packed_out")
+        graph.value_types[packed_out] = packed_type(output_type)
+
+        conv.op = "Conv2dNCHW4c"
+        conv.inputs = [packed_in] + conv.inputs[1:]
+        conv.outputs = [packed_out]
+
+        unpack = Node("LayoutUnpack4c", graph.fresh_node_name("layout_unpack"),
+                      [packed_out], [output_name], {})
+
+        index = graph.nodes.index(conv)
+        graph.nodes.insert(index, pack)
+        graph.nodes.insert(index + 2, unpack)
+        graph.layouts[packed_in] = "NCHW4c"
+        graph.layouts[packed_out] = "NCHW4c"
+        graph.annotate(pack, pattern=OpCategory.injective)
+        graph.annotate(unpack, pattern=OpCategory.injective)
+        graph.annotate(conv, pattern=OpCategory.complex_, layout="NCHW4c")

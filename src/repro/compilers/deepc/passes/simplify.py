@@ -1,0 +1,126 @@
+"""Arithmetic simplification and constant folding for DeepC."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compilers.deepc.ir import DGraph
+from repro.compilers.deepc.passes import DeepCPass, DeepCPassContext
+from repro.errors import ExecutionError, TransformationError
+from repro.graph.node import Node
+from repro.ops.semantics import execute_node
+
+
+class SimplifyExpressions(DeepCPass):
+    """Algebraic rewrites on the graph.
+
+    Implements the usual identities (``x+0``, ``x*1``, ``--x``) plus the
+    division/multiplication reassociation whose integer variant carries a
+    seeded semantic bug: ``(x*c)/c`` is rewritten to ``x`` even for integer
+    (truncating) division, mirroring the wrong expression simplification the
+    paper reports in TVM's arithmetic pass.
+    """
+
+    def run(self, graph: DGraph, ctx: DeepCPassContext) -> bool:
+        changed = False
+        producers = graph.producer_map()
+        for node in list(graph.nodes):
+            if node.outputs[0] in graph.outputs:
+                continue
+            target = None
+            if node.op in ("Add", "Sub") and self._is_const_value(graph, node.inputs[1], 0):
+                target = node.inputs[0]
+            elif node.op == "Add" and self._is_const_value(graph, node.inputs[0], 0):
+                target = node.inputs[1]
+            elif node.op == "Mul" and self._is_const_value(graph, node.inputs[1], 1):
+                target = node.inputs[0]
+            elif node.op == "Mul" and self._is_const_value(graph, node.inputs[0], 1):
+                target = node.inputs[1]
+            elif node.op == "Div":
+                target = self._simplify_div(graph, node, producers, ctx)
+            elif node.op == "Neg":
+                upstream = producers.get(node.inputs[0])
+                if upstream is not None and upstream.op == "Neg":
+                    target = upstream.inputs[0]
+            if target is None:
+                continue
+            if graph.type_of(target) != graph.type_of(node.outputs[0]):
+                continue
+            graph.replace_uses(node.outputs[0], target)
+            graph.remove_node(node)
+            producers = graph.producer_map()
+            changed = True
+        if changed:
+            graph.prune_dead_nodes()
+        return changed
+
+    @staticmethod
+    def _is_const_value(graph: DGraph, name: str, value: float) -> bool:
+        array = graph.initializers.get(name)
+        return array is not None and array.size > 0 and bool(np.all(array == value))
+
+    @staticmethod
+    def _simplify_div(graph: DGraph, node: Node, producers, ctx: DeepCPassContext):
+        """Handle ``x/1`` and the (possibly buggy) ``(x*c)/c -> x`` rewrite."""
+        if SimplifyExpressions._is_const_value(graph, node.inputs[1], 1):
+            return node.inputs[0]
+        divisor = graph.initializers.get(node.inputs[1])
+        upstream = producers.get(node.inputs[0])
+        if divisor is None or upstream is None or upstream.op != "Mul":
+            return None
+        multiplier = graph.initializers.get(upstream.inputs[1])
+        source = upstream.inputs[0]
+        if multiplier is None:
+            multiplier = graph.initializers.get(upstream.inputs[0])
+            source = upstream.inputs[1]
+        if multiplier is None or multiplier.shape != divisor.shape:
+            return None
+        if not np.array_equal(multiplier, divisor):
+            return None
+        dtype = graph.type_of(node.outputs[0]).dtype
+        if dtype.is_int:
+            if not ctx.bugs.enabled("deepc-simplify-divmul-int"):
+                # Correct behaviour: integer division truncates, so (x*c)/c is
+                # not equivalent to x when x*c overflows or c divides unevenly
+                # elsewhere in the expression; DeepC conservatively keeps it.
+                return None
+            ctx.record_bug("deepc-simplify-divmul-int")
+        return source if graph.type_of(source) == graph.type_of(node.outputs[0]) else None
+
+
+class FoldConstants(DeepCPass):
+    """Evaluate constant subgraphs at compile time.
+
+    Seeded bug: folding a ``Pad`` with negative (cropping) pad widths raises.
+    """
+
+    max_folded_elements = 1 << 16
+
+    def run(self, graph: DGraph, ctx: DeepCPassContext) -> bool:
+        changed = False
+        for node in list(graph.topological_order()):
+            if node.op == "Split" or not node.inputs:
+                continue
+            if not all(graph.is_constant(name) for name in node.inputs):
+                continue
+            if node.op == "Pad" and ctx.bugs.enabled("deepc-constfold-pad-negative"):
+                pads = [int(p) for p in node.attrs.get("pads", [])]
+                if any(p < 0 for p in pads):
+                    ctx.record_bug("deepc-constfold-pad-negative")
+                    raise TransformationError(
+                        "[deepc-constfold-pad-negative] constant folding does "
+                        "not support negative pad widths")
+            inputs = [graph.initializers[name] for name in node.inputs]
+            try:
+                outputs = execute_node(node, inputs)
+            except ExecutionError:
+                continue
+            if sum(int(np.size(out)) for out in outputs) > self.max_folded_elements:
+                continue
+            for output_name, array in zip(node.outputs, outputs):
+                expected = graph.type_of(output_name)
+                graph.initializers[output_name] = np.asarray(
+                    array, dtype=expected.dtype.numpy)
+            graph.remove_node(node)
+            changed = True
+        return changed

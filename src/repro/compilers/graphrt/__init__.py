@@ -1,0 +1,5 @@
+"""GraphRT: the ONNXRuntime analogue (graph-optimizing DNN runtime)."""
+
+from repro.compilers.graphrt.compiler import GraphRTCompiler, GraphRTExecutable
+
+__all__ = ["GraphRTCompiler", "GraphRTExecutable"]

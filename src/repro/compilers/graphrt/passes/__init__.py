@@ -1,0 +1,87 @@
+"""Pass framework and default pipeline of the GraphRT compiler.
+
+GraphRT mirrors ONNXRuntime's architecture: a large collection of
+*pattern-specific* graph rewrites (fusions, eliminations, foldings) applied
+to the imported graph, after which the optimized graph is executed by a
+kernel-dispatch runtime (no code generation).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.compilers.bugs import BugConfig
+from repro.graph.model import Model
+
+
+@dataclass
+class PassContext:
+    """State shared by the passes of one compilation."""
+
+    bugs: BugConfig = field(default_factory=BugConfig.none)
+    opt_level: int = 2
+    #: Seeded bugs whose buggy path actually executed during this compilation.
+    triggered_bugs: List[str] = field(default_factory=list)
+    #: Names of passes that modified the graph.
+    modified_by: List[str] = field(default_factory=list)
+
+    def record_bug(self, bug_id: str) -> None:
+        if bug_id not in self.triggered_bugs:
+            self.triggered_bugs.append(bug_id)
+
+
+class GraphPass(abc.ABC):
+    """One graph-rewriting pass.
+
+    Passes mutate the model in place and return True when they changed it.
+    """
+
+    #: Minimum optimization level at which this pass runs.
+    min_opt_level: int = 1
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @abc.abstractmethod
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        """Apply the pass; return True if the model was modified."""
+
+
+def default_pipeline() -> List[GraphPass]:
+    """The standard GraphRT optimization pipeline, in application order."""
+    from repro.compilers.graphrt.passes import cleanup, folding, fusion, reorder
+
+    return [
+        cleanup.EliminateIdentity(),
+        cleanup.EliminateCast(),
+        folding.ConstantFolding(),
+        folding.ArithmeticSimplification(),
+        folding.PowToMul(),
+        reorder.TransposeElimination(),
+        reorder.ReshapeMerge(),
+        reorder.SliceMerge(),
+        reorder.PadConvFusion(),
+        fusion.MatMulScaleFusion(),
+        fusion.GemmFusion(),
+        fusion.ReluClipFusion(),
+        fusion.BiasSoftmaxFusion(),
+        fusion.ConvBatchNormFolding(),
+        cleanup.CommonSubexpressionElimination(),
+        cleanup.DeadCodeElimination(),
+    ]
+
+
+def run_pipeline(model: Model, ctx: PassContext) -> List[str]:
+    """Run every applicable pass once; returns the names of applied passes."""
+    applied: List[str] = []
+    for graph_pass in default_pipeline():
+        if ctx.opt_level < graph_pass.min_opt_level:
+            continue
+        changed = graph_pass.run(model, ctx)
+        applied.append(graph_pass.name)
+        if changed:
+            ctx.modified_by.append(graph_pass.name)
+    return applied

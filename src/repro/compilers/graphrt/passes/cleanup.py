@@ -1,0 +1,96 @@
+"""Cleanup passes: identity/cast elimination, CSE, dead-code elimination."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.compilers.graphrt.passes import GraphPass, PassContext
+from repro.dtypes import DType
+from repro.graph.model import Model
+
+
+class EliminateIdentity(GraphPass):
+    """Remove Identity and inference-mode Dropout nodes."""
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        changed = False
+        for node in list(model.nodes):
+            if node.op not in ("Identity", "Dropout"):
+                continue
+            source = node.inputs[0]
+            target = node.outputs[0]
+            if target in model.outputs:
+                # Graph output names are part of the model's interface and
+                # must be preserved.
+                continue
+            model.replace_uses(target, source)
+            model.remove_node(node)
+            changed = True
+        return changed
+
+
+class EliminateCast(GraphPass):
+    """Remove no-op casts and collapse cast chains."""
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        changed = False
+        producers = model.producer_map()
+        for node in list(model.nodes):
+            if node.op != "Cast":
+                continue
+            input_type = model.type_of(node.inputs[0])
+            target = DType.from_str(node.attrs["to"])
+            if input_type.dtype == target and node.outputs[0] not in model.outputs:
+                # Cast to the same dtype is the identity.
+                model.replace_uses(node.outputs[0], node.inputs[0])
+                model.remove_node(node)
+                changed = True
+                continue
+            upstream = producers.get(node.inputs[0])
+            if upstream is not None and upstream.op == "Cast":
+                intermediate = DType.from_str(upstream.attrs["to"])
+                if intermediate.is_float and target.is_float:
+                    # float->float->float chains collapse to a single cast.
+                    node.inputs[0] = upstream.inputs[0]
+                    changed = True
+        if changed:
+            model.prune_dead_nodes()
+        return changed
+
+
+class CommonSubexpressionElimination(GraphPass):
+    """Merge structurally identical nodes with identical inputs."""
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        changed = False
+        seen: Dict[str, str] = {}
+        for node in list(model.topological_order()):
+            if node.op in ("Split",):
+                continue
+            key = f"{node.op}|{','.join(node.inputs)}|{node.signature()}"
+            if key in seen:
+                existing_output = seen[key]
+                if node.outputs[0] in model.outputs:
+                    continue
+                model.replace_uses(node.outputs[0], existing_output)
+                model.remove_node(node)
+                changed = True
+            else:
+                seen[key] = node.outputs[0]
+        return changed
+
+
+class DeadCodeElimination(GraphPass):
+    """Drop nodes whose results never reach a graph output."""
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        live = set(model.outputs)
+        changed_any = False
+        # Walk backwards: a node is live if any output feeds a live value.
+        for node in reversed(model.topological_order()):
+            if any(output in live for output in node.outputs):
+                live.update(node.inputs)
+            else:
+                model.remove_node(node)
+                changed_any = True
+        return changed_any

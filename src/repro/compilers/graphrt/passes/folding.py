@@ -1,0 +1,121 @@
+"""Folding and algebraic simplification passes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compilers.graphrt.passes import GraphPass, PassContext
+from repro.errors import ExecutionError, TransformationError
+from repro.graph.model import Model
+from repro.graph.node import Node
+from repro.ops.semantics import execute_node
+
+
+class ConstantFolding(GraphPass):
+    """Evaluate nodes whose inputs are all initializers at compile time."""
+
+    #: Folding very large constants is not worth the model-size increase.
+    max_folded_elements = 1 << 16
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        changed = False
+        for node in list(model.topological_order()):
+            if node.op in ("Split",):
+                continue
+            if not node.inputs:
+                continue
+            if not all(model.is_constant(name) for name in node.inputs):
+                continue
+            if node.op == "Pow" and ctx.bugs.enabled("graphrt-constfold-pow-overflow"):
+                exponent = model.initializers[node.inputs[1]]
+                if np.size(exponent) > 0 and float(np.max(np.abs(exponent))) >= 16:
+                    ctx.record_bug("graphrt-constfold-pow-overflow")
+                    raise TransformationError(
+                        "[graphrt-constfold-pow-overflow] constant folding "
+                        "overflowed while evaluating Pow")
+            inputs = [model.initializers[name] for name in node.inputs]
+            try:
+                outputs = execute_node(node, inputs)
+            except ExecutionError:
+                continue
+            if sum(int(np.size(out)) for out in outputs) > self.max_folded_elements:
+                continue
+            for output_name, array in zip(node.outputs, outputs):
+                if output_name in model.initializers:
+                    continue
+                expected = model.type_of(output_name)
+                model.initializers[output_name] = np.asarray(
+                    array, dtype=expected.dtype.numpy)
+            model.remove_node(node)
+            # Re-declare the folded outputs so type bookkeeping stays intact.
+            for output_name, array in zip(node.outputs, outputs):
+                if output_name not in model.value_types:
+                    from repro.dtypes import DType
+                    from repro.graph.tensor_type import TensorType
+                    model.value_types[output_name] = TensorType(
+                        array.shape, DType.from_numpy(array.dtype))
+            changed = True
+        return changed
+
+
+class ArithmeticSimplification(GraphPass):
+    """Remove arithmetic no-ops: ``x+0``, ``x-0``, ``x*1``, ``x/1``."""
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        changed = False
+        for node in list(model.nodes):
+            if node.outputs[0] in model.outputs:
+                continue
+            replacement = self._simplify(model, node)
+            if replacement is None:
+                continue
+            if model.type_of(replacement) != model.type_of(node.outputs[0]):
+                # Dropping the node would change the output type (e.g. the
+                # constant operand broadcasts x up); not a no-op after all.
+                continue
+            model.replace_uses(node.outputs[0], replacement)
+            model.remove_node(node)
+            changed = True
+        if changed:
+            model.prune_dead_nodes()
+        return changed
+
+    @staticmethod
+    def _simplify(model: Model, node: Node):
+        if node.op not in ("Add", "Sub", "Mul", "Div"):
+            return None
+        lhs, rhs = node.inputs
+        rhs_const = model.initializers.get(rhs)
+        lhs_const = model.initializers.get(lhs)
+        if node.op in ("Add", "Sub") and rhs_const is not None and np.all(rhs_const == 0):
+            return lhs
+        if node.op == "Add" and lhs_const is not None and np.all(lhs_const == 0):
+            return rhs
+        if node.op in ("Mul", "Div") and rhs_const is not None and np.all(rhs_const == 1):
+            return lhs
+        if node.op == "Mul" and lhs_const is not None and np.all(lhs_const == 1):
+            return rhs
+        return None
+
+
+class PowToMul(GraphPass):
+    """Rewrite ``Pow(x, 2)`` with a constant exponent into ``Mul(x, x)``."""
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        changed = False
+        for node in model.nodes:
+            if node.op != "Pow":
+                continue
+            exponent = model.initializers.get(node.inputs[1])
+            if exponent is None or np.size(exponent) != 1:
+                continue
+            if float(np.asarray(exponent).reshape(-1)[0]) != 2.0:
+                continue
+            if model.type_of(node.inputs[0]) != model.type_of(node.outputs[0]):
+                # Pow promotes integer inputs to float; Mul would not.
+                continue
+            node.op = "Mul"
+            node.inputs = [node.inputs[0], node.inputs[0]]
+            node.attrs = {}
+            changed = True
+        return changed

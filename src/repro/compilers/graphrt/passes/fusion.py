@@ -1,0 +1,255 @@
+"""Operator-fusion passes of GraphRT.
+
+These mirror ONNXRuntime's pattern-specific fusions; several carry seeded
+bugs whose trigger conditions follow the bug patterns reported in §5.4 of
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compilers.graphrt.passes import GraphPass, PassContext
+from repro.dtypes import DType
+from repro.errors import TransformationError
+from repro.graph.model import Model
+from repro.graph.node import Node
+from repro.graph.tensor_type import TensorType
+
+
+def _single_consumer(model: Model, value: str) -> Optional[Node]:
+    consumers = model.consumer_map().get(value, [])
+    if len(consumers) == 1 and value not in model.outputs:
+        return consumers[0]
+    return None
+
+
+class MatMulScaleFusion(GraphPass):
+    """Hoist scalar scales out of MatMul operands.
+
+    ``(sa*A) @ (sb*B)`` is rewritten to ``(sa*sb) * (A @ B)``, saving one
+    full-tensor multiplication.  Seeded bug: a 1x1 matrix operand is mistaken
+    for a scalar, producing an illegal rewrite (compiler exception), like the
+    FuseMatMulScale bug the paper found in ONNXRuntime.
+    """
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        changed = False
+        producers = model.producer_map()
+        for node in list(model.nodes):
+            if node.op != "MatMul":
+                continue
+            scale_value = 1.0
+            new_inputs = list(node.inputs)
+            matched = False
+            for index, operand in enumerate(node.inputs):
+                producer = producers.get(operand)
+                if producer is None or producer.op != "Mul":
+                    continue
+                scalar_name = None
+                tensor_name = None
+                for mul_input in producer.inputs:
+                    if model.is_constant(mul_input) and \
+                            model.type_of(mul_input).numel == 1:
+                        scalar_name = mul_input
+                    else:
+                        tensor_name = mul_input
+                if scalar_name is None or tensor_name is None:
+                    continue
+                if _single_consumer(model, operand) is not node:
+                    continue
+                other = node.inputs[1 - index]
+                other_type = model.type_of(other)
+                if ctx.bugs.enabled("graphrt-fuse-matmul-scale-1x1") and \
+                        other_type.rank == 2 and other_type.numel == 1:
+                    ctx.record_bug("graphrt-fuse-matmul-scale-1x1")
+                    raise TransformationError(
+                        "[graphrt-fuse-matmul-scale-1x1] FuseMatMulScale "
+                        "rewrote a 1x1 matrix operand as a scalar, producing "
+                        "an illegal MatMul")
+                if model.type_of(tensor_name).dtype != model.type_of(operand).dtype:
+                    continue
+                scale_value *= float(np.asarray(
+                    model.initializers[scalar_name]).reshape(-1)[0])
+                new_inputs[index] = tensor_name
+                matched = True
+            if not matched:
+                continue
+            output = node.outputs[0]
+            output_type = model.type_of(output)
+            matmul_value = model.fresh_value_name("fused_matmul")
+            model.value_types[matmul_value] = output_type
+            node.inputs = new_inputs
+            node.outputs = [matmul_value]
+            scale_name = model.fresh_value_name("fused_scale")
+            model.add_initializer(
+                scale_name, np.asarray(scale_value, dtype=output_type.dtype.numpy))
+            scale_node = Node("Mul", model.fresh_node_name("matmul_scale"),
+                              [matmul_value, scale_name], [output], {})
+            model.nodes.append(scale_node)
+            model.prune_dead_nodes()
+            producers = model.producer_map()
+            changed = True
+        return changed
+
+
+class GemmFusion(GraphPass):
+    """Fuse ``MatMul`` followed by ``Add`` into a single ``Gemm``.
+
+    Seeded bug: when the addend broadcasts as a scalar the buggy path fuses
+    anyway and silently drops it, changing results.
+    """
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        changed = False
+        for node in list(model.nodes):
+            if node.op != "MatMul":
+                continue
+            lhs_type = model.type_of(node.inputs[0])
+            rhs_type = model.type_of(node.inputs[1])
+            if lhs_type.rank != 2 or rhs_type.rank != 2:
+                continue
+            consumer = _single_consumer(model, node.outputs[0])
+            if consumer is None or consumer.op != "Add":
+                continue
+            addend = next((name for name in consumer.inputs
+                           if name != node.outputs[0]), None)
+            if addend is None:
+                continue
+            addend_type = model.type_of(addend)
+            columns = rhs_type.shape[1]
+            fuse_correct = addend_type.shape in ((columns,), (1, columns))
+            fuse_buggy = (ctx.bugs.enabled("graphrt-gemm-fusion-bias-broadcast")
+                          and addend_type.numel == 1)
+            if not fuse_correct and not fuse_buggy:
+                continue
+            if addend_type.dtype != model.type_of(consumer.outputs[0]).dtype:
+                continue
+            gemm_inputs = [node.inputs[0], node.inputs[1]]
+            if fuse_correct:
+                bias = addend
+                if addend_type.shape == (1, columns):
+                    bias = model.fresh_value_name("gemm_bias")
+                    if model.is_constant(addend):
+                        model.add_initializer(
+                            bias, model.initializers[addend].reshape(columns))
+                    else:
+                        reshape = Node("Reshape", model.fresh_node_name("gemm_bias_reshape"),
+                                       [addend], [bias], {"shape": [columns]})
+                        model.value_types[bias] = TensorType(
+                            (columns,), addend_type.dtype)
+                        model.nodes.append(reshape)
+                    if bias not in model.value_types:
+                        model.value_types[bias] = TensorType(
+                            (columns,), addend_type.dtype)
+                gemm_inputs.append(bias)
+            else:
+                # Buggy: the scalar addend is dropped entirely.
+                ctx.record_bug("graphrt-gemm-fusion-bias-broadcast")
+            gemm = Node("Gemm", model.fresh_node_name("gemm"), gemm_inputs,
+                        [consumer.outputs[0]], {})
+            model.nodes.append(gemm)
+            model.remove_node(consumer)
+            model.remove_node(node)
+            model.prune_dead_nodes()
+            changed = True
+        return changed
+
+
+class ReluClipFusion(GraphPass):
+    """Fuse ``Relu`` followed by ``Clip`` into a single ``Clip``.
+
+    Seeded bug: for double-precision tensors the fused Clip keeps the
+    original (possibly negative) lower bound instead of raising it to zero.
+    """
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        changed = False
+        for node in list(model.nodes):
+            if node.op != "Relu":
+                continue
+            consumer = _single_consumer(model, node.outputs[0])
+            if consumer is None or consumer.op != "Clip":
+                continue
+            dtype = model.type_of(node.inputs[0]).dtype
+            low = consumer.attrs.get("min")
+            high = consumer.attrs.get("max")
+            if ctx.bugs.enabled("graphrt-relu-clip-fusion-f64") and dtype == DType.float64:
+                fused_min = low  # BUG: forgets to clamp the lower bound at 0.
+                ctx.record_bug("graphrt-relu-clip-fusion-f64")
+            else:
+                fused_min = 0.0 if low is None else max(0.0, float(low))
+            consumer.inputs = [node.inputs[0]]
+            consumer.attrs["min"] = fused_min
+            consumer.attrs["max"] = high
+            model.remove_node(node)
+            model.prune_dead_nodes()
+            changed = True
+        return changed
+
+
+class BiasSoftmaxFusion(GraphPass):
+    """Fuse ``Add`` followed by ``Softmax`` into the internal BiasSoftmax op."""
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        changed = False
+        for node in list(model.nodes):
+            if node.op != "Add":
+                continue
+            consumer = _single_consumer(model, node.outputs[0])
+            if consumer is None or consumer.op != "Softmax":
+                continue
+            lhs, rhs = model.type_of(node.inputs[0]), model.type_of(node.inputs[1])
+            if lhs.shape != model.type_of(node.outputs[0]).shape:
+                continue
+            fused = Node("BiasSoftmax", model.fresh_node_name("bias_softmax"),
+                         list(node.inputs), [consumer.outputs[0]],
+                         {"axis": int(consumer.attrs.get("axis", -1))})
+            model.nodes.append(fused)
+            model.remove_node(consumer)
+            model.remove_node(node)
+            model.prune_dead_nodes()
+            changed = True
+        return changed
+
+
+class ConvBatchNormFolding(GraphPass):
+    """Fold an inference-mode BatchNorm into the preceding Conv2d weights."""
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        changed = False
+        for node in list(model.nodes):
+            if node.op != "Conv2d":
+                continue
+            if not model.is_constant(node.inputs[1]):
+                continue
+            consumer = _single_consumer(model, node.outputs[0])
+            if consumer is None or consumer.op != "BatchNorm":
+                continue
+            param_names = consumer.inputs[1:]
+            if not all(model.is_constant(name) for name in param_names):
+                continue
+            scale, bias, mean, var = (model.initializers[name] for name in param_names)
+            epsilon = float(consumer.attrs.get("epsilon", 1e-5))
+            weight = model.initializers[node.inputs[1]].astype(np.float64)
+            factor = scale.astype(np.float64) / np.sqrt(var.astype(np.float64) + epsilon)
+            folded_weight = weight * factor.reshape(-1, 1, 1, 1)
+            conv_bias = np.zeros(weight.shape[0], dtype=np.float64)
+            if len(node.inputs) > 2 and model.is_constant(node.inputs[2]):
+                conv_bias = model.initializers[node.inputs[2]].astype(np.float64)
+            folded_bias = (conv_bias - mean.astype(np.float64)) * factor + \
+                bias.astype(np.float64)
+            weight_dtype = model.initializers[node.inputs[1]].dtype
+            new_weight = model.fresh_value_name("folded_conv_w")
+            new_bias = model.fresh_value_name("folded_conv_b")
+            model.add_initializer(new_weight, folded_weight.astype(weight_dtype))
+            model.add_initializer(new_bias, folded_bias.astype(
+                model.type_of(consumer.outputs[0]).dtype.numpy))
+            node.inputs = [node.inputs[0], new_weight, new_bias]
+            node.outputs = [consumer.outputs[0]]
+            model.remove_node(consumer)
+            model.prune_dead_nodes()
+            changed = True
+        return changed

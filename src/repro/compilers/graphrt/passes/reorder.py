@@ -1,0 +1,172 @@
+"""Data-movement simplification passes: transposes, reshapes, slices, pads."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compilers.graphrt.passes import GraphPass, PassContext
+from repro.errors import TransformationError
+from repro.graph.model import Model
+from repro.graph.node import Node
+
+
+def _only_consumer(model: Model, value: str) -> Optional[Node]:
+    consumers = model.consumer_map().get(value, [])
+    if len(consumers) == 1 and value not in model.outputs:
+        return consumers[0]
+    return None
+
+
+class TransposeElimination(GraphPass):
+    """Collapse back-to-back Transpose nodes.
+
+    The correct rewrite composes the two permutations (and removes both when
+    the composition is the identity).  Seeded bug: both transposes are
+    removed without checking the composed permutation.
+    """
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        changed = False
+        producers = model.producer_map()
+        for node in list(model.nodes):
+            if node.op != "Transpose" or node.outputs[0] in model.outputs:
+                continue
+            upstream = producers.get(node.inputs[0])
+            if upstream is None or upstream.op != "Transpose":
+                continue
+            if _only_consumer(model, upstream.outputs[0]) is not node:
+                continue
+            source = upstream.inputs[0]
+            rank = model.type_of(source).rank
+            inner = [int(p) for p in upstream.attrs.get("perm", range(rank)[::-1])]
+            outer = [int(p) for p in node.attrs.get("perm", range(rank)[::-1])]
+            composed = [inner[p] for p in outer]
+            if ctx.bugs.enabled("graphrt-transpose-elimination-perm"):
+                ctx.record_bug("graphrt-transpose-elimination-perm")
+                # BUG: assumes the pair always cancels.
+                model.replace_uses(node.outputs[0], source)
+                model.remove_node(node)
+                model.remove_node(upstream)
+                model.prune_dead_nodes()
+                producers = model.producer_map()
+                changed = True
+                continue
+            if composed == list(range(rank)):
+                if model.type_of(source) == model.type_of(node.outputs[0]):
+                    model.replace_uses(node.outputs[0], source)
+                    model.remove_node(node)
+                    model.remove_node(upstream)
+            else:
+                node.inputs = [source]
+                node.attrs["perm"] = composed
+                model.remove_node(upstream)
+            model.prune_dead_nodes()
+            producers = model.producer_map()
+            changed = True
+        return changed
+
+
+class ReshapeMerge(GraphPass):
+    """Collapse Reshape chains into the last reshape."""
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        changed = False
+        producers = model.producer_map()
+        for node in list(model.nodes):
+            if node.op != "Reshape":
+                continue
+            upstream = producers.get(node.inputs[0])
+            if upstream is None or upstream.op != "Reshape":
+                continue
+            if _only_consumer(model, upstream.outputs[0]) is not node:
+                continue
+            node.inputs = [upstream.inputs[0]]
+            model.remove_node(upstream)
+            model.prune_dead_nodes()
+            producers = model.producer_map()
+            changed = True
+        return changed
+
+
+class SliceMerge(GraphPass):
+    """Merge back-to-back Slice nodes over disjoint axes.
+
+    Seeded bug: the merge asserts every step is one and raises otherwise.
+    """
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        changed = False
+        producers = model.producer_map()
+        for node in list(model.nodes):
+            if node.op != "Slice":
+                continue
+            upstream = producers.get(node.inputs[0])
+            if upstream is None or upstream.op != "Slice":
+                continue
+            if _only_consumer(model, upstream.outputs[0]) is not node:
+                continue
+            up_axes = [int(a) for a in upstream.attrs.get(
+                "axes", range(len(upstream.attrs["starts"])))]
+            down_axes = [int(a) for a in node.attrs.get(
+                "axes", range(len(node.attrs["starts"])))]
+            if set(up_axes) & set(down_axes):
+                continue
+            up_steps = [int(s) for s in upstream.attrs.get("steps", [1] * len(up_axes))]
+            down_steps = [int(s) for s in node.attrs.get("steps", [1] * len(down_axes))]
+            if ctx.bugs.enabled("graphrt-slice-merge-negative-step") and \
+                    any(step != 1 for step in up_steps + down_steps):
+                ctx.record_bug("graphrt-slice-merge-negative-step")
+                raise TransformationError(
+                    "[graphrt-slice-merge-negative-step] slice merge requires "
+                    "unit steps")
+            node.attrs["starts"] = [int(v) for v in upstream.attrs["starts"]] + \
+                [int(v) for v in node.attrs["starts"]]
+            node.attrs["ends"] = [int(v) for v in upstream.attrs["ends"]] + \
+                [int(v) for v in node.attrs["ends"]]
+            node.attrs["axes"] = up_axes + down_axes
+            node.attrs["steps"] = up_steps + down_steps
+            node.inputs = [upstream.inputs[0]]
+            model.remove_node(upstream)
+            model.prune_dead_nodes()
+            producers = model.producer_map()
+            changed = True
+        return changed
+
+
+class PadConvFusion(GraphPass):
+    """Fold a zero-valued constant Pad over H/W into the Conv2d padding attr."""
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        changed = False
+        for node in list(model.nodes):
+            if node.op != "Pad":
+                continue
+            if node.attrs.get("mode", "constant") != "constant":
+                continue
+            if float(node.attrs.get("value", 0)) != 0.0:
+                continue
+            input_type = model.type_of(node.inputs[0])
+            if input_type.rank != 4:
+                continue
+            pads = [int(p) for p in node.attrs["pads"]]
+            before, after = pads[:4], pads[4:]
+            if before[0] or before[1] or after[0] or after[1]:
+                continue
+            if before[2] != after[2] or before[3] != after[3] or before[2] != before[3]:
+                continue
+            amount = before[2]
+            if amount <= 0:
+                continue
+            consumer = _only_consumer(model, node.outputs[0])
+            if consumer is None or consumer.op != "Conv2d":
+                continue
+            if consumer.inputs[0] != node.outputs[0]:
+                continue
+            consumer.attrs["padding"] = int(consumer.attrs.get("padding", 0)) + amount
+            consumer.inputs[0] = node.inputs[0]
+            model.remove_node(node)
+            model.prune_dead_nodes()
+            changed = True
+        return changed

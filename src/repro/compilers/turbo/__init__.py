@@ -1,0 +1,5 @@
+"""Turbo: the TensorRT analogue (closed-source stand-in; bug counting only)."""
+
+from repro.compilers.turbo.compiler import TurboCompiler, TurboEngine
+
+__all__ = ["TurboCompiler", "TurboEngine"]

@@ -1,0 +1,45 @@
+"""NNSmith's core: specifications, generation, value search, differential testing."""
+
+from repro.core.abstract import AbsTensor
+from repro.core.binning import apply_attribute_binning
+from repro.core.concretize import GeneratedModel, concretize
+from repro.core.difftest import CaseResult, CompilerVerdict, DifferentialTester, compare_outputs
+from repro.core.fuzzer import BugReport, CampaignResult, Fuzzer, FuzzerConfig
+from repro.core.generator import GeneratorConfig, GraphGenerator, SymbolicGraph, generate_model
+from repro.core.op_spec import AbsOpBase, SpecContext
+from repro.core.oplib import ALL_SPECS, DEFAULT_OP_POOL, SPEC_BY_KIND, specs_for_ops
+from repro.core.value_search import (
+    SearchResult,
+    gradient_search,
+    sampling_search,
+    search_values,
+)
+
+__all__ = [
+    "ALL_SPECS",
+    "AbsOpBase",
+    "AbsTensor",
+    "BugReport",
+    "CampaignResult",
+    "CaseResult",
+    "CompilerVerdict",
+    "DEFAULT_OP_POOL",
+    "DifferentialTester",
+    "Fuzzer",
+    "FuzzerConfig",
+    "GeneratedModel",
+    "GeneratorConfig",
+    "GraphGenerator",
+    "SPEC_BY_KIND",
+    "SearchResult",
+    "SpecContext",
+    "SymbolicGraph",
+    "apply_attribute_binning",
+    "compare_outputs",
+    "concretize",
+    "generate_model",
+    "gradient_search",
+    "sampling_search",
+    "search_values",
+    "specs_for_ops",
+]

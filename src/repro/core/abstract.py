@@ -1,0 +1,86 @@
+"""Abstract tensors: symbolic shapes attached to concrete dtypes and ranks.
+
+Operator specifications (§3.1) describe their inputs and outputs with
+*abstract tensors*: the data type and rank are concrete, while each dimension
+is a symbolic integer expression resolved by the constraint solver during
+graph generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.dtypes import DType
+from repro.graph.tensor_type import TensorType
+from repro.solver.constraints import Constraint
+from repro.solver.expr import Expr, ExprLike, product, to_expr
+
+
+@dataclass
+class AbsTensor:
+    """A tensor whose shape may contain symbolic dimensions."""
+
+    dtype: DType
+    dims: List[Expr]
+
+    def __init__(self, dtype: DType, dims: Sequence[ExprLike]) -> None:
+        self.dtype = dtype
+        self.dims = [to_expr(d) for d in dims]
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    def numel(self) -> Expr:
+        """Symbolic element count."""
+        return product(self.dims)
+
+    def positive_constraints(self) -> List[Constraint]:
+        """Every dimension must be at least one."""
+        return [dim >= 1 for dim in self.dims]
+
+    def same_shape_as(self, other: "AbsTensor") -> List[Constraint]:
+        """Equality constraints between this shape and another of equal rank."""
+        if self.rank != other.rank:
+            raise ValueError(
+                f"rank mismatch: {self.rank} vs {other.rank}")
+        return [mine == theirs for mine, theirs in zip(self.dims, other.dims)]
+
+    def concretize(self, assignment) -> TensorType:
+        """Evaluate the symbolic dims under a solver model."""
+        shape = [dim.evaluate(assignment) for dim in self.dims]
+        return TensorType(shape, self.dtype)
+
+    def __repr__(self) -> str:
+        dims = ", ".join(repr(d) for d in self.dims)
+        return f"AbsTensor({self.dtype}, [{dims}])"
+
+
+def broadcast_dims(lhs: AbsTensor, rhs: AbsTensor) -> "tuple[List[Expr], List[Constraint]]":
+    """Symbolic numpy broadcasting of two abstract shapes.
+
+    Returns the broadcast output dims along with the constraints that make
+    the two shapes broadcast-compatible.  For every aligned dimension pair
+    the constraint is the disjunction ``a == b  or  a == 1  or  b == 1`` and
+    the output dimension is ``max(a, b)``.
+    """
+    from repro.solver.constraints import Or
+    from repro.solver.expr import sym_max
+
+    rank = max(lhs.rank, rhs.rank)
+    out_dims: List[Expr] = []
+    constraints: List[Constraint] = []
+    for position in range(rank):
+        left_index = lhs.rank - rank + position
+        right_index = rhs.rank - rank + position
+        if left_index < 0:
+            out_dims.append(rhs.dims[right_index])
+        elif right_index < 0:
+            out_dims.append(lhs.dims[left_index])
+        else:
+            a = lhs.dims[left_index]
+            b = rhs.dims[right_index]
+            constraints.append(Or([a == b, a == 1, b == 1]))
+            out_dims.append(sym_max(a, b))
+    return out_dims, constraints

@@ -1,0 +1,107 @@
+"""Concretization: symbolic graph + solver model -> interchange model.
+
+The original NNSmith materializes its symbolic graph as PyTorch functors and
+exports them to ONNX; here the solver's satisfying assignment is evaluated
+into concrete shapes/attributes and the result is emitted directly as a
+:class:`repro.graph.model.Model`.  Remaining placeholders become graph inputs
+or weights (constant initializers), preserving the multi-input / multi-output
+structure the generator built.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.generator import SymbolicGraph, SymNode, SymValue
+from repro.dtypes import DType
+from repro.errors import GenerationError
+from repro.graph.model import Model
+from repro.graph.tensor_type import TensorType
+from repro.solver.solver import Solver
+
+
+@dataclass
+class GeneratedModel:
+    """A concretized model plus generation metadata."""
+
+    model: Model
+    assignment: Dict[str, int]
+    n_nodes: int
+    #: names of placeholder values that became weights
+    weight_names: List[str] = field(default_factory=list)
+    #: names of placeholder values that became graph inputs
+    input_names: List[str] = field(default_factory=list)
+    #: per-node operator instance signatures (used by the Figure 9 metric)
+    op_instances: List[str] = field(default_factory=list)
+
+
+def random_array(ttype: TensorType, rng: random.Random,
+                 low: float = 1.0, high: float = 9.0) -> np.ndarray:
+    """Random tensor data in the paper's default sampling range ``[1, 9]``."""
+    np_rng = np.random.default_rng(rng.randrange(1 << 30))
+    if ttype.dtype.is_float:
+        data = np_rng.uniform(low, high, size=ttype.shape)
+    elif ttype.dtype.is_int:
+        data = np_rng.integers(int(low), int(high), size=ttype.shape)
+    else:
+        data = np_rng.integers(0, 2, size=ttype.shape).astype(bool)
+    return np.asarray(data, dtype=ttype.dtype.numpy)
+
+
+def concretize(graph: SymbolicGraph, rng: random.Random,
+               weight_probability: float = 0.4,
+               model_name: str = "generated") -> GeneratedModel:
+    """Materialize a concrete model from the symbolic graph."""
+    assignment = graph.solver.model()
+
+    model = Model(model_name)
+    weight_names: List[str] = []
+    input_names: List[str] = []
+
+    placeholders = graph.placeholders()
+    if not placeholders:
+        raise GenerationError("symbolic graph has no placeholders left as inputs")
+
+    # Decide which placeholders are runtime inputs and which are weights,
+    # keeping at least one runtime input.
+    forced_input = rng.choice(placeholders)
+    for value in placeholders:
+        ttype = value.tensor.concretize(assignment)
+        if value is not forced_input and rng.random() < weight_probability:
+            model.add_initializer(value.name, random_array(ttype, rng))
+            weight_names.append(value.name)
+        else:
+            model.add_input(value.name, ttype)
+            input_names.append(value.name)
+
+    op_instances: List[str] = []
+    for node in graph.topological_nodes():
+        concrete = _materialize_node(node, assignment)
+        output_types = [value.tensor.concretize(assignment) for value in node.outputs]
+        model.add_node(concrete, output_types)
+        input_sig = ",".join(str(model.type_of(name)) for name in concrete.inputs)
+        op_instances.append(f"{concrete.signature()}|{input_sig}")
+
+    for value in graph.leaf_values():
+        model.mark_output(value.name)
+    if not model.outputs:
+        raise GenerationError("generated model has no outputs")
+
+    return GeneratedModel(
+        model=model,
+        assignment=assignment,
+        n_nodes=len(model.nodes),
+        weight_names=weight_names,
+        input_names=input_names,
+        op_instances=op_instances,
+    )
+
+
+def _materialize_node(node: SymNode, assignment: Dict[str, int]):
+    input_names = [value.name for value in node.inputs]
+    output_names = [value.name for value in node.outputs]
+    return node.spec.to_node(input_names, output_names, assignment)

@@ -1,0 +1,194 @@
+"""Differential testing of compiled models against the reference oracle.
+
+Follows §4 of the paper:
+
+* the reference interpreter (the "PyTorch" of the repo) runs the *original*
+  generated model and its results are the oracle;
+* each compiler under test imports the *exported* model, compiles it and runs
+  it on the same inputs;
+* a crash anywhere in conversion/compilation/execution is a **crash bug**;
+* an output mismatch beyond a generous floating-point tolerance is a
+  candidate **semantic bug**.  For fault localization the model is then
+  re-compiled at O0: if the unoptimized build agrees with the oracle, the
+  mismatch is attributed to the optimizer (transformation phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.compilers.base import CompileOptions, Compiler
+from repro.compilers.bugs import BugConfig
+from repro.errors import CompilerError, ConversionError, ExecutionError, ReproError
+from repro.graph.model import Model
+from repro.runtime.exporter import ExportReport, export_model
+from repro.runtime.interpreter import Interpreter, random_inputs
+
+#: Output comparison tolerances.  The paper deliberately uses a high error
+#: tolerance to avoid false alarms from valid floating-point reassociation.
+RELATIVE_TOLERANCE = 1e-2
+ABSOLUTE_TOLERANCE = 1e-3
+
+
+def compare_outputs(reference: Mapping[str, np.ndarray],
+                    candidate: Mapping[str, np.ndarray],
+                    rtol: float = RELATIVE_TOLERANCE,
+                    atol: float = ABSOLUTE_TOLERANCE) -> Optional[str]:
+    """Return a mismatch description, or None when the outputs agree."""
+    for name, expected in reference.items():
+        if name not in candidate:
+            return f"output {name!r} missing from compiled results"
+        actual = candidate[name]
+        expected = np.asarray(expected)
+        actual = np.asarray(actual)
+        if tuple(expected.shape) != tuple(actual.shape):
+            return (f"output {name!r} shape mismatch: "
+                    f"{expected.shape} vs {actual.shape}")
+        if expected.dtype.kind == "f" or actual.dtype.kind == "f":
+            close = np.allclose(expected.astype(np.float64),
+                                actual.astype(np.float64),
+                                rtol=rtol, atol=atol, equal_nan=True)
+        else:
+            close = np.array_equal(expected, actual)
+        if not close:
+            diff = _max_difference(expected, actual)
+            return f"output {name!r} value mismatch (max difference {diff:g})"
+    return None
+
+
+def _max_difference(expected: np.ndarray, actual: np.ndarray) -> float:
+    try:
+        delta = np.abs(expected.astype(np.float64) - actual.astype(np.float64))
+        return float(np.nanmax(delta))
+    except (TypeError, ValueError):
+        return float("nan")
+
+
+@dataclass
+class CompilerVerdict:
+    """Differential-testing outcome for one compiler on one test case."""
+
+    compiler: str
+    status: str                      # "ok" | "crash" | "semantic"
+    phase: str = ""                  # "conversion" | "transformation" | "execution" | ""
+    message: str = ""
+    #: Ground-truth seeded bugs whose buggy path executed (compile + export).
+    triggered_bugs: List[str] = field(default_factory=list)
+
+    @property
+    def found_bug(self) -> bool:
+        return self.status in ("crash", "semantic")
+
+    def dedup_key(self) -> str:
+        """Deduplication key mirroring "unique crashes by error message"."""
+        if self.status == "crash":
+            return f"{self.compiler}|crash|{self.message.splitlines()[0][:160]}"
+        return f"{self.compiler}|{self.status}|{self.phase}"
+
+
+@dataclass
+class CaseResult:
+    """Outcome of differential testing for one generated model."""
+
+    model: Model
+    numerically_valid: bool
+    verdicts: List[CompilerVerdict] = field(default_factory=list)
+    exporter_bugs: List[str] = field(default_factory=list)
+
+    @property
+    def found_any_bug(self) -> bool:
+        return any(verdict.found_bug for verdict in self.verdicts)
+
+
+class DifferentialTester:
+    """Runs one generated model through every compiler and compares outputs."""
+
+    def __init__(self, compilers: Sequence[Compiler],
+                 bugs: Optional[BugConfig] = None,
+                 rtol: float = RELATIVE_TOLERANCE,
+                 atol: float = ABSOLUTE_TOLERANCE) -> None:
+        self.compilers = list(compilers)
+        self.bugs = bugs if bugs is not None else BugConfig.all()
+        self.rtol = rtol
+        self.atol = atol
+        self._interpreter = Interpreter(record_intermediates=False)
+
+    # ------------------------------------------------------------------ #
+    def run_case(self, model: Model,
+                 inputs: Optional[Dict[str, np.ndarray]] = None) -> CaseResult:
+        """Differentially test one model (weights are baked into the model)."""
+        if inputs is None:
+            inputs = random_inputs(model, np.random.default_rng(0))
+
+        oracle = self._interpreter.run_detailed(model, inputs)
+        export_report = ExportReport()
+        exported = export_model(model, bugs=self.bugs, report=export_report)
+
+        result = CaseResult(model=model,
+                            numerically_valid=oracle.numerically_valid,
+                            exporter_bugs=list(export_report.triggered_bugs))
+        for compiler in self.compilers:
+            verdict = self._test_compiler(compiler, exported, inputs, oracle.outputs,
+                                          oracle.numerically_valid)
+            verdict.triggered_bugs.extend(
+                bug for bug in export_report.triggered_bugs
+                if bug not in verdict.triggered_bugs)
+            result.verdicts.append(verdict)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _test_compiler(self, compiler: Compiler, exported: Model,
+                       inputs: Dict[str, np.ndarray],
+                       oracle_outputs: Dict[str, np.ndarray],
+                       numerically_valid: bool) -> CompilerVerdict:
+        try:
+            compiled = compiler.compile_model(exported)
+        except ConversionError as exc:
+            return CompilerVerdict(compiler.name, "crash", "conversion", str(exc),
+                                   _bugs_from_error(exc))
+        except CompilerError as exc:
+            return CompilerVerdict(compiler.name, "crash", "transformation", str(exc),
+                                   _bugs_from_error(exc))
+
+        triggered = list(getattr(compiled, "triggered_bugs", []))
+        try:
+            outputs = compiled.run(inputs)
+        except ReproError as exc:
+            return CompilerVerdict(compiler.name, "crash", "execution", str(exc),
+                                   triggered + _bugs_from_error(exc))
+
+        if not numerically_valid:
+            # NaN/Inf reached some operator: results are not comparable
+            # (§2.3, challenge #3) — never raise a semantic alarm here.
+            return CompilerVerdict(compiler.name, "ok", "", "", triggered)
+
+        mismatch = compare_outputs(oracle_outputs, outputs, self.rtol, self.atol)
+        if mismatch is None:
+            return CompilerVerdict(compiler.name, "ok", "", "", triggered)
+
+        phase = self._localize_fault(compiler, exported, inputs, oracle_outputs)
+        return CompilerVerdict(compiler.name, "semantic", phase, mismatch, triggered)
+
+    def _localize_fault(self, compiler: Compiler, exported: Model,
+                        inputs: Dict[str, np.ndarray],
+                        oracle_outputs: Dict[str, np.ndarray]) -> str:
+        """Recompile at O0: if it agrees with the oracle the optimizer is wrong."""
+        unoptimized = type(compiler)(CompileOptions(opt_level=0, bugs=self.bugs))
+        try:
+            compiled = unoptimized.compile_model(exported)
+            outputs = compiled.run(inputs)
+        except ReproError:
+            return "conversion"
+        if compare_outputs(oracle_outputs, outputs, self.rtol, self.atol) is None:
+            return "transformation"
+        return "conversion"
+
+
+def _bugs_from_error(exc: Exception) -> List[str]:
+    """Extract seeded-bug identifiers embedded in crash messages."""
+    import re
+
+    return re.findall(r"\[((?:graphrt|deepc|turbo|exporter)-[a-z0-9-]+)\]", str(exc))

@@ -1,0 +1,206 @@
+"""The end-to-end fuzzing campaign loop.
+
+One iteration = generate a model (Algorithm 1 + 2), search for numerically
+valid inputs/weights (Algorithm 3), then differentially test every compiler
+under test.  The campaign records:
+
+* unique bug reports (deduplicated by crash message / mismatch signature,
+  following §5.1's bug counting) and their ground-truth seeded-bug ids;
+* the operator-instance signatures exercised (Figure 9's diversity metric);
+* per-iteration timing, usable for the coverage/throughput figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.compilers.base import Compiler
+from repro.compilers.bugs import BugConfig
+from repro.core.concretize import GeneratedModel
+from repro.core.difftest import CaseResult, DifferentialTester
+from repro.core.generator import GeneratorConfig, generate_model
+from repro.core.value_search import search_values
+from repro.errors import GenerationError, ReproError
+
+
+@dataclass
+class BugReport:
+    """A deduplicated finding of the campaign."""
+
+    compiler: str
+    status: str
+    phase: str
+    message: str
+    triggered_bugs: List[str]
+    iteration: int
+
+    @property
+    def seeded_ids(self) -> List[str]:
+        return list(self.triggered_bugs)
+
+
+@dataclass
+class FuzzerConfig:
+    """Campaign configuration."""
+
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    value_search_method: str = "gradient_proxy"
+    value_search_budget: float = 0.064
+    #: Stop after this many iterations (None = unbounded).
+    max_iterations: Optional[int] = 100
+    #: Stop after this much wall-clock time in seconds (None = unbounded).
+    time_budget: Optional[float] = None
+    bugs: BugConfig = field(default_factory=BugConfig.all)
+    seed: int = 0
+    #: Probe every compiler's operator support matrix (by asking it which of
+    #: the pool's operator kinds it implements) and only generate operators
+    #: every compiler supports, avoiding "Not-Implemented" noise (§4).
+    probe_operator_support: bool = True
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated results of one fuzzing campaign."""
+
+    iterations: int = 0
+    generated_models: int = 0
+    generation_failures: int = 0
+    numerically_valid_models: int = 0
+    elapsed: float = 0.0
+    reports: List[BugReport] = field(default_factory=list)
+    operator_instances: Set[str] = field(default_factory=set)
+    seeded_bugs_found: Set[str] = field(default_factory=set)
+    #: (elapsed seconds, iteration) samples for throughput plots.
+    timeline: List[Dict[str, float]] = field(default_factory=list)
+
+    def unique_crashes(self, compiler: Optional[str] = None) -> int:
+        keys = {report.message.splitlines()[0][:160]
+                for report in self.reports
+                if report.status == "crash" and
+                (compiler is None or report.compiler == compiler)}
+        return len(keys)
+
+    def bugs_by_system(self) -> Dict[str, int]:
+        found: Dict[str, Set[str]] = {}
+        for report in self.reports:
+            for bug_id in report.triggered_bugs:
+                system = bug_id.split("-")[0]
+                found.setdefault(system, set()).add(bug_id)
+        return {system: len(ids) for system, ids in found.items()}
+
+
+class Fuzzer:
+    """NNSmith's fuzzing loop over the in-repo compilers."""
+
+    def __init__(self, compilers: Sequence[Compiler],
+                 config: Optional[FuzzerConfig] = None) -> None:
+        self.compilers = list(compilers)
+        self.config = config or FuzzerConfig()
+        self.tester = DifferentialTester(self.compilers, bugs=self.config.bugs)
+        if self.config.probe_operator_support:
+            self.config.generator.op_pool = self._probe_supported_pool(
+                self.config.generator.op_pool)
+
+    def _probe_supported_pool(self, pool):
+        """Restrict the operator pool to kinds every compiler implements."""
+        kinds = [spec.op_kind for spec in pool]
+        supported = set(kinds)
+        for compiler in self.compilers:
+            supported &= set(compiler.supported_ops(kinds))
+        filtered = [spec for spec in pool if spec.op_kind in supported]
+        return filtered or list(pool)
+
+    # ------------------------------------------------------------------ #
+    def run(self, on_iteration: Optional[Callable[[int, CaseResult], None]] = None
+            ) -> CampaignResult:
+        """Run the campaign until the iteration or time budget is exhausted."""
+        result = CampaignResult()
+        seen_reports: Set[str] = set()
+        rng = np.random.default_rng(self.config.seed)
+        start = time.monotonic()
+        iteration = 0
+
+        while not self._budget_exhausted(iteration, start):
+            iteration += 1
+            generated = self._generate(iteration)
+            if generated is None:
+                result.generation_failures += 1
+                continue
+            result.generated_models += 1
+            result.operator_instances.update(generated.op_instances)
+
+            case = self._test_one(generated, rng)
+            if case is None:
+                continue
+            if case.numerically_valid:
+                result.numerically_valid_models += 1
+            for verdict in case.verdicts:
+                if not verdict.found_bug:
+                    continue
+                key = verdict.dedup_key()
+                result.seeded_bugs_found.update(verdict.triggered_bugs)
+                if key in seen_reports:
+                    continue
+                seen_reports.add(key)
+                result.reports.append(BugReport(
+                    compiler=verdict.compiler,
+                    status=verdict.status,
+                    phase=verdict.phase,
+                    message=verdict.message,
+                    triggered_bugs=list(verdict.triggered_bugs),
+                    iteration=iteration,
+                ))
+            result.timeline.append(
+                {"elapsed": time.monotonic() - start, "iteration": float(iteration)})
+            if on_iteration is not None:
+                on_iteration(iteration, case)
+
+        result.iterations = iteration
+        result.elapsed = time.monotonic() - start
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _budget_exhausted(self, iteration: int, start: float) -> bool:
+        if self.config.max_iterations is not None and \
+                iteration >= self.config.max_iterations:
+            return True
+        if self.config.time_budget is not None and \
+                (time.monotonic() - start) >= self.config.time_budget:
+            return True
+        return False
+
+    def _generate(self, iteration: int) -> Optional[GeneratedModel]:
+        config = self.config.generator
+        per_iteration = GeneratorConfig(
+            n_nodes=config.n_nodes,
+            max_dim=config.max_dim,
+            max_rank=config.max_rank,
+            seed=(config.seed or 0) * 100_003 + iteration + self.config.seed,
+            forward_probability=config.forward_probability,
+            weight_probability=config.weight_probability,
+            use_binning=config.use_binning,
+            n_bins=config.n_bins,
+            op_pool=config.op_pool,
+            dtype_weights=config.dtype_weights,
+            max_attempts_per_node=config.max_attempts_per_node,
+        )
+        try:
+            return generate_model(per_iteration)
+        except (GenerationError, ReproError):
+            return None
+
+    def _test_one(self, generated: GeneratedModel,
+                  rng: np.random.Generator) -> Optional[CaseResult]:
+        search = search_values(generated.model,
+                               method=self.config.value_search_method,
+                               rng=rng,
+                               time_budget=self.config.value_search_budget)
+        model = search.apply_weights(generated.model) if search.weights else generated.model
+        try:
+            return self.tester.run_case(model, inputs=search.inputs or None)
+        except ReproError:
+            return None

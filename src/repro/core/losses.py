@@ -1,0 +1,194 @@
+"""Loss functions for vulnerable operators (§3.3, Tables 1 and 2).
+
+A *vulnerable* operator produces NaN/Inf outside a sub-domain of its inputs.
+That sub-domain is described by a conjunction of tensor inequalities; every
+inequality is rewritten into canonical form ``f(X) <= 0`` / ``f(X) < 0`` and
+converted into a non-negative scalar loss (Table 2):
+
+* ``f(X) <= 0``  ->  ``sum(max(f(x), 0))``
+* ``f(X) <  0``  ->  ``sum(max(f(x) + eps, 0))``
+
+A loss is positive exactly when its predicate is violated, so the search
+algorithm can simply pick the first positive loss of the offending operator
+(Algorithm 3, line 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.graph.node import Node
+
+#: The epsilon of Table 2 (strict inequalities) — §5.1 sets it to 1e-10.
+EPSILON = 1e-10
+#: Bound used for "result would overflow" predicates, e.g. ``y*log(x) <= 40``.
+OVERFLOW_BOUND = 40.0
+#: Generic magnitude bound used by the fallback loss.
+MAGNITUDE_BOUND = 1e4
+
+
+@dataclass
+class LossTerm:
+    """One differentiable loss attached to an operator's inputs."""
+
+    name: str
+    value_fn: Callable[[Sequence[np.ndarray]], float]
+    grad_fn: Callable[[Sequence[np.ndarray]], List[np.ndarray]]
+
+    def value(self, inputs: Sequence[np.ndarray]) -> float:
+        arrays = [np.asarray(x, dtype=np.float64) for x in inputs]
+        with np.errstate(all="ignore"):
+            result = float(self.value_fn(arrays))
+        if not np.isfinite(result):
+            result = float(MAGNITUDE_BOUND)
+        return result
+
+    def grads(self, inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
+        arrays = [np.asarray(x, dtype=np.float64) for x in inputs]
+        with np.errstate(all="ignore"):
+            grads = self.grad_fn(arrays)
+        cleaned = []
+        for array, grad in zip(arrays, grads):
+            grad = np.zeros_like(array) if grad is None else np.asarray(grad, np.float64)
+            cleaned.append(np.nan_to_num(grad, nan=0.0, posinf=1e3, neginf=-1e3))
+        return cleaned
+
+
+def _hinge(values: np.ndarray) -> float:
+    return float(np.sum(np.maximum(values, 0.0)))
+
+
+def _hinge_mask(values: np.ndarray) -> np.ndarray:
+    return (values > 0).astype(np.float64)
+
+
+# --------------------------------------------------------------------------- #
+# Loss constructors for specific predicates.
+# --------------------------------------------------------------------------- #
+def _abs_at_most_one(position: int) -> LossTerm:
+    """|X| <= 1  (Asin, Acos)."""
+
+    def value(inputs):
+        x = inputs[position]
+        return _hinge(np.abs(x) - 1.0)
+
+    def grads(inputs):
+        result = [None] * len(inputs)
+        x = inputs[position]
+        result[position] = _hinge_mask(np.abs(x) - 1.0) * np.sign(x)
+        return result
+
+    return LossTerm(f"abs(input{position}) <= 1", value, grads)
+
+
+def _strictly_positive(position: int) -> LossTerm:
+    """X > 0  (Log, Log2, Sqrt domain, Pow base)."""
+
+    def value(inputs):
+        x = inputs[position]
+        return _hinge(-x + EPSILON)
+
+    def grads(inputs):
+        result = [None] * len(inputs)
+        x = inputs[position]
+        result[position] = -_hinge_mask(-x + EPSILON)
+        return result
+
+    return LossTerm(f"input{position} > 0", value, grads)
+
+
+def _nonzero_magnitude(position: int) -> LossTerm:
+    """|X| > 0  (Div denominator, Reciprocal)."""
+
+    def value(inputs):
+        x = inputs[position]
+        return _hinge(-np.abs(x) + 1e-3)
+
+    def grads(inputs):
+        result = [None] * len(inputs)
+        x = inputs[position]
+        sign = np.where(x >= 0, 1.0, -1.0)
+        result[position] = -_hinge_mask(-np.abs(x) + 1e-3) * sign
+        return result
+
+    return LossTerm(f"abs(input{position}) > 0", value, grads)
+
+
+def _bounded_above(position: int, bound: float) -> LossTerm:
+    """X <= bound  (Exp overflow)."""
+
+    def value(inputs):
+        return _hinge(inputs[position] - bound)
+
+    def grads(inputs):
+        result = [None] * len(inputs)
+        result[position] = _hinge_mask(inputs[position] - bound)
+        return result
+
+    return LossTerm(f"input{position} <= {bound}", value, grads)
+
+
+def _pow_overflow() -> LossTerm:
+    """Y*log(X) <= 40 for Pow(X, Y)."""
+
+    def value(inputs):
+        x, y = inputs[0], inputs[1]
+        log_x = np.log(np.maximum(x, EPSILON))
+        return _hinge(y * log_x - OVERFLOW_BOUND)
+
+    def grads(inputs):
+        x, y = inputs[0], inputs[1]
+        safe_x = np.maximum(x, EPSILON)
+        log_x = np.log(safe_x)
+        active = _hinge_mask(y * log_x - OVERFLOW_BOUND)
+        return [active * y / safe_x, active * log_x]
+
+    return LossTerm("y*log(x) <= 40", value, grads)
+
+
+def magnitude_loss() -> LossTerm:
+    """Generic fallback: every float input bounded by ``MAGNITUDE_BOUND``.
+
+    Used when an operator without a registered domain produces NaN/Inf —
+    usually an overflow from very large intermediate values (Mul, MatMul,
+    Conv2d chains).
+    """
+
+    def value(inputs):
+        total = 0.0
+        for x in inputs:
+            total += _hinge(np.abs(x) - MAGNITUDE_BOUND)
+        return total
+
+    def grads(inputs):
+        return [_hinge_mask(np.abs(x) - MAGNITUDE_BOUND) * np.sign(x) for x in inputs]
+
+    return LossTerm(f"abs(inputs) <= {MAGNITUDE_BOUND}", value, grads)
+
+
+#: Loss terms per vulnerable operator kind (Table 1, extended).
+VULNERABLE_OPERATORS: Dict[str, List[LossTerm]] = {
+    "Asin": [_abs_at_most_one(0)],
+    "Acos": [_abs_at_most_one(0)],
+    "Log": [_strictly_positive(0)],
+    "Log2": [_strictly_positive(0)],
+    "Sqrt": [_strictly_positive(0)],
+    "Reciprocal": [_nonzero_magnitude(0)],
+    "Div": [_nonzero_magnitude(1)],
+    "Pow": [_strictly_positive(0), _pow_overflow()],
+    "Exp": [_bounded_above(0, OVERFLOW_BOUND)],
+    "Softmax": [_bounded_above(0, 80.0)],
+}
+
+
+def is_vulnerable(op_kind: str) -> bool:
+    """Does this operator have a restricted numerically-valid domain?"""
+    return op_kind in VULNERABLE_OPERATORS
+
+
+def losses_for_node(node: Node) -> List[LossTerm]:
+    """Loss terms for one node: registered terms plus the generic fallback."""
+    return list(VULNERABLE_OPERATORS.get(node.op, [])) + [magnitude_loss()]

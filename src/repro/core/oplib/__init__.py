@@ -1,0 +1,50 @@
+"""The operator-specification library.
+
+``DEFAULT_OP_POOL`` is the pool of specifications the generator samples from;
+it corresponds to the operator set the original NNSmith ships specifications
+for.  Users extend the fuzzer by appending their own
+:class:`~repro.core.op_spec.AbsOpBase` subclasses (see
+``examples/custom_operator.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Type
+
+from repro.core.op_spec import AbsOpBase
+from repro.core.oplib import elementwise, nn, reduce, shape
+
+
+def _collect(module) -> List[Type[AbsOpBase]]:
+    specs = []
+    for name in dir(module):
+        obj = getattr(module, name)
+        if isinstance(obj, type) and issubclass(obj, AbsOpBase) and \
+                getattr(obj, "op_kind", "") and not name.startswith("_"):
+            specs.append(obj)
+    return specs
+
+
+#: Every concrete specification shipped with the library.
+ALL_SPECS: List[Type[AbsOpBase]] = sorted(
+    set(_collect(elementwise) + _collect(nn) + _collect(shape) + _collect(reduce)),
+    key=lambda cls: (cls.op_kind, cls.__name__),
+)
+
+#: Mapping from interchange operator kind to its specification class.
+SPEC_BY_KIND: Dict[str, Type[AbsOpBase]] = {cls.op_kind: cls for cls in ALL_SPECS}
+
+#: The default sampling pool used by the generator.
+DEFAULT_OP_POOL: List[Type[AbsOpBase]] = list(ALL_SPECS)
+
+
+def specs_for_ops(op_kinds: Sequence[str]) -> List[Type[AbsOpBase]]:
+    """Specification classes for a set of operator kinds (unknown ones skipped).
+
+    Used to restrict generation to the operator subset a particular compiler
+    supports (NNSmith probes compilers for their support matrix, §4).
+    """
+    return [SPEC_BY_KIND[kind] for kind in op_kinds if kind in SPEC_BY_KIND]
+
+
+__all__ = ["ALL_SPECS", "DEFAULT_OP_POOL", "SPEC_BY_KIND", "specs_for_ops"]

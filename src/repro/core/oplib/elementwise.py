@@ -1,0 +1,290 @@
+"""Specifications for elementwise (unary, binary, ternary) operators."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.abstract import AbsTensor, broadcast_dims
+from repro.core.op_spec import (
+    AbsOpBase,
+    BinaryBroadcast,
+    DtypeCombo,
+    ElementwiseUnary,
+    SpecContext,
+)
+from repro.dtypes import ALL_DTYPES, DType, FLOAT_DTYPES, INT_DTYPES, NUMERIC_DTYPES
+from repro.solver.constraints import Constraint
+
+
+# --------------------------------------------------------------------------- #
+# Unary, dtype-preserving.
+# --------------------------------------------------------------------------- #
+class ReluSpec(ElementwiseUnary):
+    op_kind = "Relu"
+
+
+class AbsSpec(ElementwiseUnary):
+    op_kind = "Abs"
+    dtypes = FLOAT_DTYPES + INT_DTYPES
+
+
+class NegSpec(ElementwiseUnary):
+    op_kind = "Neg"
+    dtypes = FLOAT_DTYPES + INT_DTYPES
+
+
+class SignSpec(ElementwiseUnary):
+    op_kind = "Sign"
+    dtypes = FLOAT_DTYPES + INT_DTYPES
+
+
+class FloorSpec(ElementwiseUnary):
+    op_kind = "Floor"
+
+
+class CeilSpec(ElementwiseUnary):
+    op_kind = "Ceil"
+
+
+class RoundSpec(ElementwiseUnary):
+    op_kind = "Round"
+
+
+class IdentitySpec(ElementwiseUnary):
+    op_kind = "Identity"
+    dtypes = FLOAT_DTYPES + INT_DTYPES
+
+
+class DropoutSpec(ElementwiseUnary):
+    op_kind = "Dropout"
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        self.const_attrs["ratio"] = round(ctx.rng.uniform(0.0, 0.9), 2)
+        return True
+
+
+class LeakyReluSpec(ElementwiseUnary):
+    op_kind = "LeakyRelu"
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        self.const_attrs["alpha"] = round(ctx.rng.uniform(0.001, 0.3), 3)
+        return True
+
+
+class ClipSpec(ElementwiseUnary):
+    op_kind = "Clip"
+    dtypes = FLOAT_DTYPES + INT_DTYPES
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        low = ctx.rng.uniform(-8.0, 0.0)
+        high = low + ctx.rng.uniform(0.5, 8.0)
+        if inputs[0].dtype.is_int:
+            self.const_attrs["min"] = int(low)
+            self.const_attrs["max"] = int(high) + 1
+        else:
+            self.const_attrs["min"] = round(low, 3)
+            self.const_attrs["max"] = round(high, 3)
+        return True
+
+
+# --------------------------------------------------------------------------- #
+# Unary, float result.
+# --------------------------------------------------------------------------- #
+class SigmoidSpec(ElementwiseUnary):
+    op_kind = "Sigmoid"
+    out_rule = "float_like"
+
+
+class TanhSpec(ElementwiseUnary):
+    op_kind = "Tanh"
+    out_rule = "float_like"
+
+
+class ExpSpec(ElementwiseUnary):
+    op_kind = "Exp"
+    out_rule = "float_like"
+
+
+class LogSpec(ElementwiseUnary):
+    op_kind = "Log"
+    out_rule = "float_like"
+
+
+class Log2Spec(ElementwiseUnary):
+    op_kind = "Log2"
+    out_rule = "float_like"
+
+
+class SqrtSpec(ElementwiseUnary):
+    op_kind = "Sqrt"
+    out_rule = "float_like"
+
+
+class SinSpec(ElementwiseUnary):
+    op_kind = "Sin"
+    out_rule = "float_like"
+
+
+class CosSpec(ElementwiseUnary):
+    op_kind = "Cos"
+    out_rule = "float_like"
+
+
+class AsinSpec(ElementwiseUnary):
+    op_kind = "Asin"
+    out_rule = "float_like"
+
+
+class AcosSpec(ElementwiseUnary):
+    op_kind = "Acos"
+    out_rule = "float_like"
+
+
+class AtanSpec(ElementwiseUnary):
+    op_kind = "Atan"
+    out_rule = "float_like"
+
+
+class SoftplusSpec(ElementwiseUnary):
+    op_kind = "Softplus"
+    out_rule = "float_like"
+
+
+class ErfSpec(ElementwiseUnary):
+    op_kind = "Erf"
+    out_rule = "float_like"
+
+
+class ReciprocalSpec(ElementwiseUnary):
+    op_kind = "Reciprocal"
+    out_rule = "float_like"
+
+
+class SoftmaxSpec(ElementwiseUnary):
+    op_kind = "Softmax"
+    out_rule = "float_like"
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [[1, 2, 3, 4]]
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        self.const_attrs["axis"] = ctx.rng.randrange(inputs[0].rank)
+        return True
+
+
+class NotSpec(ElementwiseUnary):
+    op_kind = "Not"
+    dtypes = (DType.bool_,)
+    out_rule = "bool"
+
+
+class CastSpec(ElementwiseUnary):
+    """Cast to a dtype chosen when the node is created."""
+
+    op_kind = "Cast"
+    dtypes = NUMERIC_DTYPES
+    supports_backward = False
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        choices = [d for d in NUMERIC_DTYPES if d != inputs[0].dtype]
+        self._target = ctx.rng.choice(choices)
+        self.const_attrs["to"] = str(self._target)
+        return True
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        return [AbsTensor(self._target, list(inputs[0].dims))]
+
+
+# --------------------------------------------------------------------------- #
+# Binary broadcasting operators.
+# --------------------------------------------------------------------------- #
+class AddSpec(BinaryBroadcast):
+    op_kind = "Add"
+
+
+class SubSpec(BinaryBroadcast):
+    op_kind = "Sub"
+
+
+class MulSpec(BinaryBroadcast):
+    op_kind = "Mul"
+
+
+class DivSpec(BinaryBroadcast):
+    op_kind = "Div"
+
+
+class MaxSpec(BinaryBroadcast):
+    op_kind = "Max"
+
+
+class MinSpec(BinaryBroadcast):
+    op_kind = "Min"
+
+
+class PowSpec(BinaryBroadcast):
+    op_kind = "Pow"
+    dtypes = FLOAT_DTYPES
+
+
+class EqualSpec(BinaryBroadcast):
+    op_kind = "Equal"
+    out_rule = "bool"
+
+
+class GreaterSpec(BinaryBroadcast):
+    op_kind = "Greater"
+    out_rule = "bool"
+
+
+class LessSpec(BinaryBroadcast):
+    op_kind = "Less"
+    out_rule = "bool"
+
+
+class AndSpec(BinaryBroadcast):
+    op_kind = "And"
+    dtypes = (DType.bool_,)
+    out_rule = "bool"
+
+
+class OrSpec(BinaryBroadcast):
+    op_kind = "Or"
+    dtypes = (DType.bool_,)
+    out_rule = "bool"
+
+
+class XorSpec(BinaryBroadcast):
+    op_kind = "Xor"
+    dtypes = (DType.bool_,)
+    out_rule = "bool"
+
+
+class WhereSpec(AbsOpBase):
+    """Ternary selection with three-way broadcasting."""
+
+    op_kind = "Where"
+    n_inputs = 3
+
+    @classmethod
+    def dtype_combos(cls) -> List[DtypeCombo]:
+        return [((DType.bool_, dtype, dtype), (dtype,))
+                for dtype in FLOAT_DTYPES + INT_DTYPES]
+
+    @classmethod
+    def deduce_output_rank(cls, input_ranks) -> Optional[int]:
+        return max(input_ranks)
+
+    def requires(self, inputs: List[AbsTensor]) -> List[Constraint]:
+        cond, lhs, rhs = inputs
+        _, first = broadcast_dims(lhs, rhs)
+        merged = AbsTensor(lhs.dtype, broadcast_dims(lhs, rhs)[0])
+        _, second = broadcast_dims(cond, merged)
+        return first + second
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        cond, lhs, rhs = inputs
+        merged_dims, _ = broadcast_dims(lhs, rhs)
+        final_dims, _ = broadcast_dims(cond, AbsTensor(lhs.dtype, merged_dims))
+        return [AbsTensor(lhs.dtype, final_dims)]

@@ -1,0 +1,285 @@
+"""Specifications for neural-network operators (convolution, pooling, matmul)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.abstract import AbsTensor
+from repro.core.op_spec import AbsOpBase, DtypeCombo, SpecContext, same_dtype_combos
+from repro.dtypes import DType, FLOAT_DTYPES
+from repro.solver.constraints import Constraint
+
+
+class Conv2dSpec(AbsOpBase):
+    """2-D convolution over NCHW tensors (the paper's most complex spec)."""
+
+    op_kind = "Conv2d"
+    n_inputs = 2
+
+    @classmethod
+    def dtype_combos(cls) -> List[DtypeCombo]:
+        return [((dtype, dtype), (dtype,)) for dtype in FLOAT_DTYPES]
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [[4], [4]]
+
+    @classmethod
+    def deduce_output_rank(cls, input_ranks) -> Optional[int]:
+        return 4
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        prefix = self.name
+        self.attrs["stride"] = ctx.int_attr(f"{prefix}_stride", 1, 4)
+        self.attrs["padding"] = ctx.int_attr(f"{prefix}_padding", 0, 8)
+        self.attrs["dilation"] = ctx.int_attr(f"{prefix}_dilation", 1, 2)
+        return True
+
+    def requires(self, inputs: List[AbsTensor]) -> List[Constraint]:
+        x, weight = inputs
+        _, in_ch, in_h, in_w = x.dims
+        _, w_in_ch, k_h, k_w = weight.dims
+        stride = self.attrs["stride"]
+        padding = self.attrs["padding"]
+        dilation = self.attrs["dilation"]
+        eff_kh = (k_h - 1) * dilation + 1
+        eff_kw = (k_w - 1) * dilation + 1
+        return [
+            in_ch == w_in_ch,
+            k_h >= 1, k_w >= 1,
+            stride >= 1, padding >= 0, dilation >= 1,
+            eff_kh <= in_h + 2 * padding,
+            eff_kw <= in_w + 2 * padding,
+            (in_h + 2 * padding - eff_kh) // stride + 1 >= 1,
+            (in_w + 2 * padding - eff_kw) // stride + 1 >= 1,
+        ]
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        x, weight = inputs
+        batch, _, in_h, in_w = x.dims
+        out_ch, _, k_h, k_w = weight.dims
+        stride = self.attrs["stride"]
+        padding = self.attrs["padding"]
+        dilation = self.attrs["dilation"]
+        eff_kh = (k_h - 1) * dilation + 1
+        eff_kw = (k_w - 1) * dilation + 1
+        out_h = (in_h + 2 * padding - eff_kh) // stride + 1
+        out_w = (in_w + 2 * padding - eff_kw) // stride + 1
+        return [AbsTensor(inputs[0].dtype, [batch, out_ch, out_h, out_w])]
+
+    def bin_hints(self):
+        # Padding may legitimately be zero, so a dedicated {0} bin is added
+        # (the paper's C* specialization for Conv2d padding).
+        return {self.attrs["padding"].name: [(0, 0)]}
+
+
+class _Pool2dSpec(AbsOpBase):
+    """Shared implementation of 2-D max/average pooling."""
+
+    n_inputs = 1
+
+    @classmethod
+    def dtype_combos(cls) -> List[DtypeCombo]:
+        return [((dtype,), (dtype,)) for dtype in FLOAT_DTYPES]
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [[4]]
+
+    @classmethod
+    def deduce_output_rank(cls, input_ranks) -> Optional[int]:
+        return 4
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        prefix = self.name
+        self.attrs["kh"] = ctx.int_attr(f"{prefix}_kh", 1, 8)
+        self.attrs["kw"] = ctx.int_attr(f"{prefix}_kw", 1, 8)
+        self.attrs["stride"] = ctx.int_attr(f"{prefix}_stride", 1, 4)
+        self.attrs["padding"] = ctx.int_attr(f"{prefix}_padding", 0, 4)
+        return True
+
+    def requires(self, inputs: List[AbsTensor]) -> List[Constraint]:
+        (x,) = inputs
+        _, _, in_h, in_w = x.dims
+        k_h, k_w = self.attrs["kh"], self.attrs["kw"]
+        stride, padding = self.attrs["stride"], self.attrs["padding"]
+        return [
+            k_h >= 1, k_w >= 1, stride >= 1, padding >= 0,
+            # Padding may not exceed half the kernel (the ONNX/PyTorch rule).
+            2 * padding <= k_h, 2 * padding <= k_w,
+            k_h <= in_h + 2 * padding,
+            k_w <= in_w + 2 * padding,
+        ]
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        (x,) = inputs
+        batch, channels, in_h, in_w = x.dims
+        k_h, k_w = self.attrs["kh"], self.attrs["kw"]
+        stride, padding = self.attrs["stride"], self.attrs["padding"]
+        out_h = (in_h + 2 * padding - k_h) // stride + 1
+        out_w = (in_w + 2 * padding - k_w) // stride + 1
+        return [AbsTensor(x.dtype, [batch, channels, out_h, out_w])]
+
+    def bin_hints(self):
+        return {self.attrs["padding"].name: [(0, 0)]}
+
+
+class MaxPool2dSpec(_Pool2dSpec):
+    op_kind = "MaxPool2d"
+
+
+class AvgPool2dSpec(_Pool2dSpec):
+    op_kind = "AvgPool2d"
+
+
+class GlobalAvgPool2dSpec(AbsOpBase):
+    op_kind = "GlobalAvgPool2d"
+    n_inputs = 1
+
+    @classmethod
+    def dtype_combos(cls) -> List[DtypeCombo]:
+        return [((dtype,), (dtype,)) for dtype in FLOAT_DTYPES]
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [[4]]
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        (x,) = inputs
+        batch, channels = x.dims[0], x.dims[1]
+        return [AbsTensor(x.dtype, [batch, channels, 1, 1])]
+
+
+class BatchNormSpec(AbsOpBase):
+    """Inference-mode batch normalization."""
+
+    op_kind = "BatchNorm"
+    n_inputs = 5
+    supports_backward = False
+
+    @classmethod
+    def dtype_combos(cls) -> List[DtypeCombo]:
+        return [((d, d, d, d, d), (d,)) for d in FLOAT_DTYPES]
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [[2, 3, 4], [1], [1], [1], [1]]
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        self.const_attrs["epsilon"] = 1e-5
+        return True
+
+    def requires(self, inputs: List[AbsTensor]) -> List[Constraint]:
+        x = inputs[0]
+        channels = x.dims[1]
+        return [param.dims[0] == channels for param in inputs[1:]]
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        x = inputs[0]
+        return [AbsTensor(x.dtype, list(x.dims))]
+
+
+class MatMulSpec(AbsOpBase):
+    """Matrix multiplication, including single-rank (vector) operands."""
+
+    op_kind = "MatMul"
+    n_inputs = 2
+
+    @classmethod
+    def dtype_combos(cls) -> List[DtypeCombo]:
+        return [((dtype, dtype), (dtype,)) for dtype in FLOAT_DTYPES]
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [[1, 2], [1, 2]]
+
+    @classmethod
+    def deduce_output_rank(cls, input_ranks) -> Optional[int]:
+        lhs, rhs = input_ranks
+        if lhs == 1 and rhs == 1:
+            return 0
+        if lhs == 1 or rhs == 1:
+            return 1
+        return 2
+
+    def requires(self, inputs: List[AbsTensor]) -> List[Constraint]:
+        lhs, rhs = inputs
+        contraction_lhs = lhs.dims[-1]
+        contraction_rhs = rhs.dims[-2] if rhs.rank >= 2 else rhs.dims[0]
+        return [contraction_lhs == contraction_rhs]
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        lhs, rhs = inputs
+        if lhs.rank == 1 and rhs.rank == 1:
+            dims: List = []
+        elif lhs.rank == 1:
+            dims = [rhs.dims[-1]]
+        elif rhs.rank == 1:
+            dims = [lhs.dims[0]]
+        else:
+            dims = [lhs.dims[0], rhs.dims[1]]
+        return [AbsTensor(lhs.dtype, dims)]
+
+
+class GemmSpec(AbsOpBase):
+    """Dense layer: ``X @ W + b`` over rank-2 operands."""
+
+    op_kind = "Gemm"
+    n_inputs = 3
+
+    @classmethod
+    def dtype_combos(cls) -> List[DtypeCombo]:
+        return [((dtype, dtype, dtype), (dtype,)) for dtype in FLOAT_DTYPES]
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [[2], [2], [1]]
+
+    @classmethod
+    def deduce_output_rank(cls, input_ranks) -> Optional[int]:
+        return 2
+
+    def requires(self, inputs: List[AbsTensor]) -> List[Constraint]:
+        x, weight, bias = inputs
+        return [x.dims[1] == weight.dims[0], bias.dims[0] == weight.dims[1]]
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        x, weight, _ = inputs
+        return [AbsTensor(x.dtype, [x.dims[0], weight.dims[1]])]
+
+
+class Resize2dSpec(AbsOpBase):
+    """Nearest-neighbour upsampling by integer scale factors."""
+
+    op_kind = "Resize2d"
+    n_inputs = 1
+
+    @classmethod
+    def dtype_combos(cls) -> List[DtypeCombo]:
+        return [((dtype,), (dtype,)) for dtype in FLOAT_DTYPES]
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [[4]]
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        self.attrs["scale_h"] = ctx.int_attr(f"{self.name}_scale_h", 1, 4)
+        self.attrs["scale_w"] = ctx.int_attr(f"{self.name}_scale_w", 1, 4)
+        return True
+
+    def requires(self, inputs: List[AbsTensor]) -> List[Constraint]:
+        (x,) = inputs
+        return [
+            self.attrs["scale_h"] >= 1,
+            self.attrs["scale_w"] >= 1,
+            # Keep the upsampled tensor reasonably small for fuzzing speed.
+            x.dims[2] * self.attrs["scale_h"] <= 128,
+            x.dims[3] * self.attrs["scale_w"] <= 128,
+        ]
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        (x,) = inputs
+        batch, channels, height, width = x.dims
+        return [AbsTensor(x.dtype, [batch, channels,
+                                    height * self.attrs["scale_h"],
+                                    width * self.attrs["scale_w"]])]

@@ -1,0 +1,74 @@
+"""Specifications for reduction operators."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.abstract import AbsTensor
+from repro.core.op_spec import MAX_RANK, AbsOpBase, DtypeCombo, ReduceBase, SpecContext
+from repro.dtypes import DType, FLOAT_DTYPES, INT_DTYPES
+
+
+class ReduceSumSpec(ReduceBase):
+    op_kind = "ReduceSum"
+
+
+class ReduceMeanSpec(ReduceBase):
+    op_kind = "ReduceMean"
+    dtypes = FLOAT_DTYPES
+    out_rule = "float_like"
+
+
+class ReduceMaxSpec(ReduceBase):
+    op_kind = "ReduceMax"
+
+
+class ReduceMinSpec(ReduceBase):
+    op_kind = "ReduceMin"
+
+
+class ReduceProdSpec(ReduceBase):
+    op_kind = "ReduceProd"
+    dtypes = FLOAT_DTYPES
+
+
+class _ArgExtremeSpec(AbsOpBase):
+    """ArgMax/ArgMin over one axis, producing int64 indices."""
+
+    n_inputs = 1
+    supports_backward = False
+
+    @classmethod
+    def dtype_combos(cls) -> List[DtypeCombo]:
+        return [((dtype,), (DType.int64,))
+                for dtype in FLOAT_DTYPES + INT_DTYPES + (DType.bool_,)]
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [list(range(1, MAX_RANK + 1))]
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        self.const_attrs["axis"] = ctx.rng.randrange(inputs[0].rank)
+        self.const_attrs["keepdims"] = bool(ctx.rng.random() < 0.5)
+        return True
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        (x,) = inputs
+        axis = self.const_attrs["axis"]
+        keepdims = self.const_attrs["keepdims"]
+        dims = []
+        for index, dim in enumerate(x.dims):
+            if index == axis:
+                if keepdims:
+                    dims.append(1)
+            else:
+                dims.append(dim)
+        return [AbsTensor(DType.int64, dims)]
+
+
+class ArgMaxSpec(_ArgExtremeSpec):
+    op_kind = "ArgMax"
+
+
+class ArgMinSpec(_ArgExtremeSpec):
+    op_kind = "ArgMin"

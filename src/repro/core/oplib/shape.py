@@ -1,0 +1,340 @@
+"""Specifications for shape-manipulating (data movement) operators."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.abstract import AbsTensor
+from repro.core.op_spec import MAX_RANK, AbsOpBase, DtypeCombo, SpecContext, same_dtype_combos
+from repro.dtypes import DType, FLOAT_DTYPES, INT_DTYPES
+from repro.graph.node import Node
+from repro.solver.constraints import Constraint, Or
+from repro.solver.expr import product
+
+_ALL_DATA_DTYPES = FLOAT_DTYPES + INT_DTYPES + (DType.bool_,)
+
+
+class _DataMovementSpec(AbsOpBase):
+    """Shared defaults: accepts any data dtype, preserves it."""
+
+    supports_backward = False
+
+    @classmethod
+    def dtype_combos(cls) -> List[DtypeCombo]:
+        return same_dtype_combos(_ALL_DATA_DTYPES, cls.n_inputs, "same")
+
+
+class ReshapeSpec(_DataMovementSpec):
+    """Reshape to a freshly solved target shape with equal element count."""
+
+    op_kind = "Reshape"
+    n_inputs = 1
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [list(range(1, MAX_RANK + 1))]
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        out_rank = ctx.rng.randint(1, MAX_RANK)
+        self._target_dims = [ctx.dim_var(f"{self.name}_t{i}") for i in range(out_rank)]
+        return True
+
+    def requires(self, inputs: List[AbsTensor]) -> List[Constraint]:
+        (x,) = inputs
+        constraints = [dim >= 1 for dim in self._target_dims]
+        constraints.append(product(self._target_dims) == x.numel())
+        return constraints
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        return [AbsTensor(inputs[0].dtype, list(self._target_dims))]
+
+    def to_node(self, input_names, output_names, assignment) -> Node:
+        shape = [dim.evaluate(assignment) for dim in self._target_dims]
+        return Node(self.op_kind, self.name, list(input_names), list(output_names),
+                    {"shape": shape})
+
+
+class FlattenSpec(_DataMovementSpec):
+    op_kind = "Flatten"
+    n_inputs = 1
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [list(range(1, MAX_RANK + 1))]
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        self.const_attrs["axis"] = ctx.rng.randint(1, max(inputs[0].rank, 1))
+        return True
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        (x,) = inputs
+        axis = self.const_attrs["axis"]
+        lead = product(x.dims[:axis])
+        trail = product(x.dims[axis:])
+        return [AbsTensor(x.dtype, [lead, trail])]
+
+
+class TransposeSpec(_DataMovementSpec):
+    op_kind = "Transpose"
+    n_inputs = 1
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [list(range(2, MAX_RANK + 1))]
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        perm = list(range(inputs[0].rank))
+        ctx.rng.shuffle(perm)
+        self.const_attrs["perm"] = perm
+        return True
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        (x,) = inputs
+        perm = self.const_attrs["perm"]
+        return [AbsTensor(x.dtype, [x.dims[p] for p in perm])]
+
+
+class SqueezeSpec(_DataMovementSpec):
+    """Remove one dimension, which is constrained to be of size one."""
+
+    op_kind = "Squeeze"
+    n_inputs = 1
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [list(range(1, MAX_RANK + 1))]
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        self.const_attrs["axes"] = [ctx.rng.randrange(inputs[0].rank)]
+        return True
+
+    def requires(self, inputs: List[AbsTensor]) -> List[Constraint]:
+        axis = self.const_attrs["axes"][0]
+        return [inputs[0].dims[axis] == 1]
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        (x,) = inputs
+        axis = self.const_attrs["axes"][0]
+        dims = [dim for index, dim in enumerate(x.dims) if index != axis]
+        return [AbsTensor(x.dtype, dims)]
+
+
+class UnsqueezeSpec(_DataMovementSpec):
+    op_kind = "Unsqueeze"
+    n_inputs = 1
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [list(range(0, MAX_RANK))]
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        self.const_attrs["axes"] = [ctx.rng.randint(0, inputs[0].rank)]
+        return True
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        (x,) = inputs
+        axis = self.const_attrs["axes"][0]
+        dims = list(x.dims)
+        dims.insert(axis, 1)
+        return [AbsTensor(x.dtype, dims)]
+
+
+class SliceSpec(_DataMovementSpec):
+    """Slice one axis with symbolic start/end/step attributes."""
+
+    op_kind = "Slice"
+    n_inputs = 1
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [list(range(1, MAX_RANK + 1))]
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        self._axis = ctx.rng.randrange(inputs[0].rank)
+        self.attrs["start"] = ctx.int_attr(f"{self.name}_start", 0, ctx.max_dim)
+        self.attrs["end"] = ctx.int_attr(f"{self.name}_end", 1, ctx.max_dim)
+        self.attrs["step"] = ctx.int_attr(f"{self.name}_step", 1, 4)
+        return True
+
+    def requires(self, inputs: List[AbsTensor]) -> List[Constraint]:
+        dim = inputs[0].dims[self._axis]
+        start, end, step = self.attrs["start"], self.attrs["end"], self.attrs["step"]
+        return [start >= 0, start < end, end <= dim, step >= 1]
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        (x,) = inputs
+        start, end, step = self.attrs["start"], self.attrs["end"], self.attrs["step"]
+        dims = list(x.dims)
+        dims[self._axis] = (end - start + step - 1) // step
+        return [AbsTensor(x.dtype, dims)]
+
+    def to_node(self, input_names, output_names, assignment) -> Node:
+        attrs = {
+            "starts": [self.attrs["start"].evaluate(assignment)],
+            "ends": [self.attrs["end"].evaluate(assignment)],
+            "axes": [self._axis],
+            "steps": [self.attrs["step"].evaluate(assignment)],
+        }
+        return Node(self.op_kind, self.name, list(input_names), list(output_names), attrs)
+
+    def bin_hints(self):
+        # The C* specialization for Slice: keep the index range small so that
+        # start < end <= dim stays satisfiable for typical dimensions.
+        return {
+            self.attrs["start"].name: [(0, 4)],
+            self.attrs["end"].name: [(1, 16)],
+        }
+
+
+class PadSpec(_DataMovementSpec):
+    """Constant/reflect/replicate padding with per-edge symbolic widths."""
+
+    op_kind = "Pad"
+    n_inputs = 1
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [list(range(1, MAX_RANK + 1))]
+
+    @classmethod
+    def dtype_combos(cls) -> List[DtypeCombo]:
+        return same_dtype_combos(FLOAT_DTYPES + INT_DTYPES, 1, "same")
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        rank = inputs[0].rank
+        self.const_attrs["mode"] = ctx.rng.choice(["constant", "reflect", "replicate"])
+        self.const_attrs["value"] = 0
+        self._before = [ctx.solver.int_var(f"{self.name}_b{i}", -4, 8) for i in range(rank)]
+        self._after = [ctx.solver.int_var(f"{self.name}_a{i}", -4, 8) for i in range(rank)]
+        return True
+
+    def requires(self, inputs: List[AbsTensor]) -> List[Constraint]:
+        (x,) = inputs
+        constraints: List[Constraint] = []
+        for dim, before, after in zip(x.dims, self._before, self._after):
+            constraints.append(dim + before + after >= 1)
+            if self.const_attrs["mode"] != "constant":
+                # Reflect/replicate padding cannot exceed the input extent and
+                # negative (cropping) pads are constant-mode only.
+                constraints.extend([before >= 0, after >= 0,
+                                    before <= dim - 1, after <= dim - 1])
+        return constraints
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        (x,) = inputs
+        dims = [dim + before + after
+                for dim, before, after in zip(x.dims, self._before, self._after)]
+        return [AbsTensor(x.dtype, dims)]
+
+    def to_node(self, input_names, output_names, assignment) -> Node:
+        pads = [v.evaluate(assignment) for v in self._before] + \
+            [v.evaluate(assignment) for v in self._after]
+        attrs = {"pads": pads, "mode": self.const_attrs["mode"],
+                 "value": self.const_attrs["value"]}
+        return Node(self.op_kind, self.name, list(input_names), list(output_names), attrs)
+
+    def bin_hints(self) -> Dict:
+        # The C* specialization for padding operators: include zero and
+        # negative bins so cropping pads are generated too.
+        hints = {}
+        for var in self._before + self._after:
+            hints[var.name] = [(0, 0), (-4, -1)]
+        return hints
+
+
+class BroadcastToSpec(_DataMovementSpec):
+    """Broadcast to a larger shape solved by the constraint system."""
+
+    op_kind = "BroadcastTo"
+    n_inputs = 1
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        return [list(range(1, MAX_RANK + 1))]
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        self._out_rank = ctx.rng.randint(inputs[0].rank, MAX_RANK)
+        self._target = [ctx.dim_var(f"{self.name}_t{i}") for i in range(self._out_rank)]
+        return True
+
+    def requires(self, inputs: List[AbsTensor]) -> List[Constraint]:
+        (x,) = inputs
+        constraints: List[Constraint] = [dim >= 1 for dim in self._target]
+        offset = self._out_rank - x.rank
+        for index, dim in enumerate(x.dims):
+            target = self._target[offset + index]
+            constraints.append(Or([target == dim, dim == 1]))
+        return constraints
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        return [AbsTensor(inputs[0].dtype, list(self._target))]
+
+    def to_node(self, input_names, output_names, assignment) -> Node:
+        shape = [dim.evaluate(assignment) for dim in self._target]
+        return Node(self.op_kind, self.name, list(input_names), list(output_names),
+                    {"shape": shape})
+
+
+class ConcatSpec(_DataMovementSpec):
+    """Concatenate two to four tensors along one axis."""
+
+    op_kind = "Concat"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+
+    @classmethod
+    def arity_options(cls) -> List[int]:
+        return [2, 3, 4]
+
+    @classmethod
+    def dtype_combos(cls) -> List[DtypeCombo]:
+        combos = []
+        for arity in (2, 3, 4):
+            for dtype in _ALL_DATA_DTYPES:
+                combos.append((tuple([dtype] * arity), (dtype,)))
+        return combos
+
+    @classmethod
+    def input_rank_options(cls) -> List[List[int]]:
+        # Arity is variable; rank matching is handled in accepts_ranks.
+        return [list(range(1, MAX_RANK + 1))]
+
+    @classmethod
+    def accepts_ranks(cls, ranks) -> bool:
+        if not 2 <= len(ranks) <= 4:
+            return False
+        return len(set(ranks)) == 1 and ranks[0] >= 1
+
+    @classmethod
+    def accepts_dtypes(cls, dtypes) -> bool:
+        return 2 <= len(dtypes) <= 4 and len(set(dtypes)) == 1
+
+    @classmethod
+    def out_dtypes_for(cls, dtypes):
+        if not cls.accepts_dtypes(dtypes):
+            return None
+        return (dtypes[0],)
+
+    def _configure(self, ctx: SpecContext, inputs: List[AbsTensor]) -> bool:
+        self.const_attrs["axis"] = ctx.rng.randrange(inputs[0].rank)
+        return True
+
+    def requires(self, inputs: List[AbsTensor]) -> List[Constraint]:
+        axis = self.const_attrs["axis"]
+        first = inputs[0]
+        constraints: List[Constraint] = []
+        for other in inputs[1:]:
+            for index in range(first.rank):
+                if index != axis:
+                    constraints.append(other.dims[index] == first.dims[index])
+        return constraints
+
+    def type_transfer(self, inputs: List[AbsTensor]) -> List[AbsTensor]:
+        axis = self.const_attrs["axis"]
+        total = inputs[0].dims[axis]
+        for other in inputs[1:]:
+            total = total + other.dims[axis]
+        dims = list(inputs[0].dims)
+        dims[axis] = total
+        return [AbsTensor(inputs[0].dtype, dims)]

@@ -1,0 +1,182 @@
+"""Input/weight search for numerical validity: Algorithm 3 of the paper.
+
+Given a generated model, the search looks for graph inputs and weights such
+that *no* operator produces a NaN or Inf during execution (otherwise
+differential testing would either false-alarm or miss bugs, §2.3).  Three
+methods are provided, matching the Figure 11 ablation:
+
+* :func:`sampling_search` — repeatedly draw random values from ``[1, 9]``;
+* :func:`gradient_search` with proxy derivatives disabled;
+* :func:`gradient_search` with proxy derivatives enabled (the default).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.autodiff import Adam, DEFAULT_PROXY, ProxyConfig, backpropagate, unbroadcast
+from repro.core.losses import losses_for_node
+from repro.graph.model import Model
+from repro.runtime.interpreter import Interpreter, random_inputs, random_weights
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one value search."""
+
+    success: bool
+    inputs: Dict[str, np.ndarray] = field(default_factory=dict)
+    weights: Dict[str, np.ndarray] = field(default_factory=dict)
+    iterations: int = 0
+    elapsed: float = 0.0
+    method: str = "sampling"
+
+    def apply_weights(self, model: Model) -> Model:
+        """Write the found weights into (a clone of) the model."""
+        patched = model.clone()
+        for name, value in self.weights.items():
+            patched.initializers[name] = np.asarray(
+                value, dtype=patched.initializers[name].dtype)
+        return patched
+
+
+def _run(model: Model, inputs, weights, interpreter: Interpreter):
+    for name, value in weights.items():
+        model.initializers[name] = np.asarray(
+            value, dtype=model.type_of(name).dtype.numpy)
+    return interpreter.run_detailed(model, inputs)
+
+
+def sampling_search(model: Model, rng: Optional[np.random.Generator] = None,
+                    time_budget: float = 0.064,
+                    max_trials: int = 64) -> SearchResult:
+    """The paper's "Sampling" baseline: re-draw random values until valid."""
+    rng = rng or np.random.default_rng()
+    interpreter = Interpreter(record_intermediates=False)
+    work_model = model.clone()
+    start = time.monotonic()
+    trials = 0
+    inputs = {}
+    weights = {}
+    while trials < max_trials and (time.monotonic() - start) <= time_budget:
+        trials += 1
+        inputs = random_inputs(model, rng)
+        weights = random_weights(model, rng)
+        result = _run(work_model, inputs, weights, interpreter)
+        if result.numerically_valid:
+            return SearchResult(True, inputs, weights, trials,
+                                time.monotonic() - start, "sampling")
+    return SearchResult(False, inputs, weights, trials,
+                        time.monotonic() - start, "sampling")
+
+
+def gradient_search(model: Model, rng: Optional[np.random.Generator] = None,
+                    time_budget: float = 0.064,
+                    learning_rate: float = 0.5,
+                    proxy: ProxyConfig = DEFAULT_PROXY,
+                    max_iterations: int = 100) -> SearchResult:
+    """Gradient-guided search (Algorithm 3).
+
+    Starting from random values, each iteration finds the first operator (in
+    topological order) that produces a NaN/Inf, picks its first positive loss
+    function, and takes one Adam step on the loss gradient with respect to
+    every graph input and weight.  The optimizer state is reset whenever the
+    targeted operator changes; zero gradients trigger re-initialization and
+    NaN/Inf parameters are replaced by fresh random values.
+    """
+    rng = rng or np.random.default_rng()
+    interpreter = Interpreter(record_intermediates=True)
+    work_model = model.clone()
+    method = "gradient_proxy" if proxy.enabled else "gradient"
+
+    inputs = random_inputs(model, rng)
+    weights = random_weights(model, rng)
+    optimizer = Adam(learning_rate=learning_rate)
+    last_offender: Optional[str] = None
+
+    start = time.monotonic()
+    iterations = 0
+    while iterations < max_iterations and (time.monotonic() - start) <= time_budget:
+        iterations += 1
+        run = _run(work_model, inputs, weights, interpreter)
+        if run.numerically_valid:
+            return SearchResult(True, inputs, weights, iterations,
+                                time.monotonic() - start, method)
+
+        offender_name = run.first_exceptional_node
+        offender = work_model.node_by_name(offender_name)
+        if offender_name != last_offender:
+            # Loss landscapes differ wildly across operators; reset Adam's
+            # moment estimates when the optimization target switches.
+            optimizer.reset()
+            last_offender = offender_name
+
+        offender_inputs = [run.values[name] for name in offender.inputs]
+        loss = next((term for term in losses_for_node(offender)
+                     if term.value(offender_inputs) > 0), None)
+        if loss is None:
+            inputs = random_inputs(model, rng)
+            weights = random_weights(model, rng)
+            optimizer.reset()
+            continue
+
+        seed_grads: Dict[str, np.ndarray] = {}
+        for name, grad in zip(offender.inputs, loss.grads(offender_inputs)):
+            # Loss expressions over several operands broadcast; reduce each
+            # gradient back to the shape of the tensor it belongs to.
+            grad = unbroadcast(grad, np.shape(run.values[name]))
+            if name in seed_grads:
+                seed_grads[name] = seed_grads[name] + grad
+            else:
+                seed_grads[name] = grad
+        grads = backpropagate(work_model, run.values, seed_grads, proxy=proxy,
+                              stop_after=offender_name)
+
+        params = {**{k: v.astype(np.float64) for k, v in inputs.items()},
+                  **{k: v.astype(np.float64) for k, v in weights.items()}}
+        searchable = {name for name, grad in grads.items()
+                      if model.type_of(name).dtype.is_float}
+        active_grads = {name: grads[name] for name in searchable if name in params}
+        if all(float(np.abs(g).sum()) == 0.0 for g in active_grads.values()):
+            # Zero gradient everywhere: restart from fresh random values.
+            inputs = random_inputs(model, rng)
+            weights = random_weights(model, rng)
+            optimizer.reset()
+            continue
+
+        updated = optimizer.step(params, grads)
+        for name in list(updated):
+            array = updated[name]
+            bad = ~np.isfinite(array)
+            if bad.any():
+                replacement = rng.uniform(1.0, 9.0, size=array.shape)
+                array = np.where(bad, replacement, array)
+                updated[name] = array
+        inputs = {name: np.asarray(updated[name], dtype=model.type_of(name).dtype.numpy)
+                  if model.type_of(name).dtype.is_float else inputs[name]
+                  for name in inputs}
+        weights = {name: np.asarray(updated[name], dtype=model.type_of(name).dtype.numpy)
+                   if model.type_of(name).dtype.is_float else weights[name]
+                   for name in weights}
+
+    return SearchResult(False, inputs, weights, iterations,
+                        time.monotonic() - start, method)
+
+
+def search_values(model: Model, method: str = "gradient_proxy",
+                  rng: Optional[np.random.Generator] = None,
+                  time_budget: float = 0.064) -> SearchResult:
+    """Dispatch helper used by the fuzzer and the Figure 11 experiment."""
+    if method == "sampling":
+        return sampling_search(model, rng, time_budget=time_budget)
+    if method == "gradient":
+        from repro.autodiff import NO_PROXY
+
+        return gradient_search(model, rng, time_budget=time_budget, proxy=NO_PROXY)
+    if method == "gradient_proxy":
+        return gradient_search(model, rng, time_budget=time_budget, proxy=DEFAULT_PROXY)
+    raise ValueError(f"unknown value-search method {method!r}")

@@ -1,0 +1,110 @@
+"""Tensor element data types and promotion rules.
+
+The repro package supports a small but representative set of element types:
+two floating-point widths, two integer widths and booleans.  This matches the
+set NNSmith exercises when fuzzing ONNX-based compilers and is sufficient to
+reproduce the integer-width-mismatch and dtype-mismatch bug patterns the
+paper describes (int32 vs int64 shape arithmetic, Clip on int32, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+
+class DType(enum.Enum):
+    """Element type of a tensor."""
+
+    float32 = "float32"
+    float64 = "float64"
+    int32 = "int32"
+    int64 = "int64"
+    bool_ = "bool"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_float(self) -> bool:
+        return self in (DType.float32, DType.float64)
+
+    @property
+    def is_int(self) -> bool:
+        return self in (DType.int32, DType.int64)
+
+    @property
+    def is_bool(self) -> bool:
+        return self is DType.bool_
+
+    @property
+    def numpy(self) -> np.dtype:
+        """The numpy dtype backing this element type."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def bytes(self) -> int:
+        """Size of one element in bytes."""
+        return int(np.dtype(self.numpy).itemsize)
+
+    @classmethod
+    def from_str(cls, name: str) -> "DType":
+        """Parse a dtype from its string name (``"float32"``, ``"bool"``...)."""
+        for member in cls:
+            if member.value == name:
+                return member
+        raise ValueError(f"unknown dtype name: {name!r}")
+
+    @classmethod
+    def from_numpy(cls, dtype: Union[np.dtype, type]) -> "DType":
+        """Map a numpy dtype back to a :class:`DType`."""
+        np_dtype = np.dtype(dtype)
+        for member, candidate in _NUMPY_DTYPES.items():
+            if np.dtype(candidate) == np_dtype:
+                return member
+        raise ValueError(f"unsupported numpy dtype: {np_dtype}")
+
+
+_NUMPY_DTYPES = {
+    DType.float32: np.float32,
+    DType.float64: np.float64,
+    DType.int32: np.int32,
+    DType.int64: np.int64,
+    DType.bool_: np.bool_,
+}
+
+#: All supported dtypes, in a deterministic order.
+ALL_DTYPES = (DType.float32, DType.float64, DType.int32, DType.int64, DType.bool_)
+
+#: Floating point dtypes.
+FLOAT_DTYPES = (DType.float32, DType.float64)
+
+#: Integer dtypes.
+INT_DTYPES = (DType.int32, DType.int64)
+
+#: Dtypes usable as numeric computation (float or int, not bool).
+NUMERIC_DTYPES = FLOAT_DTYPES + INT_DTYPES
+
+_PROMOTION_ORDER = {
+    DType.bool_: 0,
+    DType.int32: 1,
+    DType.int64: 2,
+    DType.float32: 3,
+    DType.float64: 4,
+}
+
+
+def promote(lhs: DType, rhs: DType) -> DType:
+    """Return the result dtype of a binary elementwise operation.
+
+    The promotion lattice is ``bool < int32 < int64 < float32 < float64``,
+    mirroring ONNX/PyTorch behaviour closely enough for the operators the
+    fuzzer generates (mixed-dtype operands are rare because operator
+    specifications usually require equal dtypes).
+    """
+    return lhs if _PROMOTION_ORDER[lhs] >= _PROMOTION_ORDER[rhs] else rhs

@@ -1,0 +1,58 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments.binning_ablation import (
+    BinningCoverageResult,
+    InstanceDiversityResult,
+    run_binning_coverage,
+    run_instance_diversity,
+)
+from repro.experiments.bug_study import (
+    BugTable,
+    CrashComparisonResult,
+    crash_comparison,
+    reachability_analysis,
+    run_bug_study,
+)
+from repro.experiments.coverage_experiment import (
+    CoverageCampaignResult,
+    NNSmithCaseGenerator,
+    make_case_generator,
+    run_coverage_campaign,
+    run_fuzzer_comparison,
+    run_tzer_campaign,
+)
+from repro.experiments.gradient_ablation import (
+    GradientAblationResult,
+    NanRateResult,
+    build_model_group,
+    measure_nan_rate,
+    run_gradient_ablation,
+)
+from repro.experiments.venn import format_venn_table, totals, unique_counts, venn_regions
+
+__all__ = [
+    "BinningCoverageResult",
+    "BugTable",
+    "CoverageCampaignResult",
+    "CrashComparisonResult",
+    "GradientAblationResult",
+    "InstanceDiversityResult",
+    "NNSmithCaseGenerator",
+    "NanRateResult",
+    "build_model_group",
+    "crash_comparison",
+    "format_venn_table",
+    "make_case_generator",
+    "measure_nan_rate",
+    "reachability_analysis",
+    "run_binning_coverage",
+    "run_bug_study",
+    "run_coverage_campaign",
+    "run_fuzzer_comparison",
+    "run_gradient_ablation",
+    "run_instance_diversity",
+    "run_tzer_campaign",
+    "totals",
+    "unique_counts",
+    "venn_regions",
+]

@@ -1,0 +1,218 @@
+"""Bug study: Table 3 and the §5.4 comparisons.
+
+Three analyses reproduce the paper's bug-finding evaluation against the
+seeded-bug population:
+
+* :func:`run_bug_study` — a fuzzing campaign with every seeded bug enabled;
+  found bugs are attributed to their system / phase / symptom, producing the
+  Table 3 distribution;
+* :func:`reachability_analysis` — the design-level argument ("49 of 72 bugs
+  cannot be triggered by LEMON's or GraphFuzzer's designs"): a bug is
+  reachable by a generator design iff the design provides every model feature
+  the bug's trigger requires;
+* :func:`crash_comparison` — the empirical head-to-head: run every tool for
+  the same budget and count unique crashes per compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+import numpy as np
+
+from repro.baselines.graphfuzzer import GraphFuzzerGenerator
+from repro.baselines.lemon import LemonGenerator
+from repro.compilers import CompileOptions, DeepCCompiler, GraphRTCompiler, TurboCompiler
+from repro.compilers.bugs import (
+    FEATURE_ATTR_DIVERSITY,
+    FEATURE_BROADCAST,
+    FEATURE_FLOAT64,
+    FEATURE_INT_DTYPE,
+    FEATURE_MULTI_INPUT,
+    FEATURE_MULTI_OP,
+    FEATURE_NON_SHAPE_PRESERVING,
+    FEATURE_SCALAR,
+    FEATURE_SHAPE_OPS,
+    FEATURE_VECTOR_MATMUL,
+    BugConfig,
+    BugSpec,
+    all_bugs,
+    bug_spec,
+)
+from repro.core.difftest import DifferentialTester
+from repro.core.fuzzer import CampaignResult, Fuzzer, FuzzerConfig
+from repro.core.generator import GeneratorConfig
+from repro.errors import ReproError
+from repro.runtime.interpreter import random_inputs
+
+#: Model features each generator design can produce (used for reachability).
+GENERATOR_FEATURES: Dict[str, FrozenSet[str]] = {
+    "nnsmith": frozenset({
+        FEATURE_MULTI_OP, FEATURE_NON_SHAPE_PRESERVING, FEATURE_BROADCAST,
+        FEATURE_ATTR_DIVERSITY, FEATURE_SCALAR, FEATURE_INT_DTYPE,
+        FEATURE_FLOAT64, FEATURE_VECTOR_MATMUL, FEATURE_SHAPE_OPS,
+        FEATURE_MULTI_INPUT,
+    }),
+    # GraphFuzzer connects non-unary operators but only in shape-preserving
+    # configurations, aligns shapes with slicing, uses default attributes and
+    # float32/float64 tensors; it never produces scalars, broadcasts, integer
+    # tensors or diverse attributes.
+    "graphfuzzer": frozenset({
+        FEATURE_MULTI_OP, FEATURE_MULTI_INPUT, FEATURE_SHAPE_OPS, FEATURE_FLOAT64,
+    }),
+    # LEMON only mutates shape-preserving unary layers of float32 seed models.
+    "lemon": frozenset({FEATURE_MULTI_OP, FEATURE_MULTI_INPUT}),
+}
+
+
+def make_compilers(bugs: BugConfig):
+    """The three systems under test with a shared bug configuration."""
+    return [
+        GraphRTCompiler(CompileOptions(opt_level=2, bugs=bugs)),
+        DeepCCompiler(CompileOptions(opt_level=2, bugs=bugs)),
+        TurboCompiler(CompileOptions(opt_level=2, bugs=bugs)),
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Table 3
+# --------------------------------------------------------------------------- #
+@dataclass
+class BugTable:
+    """The Table 3 analogue: bug counts per system and phase."""
+
+    found: Set[str] = field(default_factory=set)
+    campaign: Optional[CampaignResult] = None
+
+    def specs(self) -> List[BugSpec]:
+        return [bug_spec(bug_id) for bug_id in sorted(self.found)]
+
+    def count(self, system: Optional[str] = None, phase: Optional[str] = None,
+              symptom: Optional[str] = None) -> int:
+        total = 0
+        for spec in self.specs():
+            if system is not None and spec.system != system:
+                continue
+            if phase is not None and spec.phase != phase:
+                continue
+            if symptom is not None and spec.symptom != symptom:
+                continue
+            total += 1
+        return total
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Rows matching the paper's Table 3 layout."""
+        display = {"graphrt": "GraphRT", "deepc": "DeepC", "turbo": "Turbo",
+                   "exporter": "Exporter"}
+        rows = []
+        for system in ("graphrt", "deepc", "turbo", "exporter"):
+            rows.append({
+                "system": display[system],
+                "transformation": self.count(system, "transformation"),
+                "conversion": self.count(system, "conversion"),
+                "unclassified": self.count(system, "unclassified"),
+                "total": self.count(system),
+            })
+        rows.append({
+            "system": "Total",
+            "transformation": self.count(phase="transformation"),
+            "conversion": self.count(phase="conversion"),
+            "unclassified": self.count(phase="unclassified"),
+            "total": self.count(),
+        })
+        return rows
+
+    def crash_semantic_split(self):
+        return self.count(symptom="crash"), self.count(symptom="semantic")
+
+
+def run_bug_study(max_iterations: int = 120, n_nodes: int = 10,
+                  seed: int = 0,
+                  time_budget: Optional[float] = None) -> BugTable:
+    """Fuzz all three compilers with every seeded bug enabled."""
+    bugs = BugConfig.all()
+    fuzzer = Fuzzer(make_compilers(bugs), FuzzerConfig(
+        generator=GeneratorConfig(n_nodes=n_nodes),
+        max_iterations=max_iterations,
+        time_budget=time_budget,
+        bugs=bugs,
+        seed=seed,
+    ))
+    campaign = fuzzer.run()
+    return BugTable(found=set(campaign.seeded_bugs_found), campaign=campaign)
+
+
+# --------------------------------------------------------------------------- #
+# Design-level reachability (the "49 of 72 bugs" argument)
+# --------------------------------------------------------------------------- #
+def reachable_bugs(design: str) -> Set[str]:
+    """Bugs whose required features are all provided by a generator design."""
+    features = GENERATOR_FEATURES[design]
+    return {spec.bug_id for spec in all_bugs()
+            if spec.required_features <= features}
+
+
+def reachability_analysis() -> Dict[str, object]:
+    """Summary of which seeded bugs each generator design can trigger."""
+    nnsmith = reachable_bugs("nnsmith")
+    graphfuzzer = reachable_bugs("graphfuzzer")
+    lemon = reachable_bugs("lemon")
+    total = {spec.bug_id for spec in all_bugs()}
+    return {
+        "total_bugs": len(total),
+        "nnsmith": len(nnsmith),
+        "graphfuzzer": len(graphfuzzer),
+        "lemon": len(lemon),
+        "unreachable_by_baselines": len(total - graphfuzzer - lemon),
+        "baseline_only": sorted((graphfuzzer | lemon) - nnsmith),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Empirical head-to-head (unique crashes per tool within one budget)
+# --------------------------------------------------------------------------- #
+@dataclass
+class CrashComparisonResult:
+    """Unique crashes per fuzzer and compiler (the §5.4 four-hour run)."""
+
+    iterations: int
+    unique_crashes: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    seeded_found: Dict[str, Set[str]] = field(default_factory=dict)
+
+
+def crash_comparison(max_iterations: int = 40, seed: int = 0,
+                     n_nodes: int = 10) -> CrashComparisonResult:
+    """Run NNSmith, GraphFuzzer and LEMON for the same iteration budget."""
+    bugs = BugConfig.all()
+    result = CrashComparisonResult(iterations=max_iterations)
+
+    # NNSmith goes through the full pipeline (value search included).
+    fuzzer = Fuzzer(make_compilers(bugs), FuzzerConfig(
+        generator=GeneratorConfig(n_nodes=n_nodes),
+        max_iterations=max_iterations, bugs=bugs, seed=seed))
+    campaign = fuzzer.run()
+    result.unique_crashes["nnsmith"] = {
+        name: campaign.unique_crashes(name) for name in ("graphrt", "deepc", "turbo")}
+    result.seeded_found["nnsmith"] = set(campaign.seeded_bugs_found)
+
+    # Baselines: generate models and push them through the same tester.
+    for name, generator in (("graphfuzzer", GraphFuzzerGenerator(seed=seed, n_nodes=n_nodes)),
+                            ("lemon", LemonGenerator(seed=seed))):
+        tester = DifferentialTester(make_compilers(bugs), bugs=bugs)
+        crashes: Dict[str, Set[str]] = {"graphrt": set(), "deepc": set(), "turbo": set()}
+        found: Set[str] = set()
+        rng = np.random.default_rng(seed)
+        for _ in range(max_iterations):
+            try:
+                model = generator.next_case()
+                case = tester.run_case(model, inputs=random_inputs(model, rng))
+            except ReproError:
+                continue
+            for verdict in case.verdicts:
+                found.update(verdict.triggered_bugs)
+                if verdict.status == "crash":
+                    crashes[verdict.compiler].add(verdict.message.splitlines()[0][:160])
+        result.unique_crashes[name] = {k: len(v) for k, v in crashes.items()}
+        result.seeded_found[name] = found
+    return result

@@ -1,0 +1,205 @@
+"""Coverage campaigns: the machinery behind Figures 4–8.
+
+A *case generator* (NNSmith, LEMON, GraphFuzzer) produces one model per
+iteration; every model is exported, compiled by the instrumented compiler and
+executed, while the coverage tracer accumulates branch arcs.  The result is a
+coverage timeline (arcs over wall-clock time and over iterations) plus the
+final arc set, from which the figures' curves and Venn decompositions are
+derived.
+
+Tzer is driven through its own entry point because it mutates DeepC's
+low-level IR directly rather than producing models.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Protocol
+
+import numpy as np
+
+from repro.baselines.graphfuzzer import GraphFuzzerGenerator
+from repro.baselines.lemon import LemonGenerator
+from repro.baselines.tzer import TzerFuzzer
+from repro.compilers import CompileOptions, make_compiler
+from repro.compilers.bugs import BugConfig
+from repro.compilers.coverage import CoverageTimeline, CoverageTracer
+from repro.core.generator import GeneratorConfig, generate_model
+from repro.errors import ReproError
+from repro.graph.model import Model
+from repro.runtime.exporter import export_model
+from repro.runtime.interpreter import random_inputs
+
+
+class CaseGenerator(Protocol):
+    """Anything that can produce one test model per iteration."""
+
+    name: str
+
+    def next_case(self) -> Model:  # pragma: no cover - protocol signature
+        ...
+
+
+class NNSmithCaseGenerator:
+    """Adapter exposing the NNSmith generator through the CaseGenerator protocol."""
+
+    name = "nnsmith"
+
+    def __init__(self, seed: int = 0, n_nodes: int = 10,
+                 use_binning: bool = True) -> None:
+        self.seed = seed
+        self.n_nodes = n_nodes
+        self.use_binning = use_binning
+        self._iteration = 0
+        #: operator-instance signatures of every generated model (Figure 9).
+        self.op_instances: List[str] = []
+
+    def next_case(self) -> Model:
+        self._iteration += 1
+        generated = generate_model(GeneratorConfig(
+            n_nodes=self.n_nodes,
+            seed=self.seed * 1_000_003 + self._iteration,
+            use_binning=self.use_binning,
+        ))
+        self.op_instances.extend(generated.op_instances)
+        return generated.model
+
+
+def make_case_generator(name: str, seed: int = 0, n_nodes: int = 10,
+                        use_binning: bool = True) -> CaseGenerator:
+    """Instantiate a case generator by its short name."""
+    if name == "nnsmith":
+        return NNSmithCaseGenerator(seed=seed, n_nodes=n_nodes, use_binning=use_binning)
+    if name == "graphfuzzer":
+        return GraphFuzzerGenerator(seed=seed, n_nodes=n_nodes)
+    if name == "lemon":
+        return LemonGenerator(seed=seed)
+    raise KeyError(f"unknown case generator {name!r}")
+
+
+@dataclass
+class CoverageCampaignResult:
+    """Outcome of one fuzzer-vs-compiler coverage campaign."""
+
+    fuzzer: str
+    compiler: str
+    iterations: int
+    elapsed: float
+    arcs: FrozenSet = frozenset()
+    pass_arcs: FrozenSet = frozenset()
+    timeline: CoverageTimeline = field(default_factory=CoverageTimeline)
+    crashes: int = 0
+
+    @property
+    def total_coverage(self) -> int:
+        return len(self.arcs)
+
+    @property
+    def pass_coverage(self) -> int:
+        return len(self.pass_arcs)
+
+
+#: LEMON mutates full real-world models, which the paper reports as up to two
+#: orders of magnitude slower per test case than NNSmith; the scaled-down
+#: zoo does not reproduce that cost by itself, so a per-iteration penalty
+#: models it (only wall-clock throughput is affected, never coverage math).
+LEMON_ITERATION_PENALTY = 0.05
+
+
+def run_coverage_campaign(generator: CaseGenerator, compiler_name: str,
+                          max_iterations: Optional[int] = 50,
+                          time_budget: Optional[float] = None,
+                          seed: int = 0) -> CoverageCampaignResult:
+    """Fuzz one compiler with one generator while tracing branch coverage."""
+    compiler = make_compiler(compiler_name,
+                             CompileOptions(opt_level=2, bugs=BugConfig.none()))
+    tracer = CoverageTracer(systems=(compiler_name,))
+    timeline = CoverageTimeline()
+    rng = np.random.default_rng(seed)
+    crashes = 0
+    start = time.monotonic()
+    iteration = 0
+
+    while True:
+        if max_iterations is not None and iteration >= max_iterations:
+            break
+        if time_budget is not None and (time.monotonic() - start) >= time_budget:
+            break
+        iteration += 1
+        try:
+            model = generator.next_case()
+        except ReproError:
+            continue
+        if generator.name == "lemon":
+            time.sleep(LEMON_ITERATION_PENALTY)
+        try:
+            exported = export_model(model, bugs=BugConfig.none())
+        except ReproError:
+            continue
+        with tracer:
+            try:
+                compiled = compiler.compile_model(exported)
+                compiled.run(random_inputs(exported, rng))
+            except ReproError:
+                crashes += 1
+        timeline.record(time.monotonic() - start, iteration,
+                        tracer.count(), tracer.count(pass_only=True))
+
+    return CoverageCampaignResult(
+        fuzzer=generator.name,
+        compiler=compiler_name,
+        iterations=iteration,
+        elapsed=time.monotonic() - start,
+        arcs=tracer.arcs_by_scope(pass_only=False),
+        pass_arcs=tracer.arcs_by_scope(pass_only=True),
+        timeline=timeline,
+        crashes=crashes,
+    )
+
+
+def run_tzer_campaign(max_iterations: Optional[int] = 50,
+                      time_budget: Optional[float] = None,
+                      seed: int = 0) -> CoverageCampaignResult:
+    """Run the Tzer baseline against DeepC's low-level pipeline (Figure 8)."""
+    fuzzer = TzerFuzzer(seed=seed, bugs=BugConfig.none())
+    tracer = CoverageTracer(systems=("deepc",))
+    timeline = CoverageTimeline()
+    crashes = 0
+    start = time.monotonic()
+    iteration = 0
+    while True:
+        if max_iterations is not None and iteration >= max_iterations:
+            break
+        if time_budget is not None and (time.monotonic() - start) >= time_budget:
+            break
+        iteration += 1
+        with tracer:
+            if fuzzer.run_iteration(tracer):
+                crashes += 1
+        timeline.record(time.monotonic() - start, iteration,
+                        tracer.count(), tracer.count(pass_only=True))
+    return CoverageCampaignResult(
+        fuzzer="tzer",
+        compiler="deepc",
+        iterations=iteration,
+        elapsed=time.monotonic() - start,
+        arcs=tracer.arcs_by_scope(pass_only=False),
+        pass_arcs=tracer.arcs_by_scope(pass_only=True),
+        timeline=timeline,
+        crashes=crashes,
+    )
+
+
+def run_fuzzer_comparison(compiler_name: str, fuzzers=("nnsmith", "graphfuzzer", "lemon"),
+                          max_iterations: int = 40,
+                          time_budget: Optional[float] = None,
+                          seed: int = 0) -> Dict[str, CoverageCampaignResult]:
+    """Run every fuzzer against one compiler (the per-subplot data of Fig. 4-7)."""
+    results: Dict[str, CoverageCampaignResult] = {}
+    for name in fuzzers:
+        generator = make_case_generator(name, seed=seed)
+        results[name] = run_coverage_campaign(
+            generator, compiler_name,
+            max_iterations=max_iterations, time_budget=time_budget, seed=seed)
+    return results

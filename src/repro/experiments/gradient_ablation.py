@@ -1,0 +1,138 @@
+"""Value-search ablation: Figure 11 and the §2.3/§3.3 NaN-rate statistics.
+
+Model groups of a fixed size (10/20/30 operators in the paper) that contain
+at least one vulnerable operator are generated once; each search method
+(random sampling, gradient search without proxy derivatives, gradient search
+with proxy derivatives) is then run on the *same* models with the *same*
+initial values and an increasing per-model time budget, recording the success
+rate and the average searching time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.generator import GeneratorConfig, generate_model
+from repro.core.losses import is_vulnerable
+from repro.core.value_search import search_values
+from repro.errors import ReproError
+from repro.graph.model import Model
+from repro.runtime.interpreter import Interpreter, random_inputs, random_weights
+
+
+def build_model_group(n_nodes: int, count: int, seed: int = 0,
+                      require_vulnerable: bool = True,
+                      max_attempts: Optional[int] = None) -> List[Model]:
+    """Generate ``count`` models of ``n_nodes`` operators each.
+
+    When ``require_vulnerable`` is set, only models containing at least one
+    vulnerable operator (restricted numerical domain) are kept, mirroring the
+    paper's Figure 11 setup.
+    """
+    models: List[Model] = []
+    attempts = 0
+    budget = max_attempts if max_attempts is not None else count * 20
+    while len(models) < count and attempts < budget:
+        attempts += 1
+        try:
+            generated = generate_model(GeneratorConfig(
+                n_nodes=n_nodes, seed=seed * 104_729 + attempts))
+        except ReproError:
+            continue
+        if require_vulnerable and not any(
+                is_vulnerable(node.op) for node in generated.model.nodes):
+            continue
+        models.append(generated.model)
+    return models
+
+
+@dataclass
+class MethodCurve:
+    """Success rate vs average search time for one method (one Fig. 11 line)."""
+
+    method: str
+    budgets: List[float] = field(default_factory=list)
+    success_rates: List[float] = field(default_factory=list)
+    average_times: List[float] = field(default_factory=list)
+
+
+@dataclass
+class GradientAblationResult:
+    """Figure 11 data for one model-size group."""
+
+    n_nodes: int
+    n_models: int
+    curves: Dict[str, MethodCurve] = field(default_factory=dict)
+
+    def best_success_rate(self, method: str) -> float:
+        curve = self.curves[method]
+        return max(curve.success_rates) if curve.success_rates else 0.0
+
+
+def run_gradient_ablation(n_nodes: int = 10, n_models: int = 12,
+                          budgets_ms: Optional[List[float]] = None,
+                          seed: int = 0,
+                          methods=("sampling", "gradient", "gradient_proxy"),
+                          ) -> GradientAblationResult:
+    """Run every search method over one model group with increasing budgets."""
+    budgets_ms = budgets_ms or [8.0 * i for i in range(1, 5)]
+    models = build_model_group(n_nodes, n_models, seed=seed)
+    result = GradientAblationResult(n_nodes=n_nodes, n_models=len(models))
+    for method in methods:
+        curve = MethodCurve(method=method)
+        for budget_ms in budgets_ms:
+            successes = 0
+            total_time = 0.0
+            for index, model in enumerate(models):
+                rng = np.random.default_rng(seed * 31 + index)
+                search = search_values(model, method=method, rng=rng,
+                                       time_budget=budget_ms / 1000.0)
+                successes += int(search.success)
+                total_time += search.elapsed
+            curve.budgets.append(budget_ms)
+            curve.success_rates.append(successes / len(models) if models else 0.0)
+            curve.average_times.append(
+                total_time / len(models) * 1000.0 if models else 0.0)
+        result.curves[method] = curve
+    return result
+
+
+@dataclass
+class NanRateResult:
+    """§2.3 statistic: fraction of models whose naive execution hits NaN/Inf."""
+
+    n_nodes: int
+    n_models: int
+    exceptional_models: int
+
+    @property
+    def rate(self) -> float:
+        return self.exceptional_models / self.n_models if self.n_models else 0.0
+
+
+def measure_nan_rate(n_nodes: int = 20, n_models: int = 20,
+                     seed: int = 0) -> NanRateResult:
+    """How often do default-initialized weights/inputs produce NaN/Inf?
+
+    The paper measures this with PyTorch's default weight initializer, which
+    draws values centred on zero; the equivalent here is a standard-normal
+    initialization (so operators such as Log, Sqrt and Asin routinely see
+    out-of-domain values).
+    """
+    models = build_model_group(n_nodes, n_models, seed=seed,
+                               require_vulnerable=False)
+    interpreter = Interpreter(record_intermediates=False)
+    exceptional = 0
+    for index, model in enumerate(models):
+        rng = np.random.default_rng(seed * 17 + index)
+        work = model.clone()
+        for name, value in random_weights(model, rng, low=-3.0, high=3.0).items():
+            work.initializers[name] = value
+        inputs = random_inputs(model, rng, low=-3.0, high=3.0)
+        run = interpreter.run_detailed(work, inputs)
+        exceptional += int(not run.numerically_valid)
+    return NanRateResult(n_nodes=n_nodes, n_models=len(models),
+                         exceptional_models=exceptional)

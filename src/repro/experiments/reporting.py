@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results (the "figures" of this repo).
+
+Every benchmark prints its table/series through these helpers so that the
+regenerated results are easy to eyeball next to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str], title: str = "") -> str:
+    """Fixed-width text table."""
+    widths = {col: max(len(str(col)),
+                       max((len(str(row.get(col, ""))) for row in rows), default=0))
+              for col in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(str(row.get(col, "")).ljust(widths[col])
+                               for col in columns))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Iterable[float], ys: Iterable[float],
+                  x_label: str = "x", y_label: str = "y",
+                  max_points: int = 12) -> str:
+    """A compact textual rendering of one curve (downsampled)."""
+    xs = list(xs)
+    ys = list(ys)
+    if len(xs) > max_points:
+        step = max(1, len(xs) // max_points)
+        indices = list(range(0, len(xs), step))
+        if indices[-1] != len(xs) - 1:
+            indices.append(len(xs) - 1)
+        xs = [xs[i] for i in indices]
+        ys = [ys[i] for i in indices]
+    pairs = ", ".join(f"({x:.3g}, {y:.3g})" for x, y in zip(xs, ys))
+    return f"{name}: {x_label} -> {y_label}: {pairs}"
+
+
+def format_ratio_bars(ratios: Mapping[str, float], title: str = "",
+                      width: int = 30) -> str:
+    """Horizontal bar chart in text form (used for Figure 9)."""
+    lines = [title] if title else []
+    if not ratios:
+        return title
+    peak = max(ratios.values()) or 1.0
+    for name, value in sorted(ratios.items(), key=lambda item: item[1]):
+        bar = "#" * max(1, int(width * value / peak))
+        lines.append(f"  {name:<18} {value:5.2f}x {bar}")
+    return "\n".join(lines)
+
+
+def summarize_counts(counts: Mapping[str, int], title: str = "") -> str:
+    lines = [title] if title else []
+    for name, value in counts.items():
+        lines.append(f"  {name:<20} {value}")
+    return "\n".join(lines)

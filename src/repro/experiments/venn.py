@@ -1,0 +1,65 @@
+"""Venn-style decomposition of coverage sets (Figures 7, 8 and 10)."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Set, Tuple
+
+
+def venn_regions(sets: Mapping[str, Iterable]) -> Dict[FrozenSet[str], int]:
+    """Sizes of every exclusive region of the Venn diagram.
+
+    Each element is assigned to the region keyed by the frozenset of set
+    names containing it; the returned mapping gives the size of every
+    non-empty region.
+    """
+    materialized: Dict[str, Set] = {name: set(values) for name, values in sets.items()}
+    regions: Dict[FrozenSet[str], int] = {}
+    universe: Set = set()
+    for values in materialized.values():
+        universe |= values
+    for element in universe:
+        members = frozenset(name for name, values in materialized.items()
+                            if element in values)
+        regions[members] = regions.get(members, 0) + 1
+    return regions
+
+
+def unique_counts(sets: Mapping[str, Iterable]) -> Dict[str, int]:
+    """Per-set count of elements not covered by any other set.
+
+    This is the paper's "unique coverage" metric (branches only one fuzzer
+    reaches).
+    """
+    regions = venn_regions(sets)
+    return {name: regions.get(frozenset({name}), 0) for name in sets}
+
+
+def totals(sets: Mapping[str, Iterable]) -> Dict[str, int]:
+    """Total size of each set (the parenthesised numbers in Figure 7)."""
+    return {name: len(set(values)) for name, values in sets.items()}
+
+
+def pairwise_overlap(sets: Mapping[str, Iterable]) -> Dict[Tuple[str, str], int]:
+    """Size of the pairwise intersections (diagnostic, not in the paper)."""
+    names = sorted(sets)
+    materialized = {name: set(sets[name]) for name in names}
+    overlaps: Dict[Tuple[str, str], int] = {}
+    for i, first in enumerate(names):
+        for second in names[i + 1:]:
+            overlaps[(first, second)] = len(materialized[first] & materialized[second])
+    return overlaps
+
+
+def format_venn_table(sets: Mapping[str, Iterable], title: str = "") -> str:
+    """Human-readable text rendering of a Venn decomposition."""
+    lines = []
+    if title:
+        lines.append(title)
+    for name, total in totals(sets).items():
+        lines.append(f"  {name:<14} total={total}")
+    lines.append("  exclusive regions:")
+    for members, count in sorted(venn_regions(sets).items(),
+                                 key=lambda item: (len(item[0]), sorted(item[0]))):
+        label = " & ".join(sorted(members))
+        lines.append(f"    {label:<40} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Computation-graph IR: tensor types, nodes, models, validation, serialization."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import Model
+from repro.graph.node import Node
+from repro.graph.tensor_type import TensorType, broadcast_shapes
+from repro.graph.validate import is_valid, validate_model, validation_errors
+
+__all__ = [
+    "GraphBuilder",
+    "Model",
+    "Node",
+    "TensorType",
+    "broadcast_shapes",
+    "is_valid",
+    "validate_model",
+    "validation_errors",
+]

@@ -1,0 +1,88 @@
+"""A fluent builder for constructing models by hand.
+
+The builder is used by tests, examples and the baseline seed-model zoo.  The
+NNSmith generator itself builds models through
+:mod:`repro.core.concretize`, but both paths converge on the same
+:class:`~repro.graph.model.Model` representation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dtypes import DType
+from repro.graph.model import Model
+from repro.graph.node import Node
+from repro.graph.tensor_type import TensorType
+from repro.ops.shape_infer import infer_output_types
+
+
+class GraphBuilder:
+    """Incrementally build a :class:`Model` with automatic shape inference."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.model = Model(name)
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    def input(self, shape: Sequence[int], dtype: DType = DType.float32,
+              name: Optional[str] = None) -> str:
+        """Declare a graph input and return its value name."""
+        value = name or self._fresh("x")
+        self.model.add_input(value, TensorType(shape, dtype))
+        return value
+
+    def weight(self, data: np.ndarray, name: Optional[str] = None) -> str:
+        """Declare an initializer (constant weight) and return its value name."""
+        value = name or self._fresh("w")
+        self.model.add_initializer(value, np.asarray(data))
+        return value
+
+    def op(self, op: str, inputs: Sequence[str], n_outputs: int = 1,
+           name: Optional[str] = None, **attrs) -> List[str]:
+        """Append an operator node; output types are inferred automatically.
+
+        Returns the list of output value names.
+        """
+        node_name = name or self._fresh(op.lower())
+        outputs = [self._fresh("v") for _ in range(n_outputs)]
+        node = Node(op, node_name, list(inputs), outputs, attrs)
+        input_types = [self.model.type_of(value) for value in inputs]
+        output_types = infer_output_types(node, input_types)
+        if len(output_types) != n_outputs:
+            # Trust inference over the caller's guess for the output count.
+            outputs = [self._fresh("v") for _ in range(len(output_types))]
+            node.outputs = outputs
+        self.model.add_node(node, output_types)
+        return outputs
+
+    def op1(self, op: str, inputs: Sequence[str], name: Optional[str] = None,
+            **attrs) -> str:
+        """Like :meth:`op` but for single-output operators; returns the name."""
+        return self.op(op, inputs, n_outputs=1, name=name, **attrs)[0]
+
+    def output(self, *names: str) -> None:
+        """Mark one or more values as graph outputs."""
+        for value in names:
+            self.model.mark_output(value)
+
+    def build(self) -> Model:
+        """Finalize and return the model.
+
+        If no outputs were marked, every *leaf* value (produced but never
+        consumed) becomes an output, which is the convention the fuzzer uses.
+        """
+        if not self.model.outputs:
+            consumed = {name for node in self.model.nodes for name in node.inputs}
+            for node in self.model.nodes:
+                for produced in node.outputs:
+                    if produced not in consumed:
+                        self.model.mark_output(produced)
+        return self.model
+
+    # ------------------------------------------------------------------ #
+    def _fresh(self, base: str) -> str:
+        self._counter += 1
+        return f"{base}{self._counter}"

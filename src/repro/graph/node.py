@@ -1,0 +1,99 @@
+"""Graph nodes: a single operator application inside a model.
+
+A :class:`Node` references its input and output *values* by name.  Values
+are the edges of the computation graph; their types are recorded on the
+owning :class:`repro.graph.model.Model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence
+
+
+#: Attribute values allowed on a node: ints, floats, bools, strings and
+#: (possibly nested) lists of those.  Tensors never appear as attributes;
+#: constant tensors are modelled as graph initializers instead.
+AttrValue = Any
+
+
+@dataclass
+class Node:
+    """One operator application.
+
+    Attributes:
+        op: operator kind, e.g. ``"Conv2d"`` or ``"Add"``.
+        name: unique node name within the model.
+        inputs: names of the input values, in positional order.
+        outputs: names of the output values, in positional order.
+        attrs: operator attributes (kernel sizes, axes, target shapes, ...).
+    """
+
+    op: str
+    name: str
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    attrs: Dict[str, AttrValue] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.inputs = list(self.inputs)
+        self.outputs = list(self.outputs)
+        self.attrs = dict(self.attrs)
+
+    def attr(self, key: str, default: AttrValue = None) -> AttrValue:
+        """Fetch an attribute with an optional default."""
+        return self.attrs.get(key, default)
+
+    def with_attrs(self, **updates: AttrValue) -> "Node":
+        """Return a copy of this node with some attributes replaced."""
+        merged = dict(self.attrs)
+        merged.update(updates)
+        return Node(self.op, self.name, list(self.inputs), list(self.outputs), merged)
+
+    def clone(self) -> "Node":
+        """Deep-enough copy: lists and the attribute dict are duplicated."""
+        return Node(
+            self.op,
+            self.name,
+            list(self.inputs),
+            list(self.outputs),
+            _clone_attrs(self.attrs),
+        )
+
+    def signature(self) -> str:
+        """A stable textual summary used for operator-instance counting.
+
+        Two nodes with the same operator kind and the same attributes map to
+        the same signature.  Input types are appended by callers that want
+        the paper's "unique operator instance" notion (Figure 9).
+        """
+        attr_text = ",".join(f"{k}={self.attrs[k]!r}" for k in sorted(self.attrs))
+        return f"{self.op}({attr_text})"
+
+    def __str__(self) -> str:
+        ins = ", ".join(self.inputs)
+        outs = ", ".join(self.outputs)
+        return f"{outs} = {self.op}[{self.name}]({ins})"
+
+
+def _clone_attrs(attrs: Mapping[str, AttrValue]) -> Dict[str, AttrValue]:
+    cloned: Dict[str, AttrValue] = {}
+    for key, value in attrs.items():
+        if isinstance(value, list):
+            cloned[key] = list(value)
+        elif isinstance(value, tuple):
+            cloned[key] = tuple(value)
+        else:
+            cloned[key] = value
+    return cloned
+
+
+def unique_name(base: str, taken: Sequence[str]) -> str:
+    """Generate a name not present in ``taken`` by appending a counter."""
+    if base not in taken:
+        return base
+    index = 1
+    existing = set(taken)
+    while f"{base}_{index}" in existing:
+        index += 1
+    return f"{base}_{index}"

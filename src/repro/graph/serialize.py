@@ -1,0 +1,123 @@
+"""JSON (de)serialization of models — the repo's "ONNX file format".
+
+Weights are stored inline as nested lists, which is adequate for the small
+models the fuzzer produces and keeps the format dependency-free and
+human-inspectable.  The exporter in :mod:`repro.runtime.exporter` produces
+models in this representation; compilers consume it through their importers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.dtypes import DType
+from repro.errors import GraphError
+from repro.graph.model import Model
+from repro.graph.node import Node
+from repro.graph.tensor_type import TensorType
+
+FORMAT_VERSION = 1
+
+
+def model_to_dict(model: Model) -> Dict[str, Any]:
+    """Convert a model to a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": model.name,
+        "values": {
+            name: {"shape": list(ttype.shape), "dtype": str(ttype.dtype)}
+            for name, ttype in model.value_types.items()
+        },
+        "inputs": list(model.inputs),
+        "outputs": list(model.outputs),
+        "initializers": {
+            name: {
+                "dtype": str(DType.from_numpy(array.dtype)),
+                "shape": list(array.shape),
+                "data": array.tolist(),
+            }
+            for name, array in model.initializers.items()
+        },
+        "nodes": [
+            {
+                "op": node.op,
+                "name": node.name,
+                "inputs": list(node.inputs),
+                "outputs": list(node.outputs),
+                "attrs": _encode_attrs(node.attrs),
+            }
+            for node in model.nodes
+        ],
+    }
+
+
+def model_from_dict(payload: Dict[str, Any]) -> Model:
+    """Rebuild a model from :func:`model_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise GraphError(f"unsupported model format version: {version!r}")
+    model = Model(payload.get("name", "model"))
+    value_types = {
+        name: TensorType(entry["shape"], DType.from_str(entry["dtype"]))
+        for name, entry in payload.get("values", {}).items()
+    }
+    for name in payload.get("inputs", []):
+        model.add_input(name, value_types[name])
+    for name, entry in payload.get("initializers", {}).items():
+        dtype = DType.from_str(entry["dtype"])
+        array = np.array(entry["data"], dtype=dtype.numpy).reshape(entry["shape"])
+        model.add_initializer(name, array)
+    for node_entry in payload.get("nodes", []):
+        node = Node(
+            node_entry["op"],
+            node_entry["name"],
+            list(node_entry.get("inputs", [])),
+            list(node_entry.get("outputs", [])),
+            dict(node_entry.get("attrs", {})),
+        )
+        output_types = [value_types[name] for name in node.outputs]
+        model.add_node(node, output_types)
+    for name in payload.get("outputs", []):
+        model.mark_output(name)
+    return model
+
+
+def dumps(model: Model, indent: int = None) -> str:
+    """Serialize a model to a JSON string."""
+    return json.dumps(model_to_dict(model), indent=indent)
+
+
+def loads(text: str) -> Model:
+    """Deserialize a model from a JSON string."""
+    return model_from_dict(json.loads(text))
+
+
+def save(model: Model, path: str) -> None:
+    """Write a model to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(model))
+
+
+def load(path: str) -> Model:
+    """Read a model from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def _encode_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: _encode_attr_value(value) for key, value in attrs.items()}
+
+
+def _encode_attr_value(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return [_encode_attr_value(item) for item in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value

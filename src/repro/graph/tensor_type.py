@@ -1,0 +1,88 @@
+"""Concrete tensor types: a shape plus an element dtype.
+
+A :class:`TensorType` is attached to every edge (value) of a computation
+graph.  It is the concrete counterpart of the *abstract tensor* used by the
+operator specifications in :mod:`repro.core.abstract`: abstract tensors may
+carry symbolic dimensions, while a ``TensorType`` is always fully concrete.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.dtypes import DType
+
+
+@dataclass(frozen=True)
+class TensorType:
+    """Shape and element type of a tensor value.
+
+    Attributes:
+        shape: concrete dimensions; an empty tuple denotes a scalar.
+        dtype: the element type.
+    """
+
+    shape: Tuple[int, ...]
+    dtype: DType
+
+    def __init__(self, shape: Iterable[int], dtype: DType) -> None:
+        object.__setattr__(self, "shape", tuple(int(dim) for dim in shape))
+        object.__setattr__(self, "dtype", dtype)
+        for dim in self.shape:
+            if dim < 0:
+                raise ValueError(f"negative dimension in shape {self.shape}")
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions (0 for scalars)."""
+        return len(self.shape)
+
+    @property
+    def numel(self) -> int:
+        """Total number of elements."""
+        return int(math.prod(self.shape)) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        """Total storage size in bytes."""
+        return self.numel * self.dtype.bytes
+
+    def is_scalar(self) -> bool:
+        return self.rank == 0
+
+    def with_shape(self, shape: Iterable[int]) -> "TensorType":
+        """Return a copy of this type with a different shape."""
+        return TensorType(shape, self.dtype)
+
+    def with_dtype(self, dtype: DType) -> "TensorType":
+        """Return a copy of this type with a different dtype."""
+        return TensorType(self.shape, dtype)
+
+    def __str__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape) if self.shape else "scalar"
+        return f"{self.dtype}[{dims}]"
+
+
+def broadcast_shapes(lhs: Tuple[int, ...], rhs: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Numpy-style broadcasting of two shapes.
+
+    Raises:
+        ValueError: if the shapes are not broadcast-compatible.
+    """
+    result = []
+    for left, right in zip(_padded(lhs, rhs), _padded(rhs, lhs)):
+        if left == right or right == 1:
+            result.append(left)
+        elif left == 1:
+            result.append(right)
+        else:
+            raise ValueError(f"shapes {lhs} and {rhs} are not broadcastable")
+    return tuple(result)
+
+
+def _padded(shape: Tuple[int, ...], other: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Left-pad ``shape`` with 1s to the rank of the longer of the two."""
+    rank = max(len(shape), len(other))
+    return (1,) * (rank - len(shape)) + tuple(shape)

@@ -1,0 +1,77 @@
+"""Model validation: the "type checker" a DL compiler runs on import.
+
+A model is *valid* when every node's recorded output types agree with the
+types inferred from its inputs and attributes, every referenced value exists,
+and the graph is acyclic.  This is the property NNSmith's constraint-based
+generator guarantees by construction, and the property the baselines
+(LEMON, GraphFuzzer) preserve only by restricting the operators they use.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import GraphError, ShapeInferenceError, TypeCheckError
+from repro.graph.model import Model
+from repro.ops.shape_infer import infer_output_types
+
+
+def validate_model(model: Model) -> None:
+    """Raise :class:`TypeCheckError` (or :class:`GraphError`) if invalid."""
+    errors = validation_errors(model)
+    if errors:
+        raise TypeCheckError("; ".join(errors))
+
+
+def is_valid(model: Model) -> bool:
+    """True when :func:`validate_model` would pass."""
+    return not validation_errors(model)
+
+
+def validation_errors(model: Model) -> List[str]:
+    """Collect every validation problem instead of stopping at the first."""
+    problems: List[str] = []
+
+    try:
+        model.topological_order()
+    except GraphError as exc:
+        problems.append(str(exc))
+        return problems
+
+    produced = set(model.inputs) | set(model.initializers)
+    for node in model.topological_order():
+        for input_name in node.inputs:
+            if input_name not in model.value_types:
+                problems.append(f"node {node.name}: unknown input {input_name!r}")
+            elif input_name not in produced:
+                problems.append(
+                    f"node {node.name}: input {input_name!r} used before production")
+        input_types = []
+        try:
+            input_types = [model.type_of(name) for name in node.inputs]
+        except GraphError:
+            continue
+        try:
+            inferred = infer_output_types(node, input_types)
+        except ShapeInferenceError as exc:
+            problems.append(f"node {node.name}: {exc}")
+            continue
+        if len(inferred) != len(node.outputs):
+            problems.append(
+                f"node {node.name}: produces {len(node.outputs)} values but "
+                f"inference yields {len(inferred)}")
+            continue
+        for output_name, expected in zip(node.outputs, inferred):
+            recorded = model.value_types.get(output_name)
+            if recorded is None:
+                problems.append(f"node {node.name}: undeclared output {output_name!r}")
+            elif recorded != expected:
+                problems.append(
+                    f"node {node.name}: output {output_name!r} recorded as "
+                    f"{recorded} but inferred as {expected}")
+            produced.add(output_name)
+
+    for output_name in model.outputs:
+        if output_name not in model.value_types:
+            problems.append(f"graph output {output_name!r} is not a known value")
+    return problems

@@ -1,0 +1,26 @@
+"""Operator catalogue: registry, reference numpy semantics and shape inference."""
+
+from repro.ops.registry import (
+    SHAPE_PRESERVING_OPS,
+    OpCategory,
+    OpInfo,
+    all_ops,
+    is_registered,
+    op_info,
+    register_op,
+)
+from repro.ops.semantics import execute_node, has_kernel
+from repro.ops.shape_infer import infer_output_types
+
+__all__ = [
+    "SHAPE_PRESERVING_OPS",
+    "OpCategory",
+    "OpInfo",
+    "all_ops",
+    "execute_node",
+    "has_kernel",
+    "infer_output_types",
+    "is_registered",
+    "op_info",
+    "register_op",
+]

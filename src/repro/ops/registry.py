@@ -1,0 +1,148 @@
+"""Operator registry: the catalogue of operator kinds known to the system.
+
+The registry records, for every operator kind, its arity and a coarse
+category.  Categories are used by:
+
+* the DeepC compiler's property-based fusion pass (like TVM, it fuses by
+  operator *property* — injective / reduction / complex — rather than by
+  concrete operator kind);
+* the baselines (LEMON only mutates shape-preserving operators);
+* Figure 9's unique-operator-instance accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import UnsupportedOperatorError
+
+
+class OpCategory(enum.Enum):
+    """Coarse operator property, mirroring TVM's fusion classification."""
+
+    elemwise = "elemwise"          # one-to-one, shape preserving
+    broadcast = "broadcast"        # elementwise with numpy broadcasting
+    injective = "injective"        # data movement (reshape, transpose, ...)
+    reduction = "reduction"        # reduces one or more axes
+    complex_ = "complex"           # conv / matmul / pooling and friends
+    control = "control"            # everything else (where, cast, ...)
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static facts about an operator kind."""
+
+    name: str
+    category: OpCategory
+    min_inputs: int
+    max_inputs: Optional[int]  # None means variadic
+    n_outputs: int = 1
+
+    @property
+    def shape_preserving(self) -> bool:
+        """True if every output has the same shape as the first input."""
+        return self.category is OpCategory.elemwise
+
+
+_REGISTRY: Dict[str, OpInfo] = {}
+
+
+def register_op(name: str, category: OpCategory, min_inputs: int,
+                max_inputs: Optional[int] = None, n_outputs: int = 1) -> OpInfo:
+    """Register an operator kind; idempotent for identical re-registration."""
+    if max_inputs is None:
+        max_inputs = min_inputs
+    info = OpInfo(name, category, min_inputs, max_inputs, n_outputs)
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing != info:
+        raise ValueError(f"conflicting registration for operator {name!r}")
+    _REGISTRY[name] = info
+    return info
+
+
+def op_info(name: str) -> OpInfo:
+    """Look up an operator kind; raises for unknown operators."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnsupportedOperatorError(f"unknown operator kind {name!r}") from None
+
+
+def is_registered(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def all_ops() -> Tuple[OpInfo, ...]:
+    """All registered operators in deterministic (name) order."""
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+# --------------------------------------------------------------------------- #
+# The operator catalogue.
+# --------------------------------------------------------------------------- #
+_E = OpCategory.elemwise
+_B = OpCategory.broadcast
+_I = OpCategory.injective
+_R = OpCategory.reduction
+_C = OpCategory.complex_
+_X = OpCategory.control
+
+# Elementwise unary.
+for _name in [
+    "Relu", "LeakyRelu", "Sigmoid", "Tanh", "Abs", "Neg", "Exp", "Log", "Log2",
+    "Sqrt", "Sin", "Cos", "Asin", "Acos", "Atan", "Floor", "Ceil", "Round",
+    "Identity", "Erf", "Softplus", "Sign", "Reciprocal",
+]:
+    register_op(_name, _E, 1)
+register_op("Clip", _E, 1)
+register_op("Softmax", _E, 1)
+register_op("Not", _E, 1)
+register_op("Cast", _X, 1)
+register_op("Dropout", _E, 1)
+
+# Elementwise binary with broadcasting.
+for _name in ["Add", "Sub", "Mul", "Div", "Pow", "Max", "Min", "Mod"]:
+    register_op(_name, _B, 2)
+for _name in ["Equal", "Greater", "Less", "GreaterOrEqual", "LessOrEqual"]:
+    register_op(_name, _B, 2)
+for _name in ["And", "Or", "Xor"]:
+    register_op(_name, _B, 2)
+register_op("Where", _B, 3)
+
+# Matrix / NN operators.
+register_op("MatMul", _C, 2)
+register_op("Gemm", _C, 2, 3)
+register_op("Conv2d", _C, 2, 3)
+register_op("MaxPool2d", _C, 1)
+register_op("AvgPool2d", _C, 1)
+register_op("BatchNorm", _C, 5)
+register_op("Resize2d", _C, 1)
+register_op("GlobalAvgPool2d", _R, 1)
+
+# Data movement / injective operators.
+register_op("Reshape", _I, 1)
+register_op("Flatten", _I, 1)
+register_op("Transpose", _I, 1)
+register_op("Squeeze", _I, 1)
+register_op("Unsqueeze", _I, 1)
+register_op("Slice", _I, 1)
+register_op("Pad", _I, 1)
+register_op("BroadcastTo", _B, 1)
+register_op("Concat", _I, 1, None)
+register_op("Split", _I, 1, 1, n_outputs=2)
+register_op("Tile", _I, 1)
+register_op("Gather", _I, 2)
+
+# Reductions.
+for _name in ["ReduceSum", "ReduceMean", "ReduceMax", "ReduceMin", "ReduceProd"]:
+    register_op(_name, _R, 1)
+register_op("ArgMax", _R, 1)
+register_op("ArgMin", _R, 1)
+
+#: Operators whose output shape equals their (first) input shape regardless of
+#: attributes; LEMON restricts itself to these.
+SHAPE_PRESERVING_OPS = tuple(
+    sorted(info.name for info in all_ops() if info.shape_preserving)
+)

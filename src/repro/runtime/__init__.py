@@ -1,0 +1,13 @@
+"""Reference runtime: the oracle interpreter and the model exporter."""
+
+from repro.runtime.exporter import ExportReport, export_model
+from repro.runtime.interpreter import Interpreter, RunResult, random_inputs, random_weights
+
+__all__ = [
+    "ExportReport",
+    "Interpreter",
+    "RunResult",
+    "export_model",
+    "random_inputs",
+    "random_weights",
+]

@@ -1,0 +1,86 @@
+"""Model exporter — the analogue of PyTorch's ONNX exporter.
+
+NNSmith materializes its generated graphs as PyTorch modules and exports them
+to ONNX before handing them to the compilers under test; ten of the paper's
+72 bugs were *conversion bugs in that exporter*, found as a by-product.
+
+Here, :func:`export_model` converts a generator-built
+:class:`~repro.graph.model.Model` into the serialized interchange form the
+compilers import.  The conversion is a structural copy, but — mirroring the
+paper — it carries seeded exporter bugs that corrupt specific patterns
+(scalar Log2 ranks, int32 Clip, Squeeze without axes, reflect padding of
+rank-2 tensors).  The reference interpreter always executes the *original*
+model, so exporter bugs surface as oracle/compiler divergences attributable
+to the export step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compilers.bugs import BugConfig
+from repro.dtypes import DType
+from repro.graph.model import Model
+from repro.graph.serialize import model_from_dict, model_to_dict
+from repro.graph.tensor_type import TensorType
+
+
+class ExportReport:
+    """What happened during an export (used for bug attribution)."""
+
+    def __init__(self) -> None:
+        self.triggered_bugs: list = []
+
+    def record(self, bug_id: str) -> None:
+        if bug_id not in self.triggered_bugs:
+            self.triggered_bugs.append(bug_id)
+
+
+def export_model(model: Model, bugs: Optional[BugConfig] = None,
+                 report: Optional[ExportReport] = None) -> Model:
+    """Export a model to the interchange representation.
+
+    Returns a new :class:`Model` equivalent to ``model`` (round-tripped
+    through the serialization format), possibly corrupted by enabled seeded
+    exporter bugs.
+    """
+    bugs = bugs or BugConfig.none()
+    report = report if report is not None else ExportReport()
+
+    exported = model_from_dict(model_to_dict(model))
+
+    for node in exported.nodes:
+        input_types = [exported.type_of(name) for name in node.inputs]
+
+        if node.op == "Log2" and bugs.enabled("exporter-log2-scalar-rank"):
+            if input_types and input_types[0].rank == 0:
+                # Wrong output rank: scalar becomes a 1-element vector.
+                output = node.outputs[0]
+                exported.value_types[output] = TensorType(
+                    (1,), exported.value_types[output].dtype)
+                report.record("exporter-log2-scalar-rank")
+
+        if node.op == "Clip" and bugs.enabled("exporter-clip-int32-opset"):
+            if input_types and input_types[0].dtype in (DType.int32, DType.int64):
+                # Silently exported although the format version forbids it;
+                # mark the node so well-formed importers reject the model.
+                node.attrs["opset_unsupported"] = True
+                report.record("exporter-clip-int32-opset")
+
+        if node.op == "Squeeze" and bugs.enabled("exporter-squeeze-empty-axes"):
+            if "axes" not in node.attrs or node.attrs.get("axes") is None:
+                node.attrs["axes"] = []
+                report.record("exporter-squeeze-empty-axes")
+
+        if node.op == "Pad" and bugs.enabled("exporter-pad-reflect-rank2"):
+            if node.attrs.get("mode") == "reflect" and input_types and \
+                    input_types[0].rank == 2:
+                pads = [int(p) for p in node.attrs.get("pads", [])]
+                if len(pads) == 4:
+                    # Transposed pad pairs: (begin0, begin1, end0, end1)
+                    # becomes (begin1, begin0, end1, end0).
+                    node.attrs["pads"] = [pads[1], pads[0], pads[3], pads[2]]
+                    report.record("exporter-pad-reflect-rank2")
+
+    exported.name = f"{model.name}.exported"
+    return exported

@@ -1,0 +1,134 @@
+"""The reference interpreter — this repo's "PyTorch" oracle.
+
+The interpreter executes a model node by node with the reference numpy
+kernels, optionally recording every intermediate tensor and the first
+operator whose output contains a floating-point exceptional value.  The
+differential-testing harness uses it as the trusted baseline (§4 motivates
+why the paper uses PyTorch the same way), and the gradient-guided value
+search uses the recorded intermediates and NaN/Inf positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import ExecutionError, GraphError
+from repro.graph.model import Model
+from repro.ops.semantics import execute_node
+
+
+@dataclass
+class RunResult:
+    """Outcome of one interpreter run."""
+
+    outputs: Dict[str, np.ndarray]
+    values: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Name of the first node (in topological order) whose output contains a
+    #: NaN or Inf, or None when the whole execution is numerically valid.
+    first_exceptional_node: Optional[str] = None
+    #: Names of every node that produced a NaN/Inf output.
+    exceptional_nodes: List[str] = field(default_factory=list)
+
+    @property
+    def numerically_valid(self) -> bool:
+        """True when no operator produced a NaN or Inf (§2.3, challenge #3)."""
+        return self.first_exceptional_node is None
+
+
+class Interpreter:
+    """Reference executor for computation graphs."""
+
+    def __init__(self, record_intermediates: bool = True) -> None:
+        self.record_intermediates = record_intermediates
+
+    def run(self, model: Model, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Execute the model and return only its outputs."""
+        return self.run_detailed(model, inputs).outputs
+
+    def run_detailed(self, model: Model,
+                     inputs: Mapping[str, np.ndarray]) -> RunResult:
+        """Execute the model, recording intermediates and NaN/Inf producers."""
+        values: Dict[str, np.ndarray] = {}
+        for name in model.inputs:
+            if name not in inputs:
+                raise ExecutionError(f"missing graph input {name!r}")
+            expected = model.type_of(name)
+            array = np.asarray(inputs[name], dtype=expected.dtype.numpy)
+            if tuple(array.shape) != expected.shape:
+                raise ExecutionError(
+                    f"input {name!r} has shape {array.shape}, expected {expected.shape}")
+            values[name] = array
+        for name, array in model.initializers.items():
+            values[name] = np.asarray(array)
+
+        first_exceptional: Optional[str] = None
+        exceptional: List[str] = []
+        for node in model.topological_order():
+            node_inputs = []
+            for input_name in node.inputs:
+                if input_name not in values:
+                    raise GraphError(
+                        f"node {node.name} consumes unavailable value {input_name!r}")
+                node_inputs.append(values[input_name])
+            results = execute_node(node, node_inputs)
+            for output_name, array in zip(node.outputs, results):
+                values[output_name] = array
+            if _has_exceptional(results):
+                exceptional.append(node.name)
+                if first_exceptional is None:
+                    first_exceptional = node.name
+
+        outputs = {name: values[name] for name in model.outputs}
+        return RunResult(
+            outputs=outputs,
+            values=values if self.record_intermediates else {},
+            first_exceptional_node=first_exceptional,
+            exceptional_nodes=exceptional,
+        )
+
+
+def _has_exceptional(arrays: List[np.ndarray]) -> bool:
+    for array in arrays:
+        if array.dtype.kind == "f" and not np.all(np.isfinite(array)):
+            return True
+    return False
+
+
+def random_inputs(model: Model, rng: Optional[np.random.Generator] = None,
+                  low: float = 1.0, high: float = 9.0) -> Dict[str, np.ndarray]:
+    """Sample random graph inputs (the paper's "Sampling" baseline range).
+
+    Floats are drawn uniformly from ``[low, high)``, integers from the same
+    range rounded down, and booleans as fair coin flips.
+    """
+    rng = rng or np.random.default_rng()
+    result: Dict[str, np.ndarray] = {}
+    for name in model.inputs:
+        ttype = model.type_of(name)
+        if ttype.dtype.is_float:
+            data = rng.uniform(low, high, size=ttype.shape)
+        elif ttype.dtype.is_int:
+            data = rng.integers(int(low), max(int(high), int(low) + 1), size=ttype.shape)
+        else:
+            data = rng.integers(0, 2, size=ttype.shape).astype(bool)
+        result[name] = np.asarray(data, dtype=ttype.dtype.numpy)
+    return result
+
+
+def random_weights(model: Model, rng: Optional[np.random.Generator] = None,
+                   low: float = 1.0, high: float = 9.0) -> Dict[str, np.ndarray]:
+    """Sample replacement values for the model's initializers."""
+    rng = rng or np.random.default_rng()
+    result: Dict[str, np.ndarray] = {}
+    for name, array in model.initializers.items():
+        if array.dtype.kind == "f":
+            data = rng.uniform(low, high, size=array.shape)
+        elif array.dtype.kind in "iu":
+            data = rng.integers(int(low), max(int(high), int(low) + 1), size=array.shape)
+        else:
+            data = rng.integers(0, 2, size=array.shape).astype(bool)
+        result[name] = np.asarray(data, dtype=array.dtype)
+    return result

@@ -1,0 +1,138 @@
+"""Constraints (logical predicates) over symbolic integer expressions.
+
+A constraint is either an atomic comparison between two expressions or a
+boolean combination (conjunction, disjunction, negation) of constraints.
+Broadcast compatibility, for example, is expressed as a disjunction:
+``(a == b) | (a == 1) | (b == 1)``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence
+
+from repro.solver.expr import Assignment, Expr
+
+
+class Constraint:
+    """Base class for all predicates."""
+
+    def satisfied(self, assignment: Assignment) -> bool:
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def __and__(self, other: "Constraint") -> "Constraint":
+        return And([self, other])
+
+    def __or__(self, other: "Constraint") -> "Constraint":
+        return Or([self, other])
+
+    def __invert__(self) -> "Constraint":
+        return Not(self)
+
+
+class Comparison(Constraint):
+    """An atomic comparison between two symbolic expressions."""
+
+    _OPS = {
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<=": lambda a, b: a <= b,
+        "<": lambda a, b: a < b,
+        ">=": lambda a, b: a >= b,
+        ">": lambda a, b: a > b,
+    }
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr) -> None:
+        if op not in self._OPS:
+            raise ValueError(f"unsupported comparison {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def satisfied(self, assignment: Assignment) -> bool:
+        return bool(self._OPS[self.op](self.lhs.evaluate(assignment),
+                                       self.rhs.evaluate(assignment)))
+
+    def variables(self) -> FrozenSet[str]:
+        return self.lhs.variables() | self.rhs.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+    def __bool__(self) -> bool:
+        # ``Expr.__eq__`` returns a Comparison, so accidental use of an
+        # expression equality in a plain ``if`` would silently misbehave.
+        raise TypeError(
+            "symbolic comparisons have no truth value; add them to a solver")
+
+
+class And(Constraint):
+    """Conjunction of constraints."""
+
+    def __init__(self, parts: Sequence[Constraint]) -> None:
+        self.parts: List[Constraint] = list(parts)
+
+    def satisfied(self, assignment: Assignment) -> bool:
+        return all(part.satisfied(assignment) for part in self.parts)
+
+    def variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            result |= part.variables()
+        return result
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(repr(p) for p in self.parts) + ")"
+
+
+class Or(Constraint):
+    """Disjunction of constraints."""
+
+    def __init__(self, parts: Sequence[Constraint]) -> None:
+        self.parts: List[Constraint] = list(parts)
+
+    def satisfied(self, assignment: Assignment) -> bool:
+        return any(part.satisfied(assignment) for part in self.parts)
+
+    def variables(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            result |= part.variables()
+        return result
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(repr(p) for p in self.parts) + ")"
+
+
+class Not(Constraint):
+    """Negation of a constraint."""
+
+    def __init__(self, inner: Constraint) -> None:
+        self.inner = inner
+
+    def satisfied(self, assignment: Assignment) -> bool:
+        return not self.inner.satisfied(assignment)
+
+    def variables(self) -> FrozenSet[str]:
+        return self.inner.variables()
+
+    def __repr__(self) -> str:
+        return f"~{self.inner!r}"
+
+
+TRUE = And([])
+
+
+def conjunction(parts: Iterable[Constraint]) -> Constraint:
+    """Combine constraints into one conjunction (TRUE for an empty sequence)."""
+    materialized = list(parts)
+    if len(materialized) == 1:
+        return materialized[0]
+    return And(materialized)
+
+
+def all_satisfied(constraints: Iterable[Constraint], assignment: Assignment) -> bool:
+    """Evaluate a collection of constraints under an assignment."""
+    return all(c.satisfied(assignment) for c in constraints)

@@ -1,0 +1,213 @@
+"""Symbolic integer expressions.
+
+Operator specifications describe shapes and attributes with symbolic integers
+(:class:`SymVar`) combined through ordinary arithmetic.  Expressions support
+the operators NNSmith's specifications need: ``+ - * // %`` as well as
+``min``/``max``, and comparisons produce :mod:`repro.solver.constraints`
+predicates.
+
+The original NNSmith hands such expressions to Z3; here they are evaluated
+and solved by :mod:`repro.solver.solver`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Union
+
+Assignment = Dict[str, int]
+ExprLike = Union["Expr", int]
+
+
+class Expr:
+    """Base class of the symbolic integer expression AST."""
+
+    def evaluate(self, assignment: Assignment) -> int:
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    # -------------------------- arithmetic -------------------------- #
+    def __add__(self, other: ExprLike) -> "Expr":
+        return BinOp("+", self, to_expr(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return BinOp("+", to_expr(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return BinOp("-", self, to_expr(other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return BinOp("-", to_expr(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return BinOp("*", self, to_expr(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return BinOp("*", to_expr(other), self)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return BinOp("//", self, to_expr(other))
+
+    def __rfloordiv__(self, other: ExprLike) -> "Expr":
+        return BinOp("//", to_expr(other), self)
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return BinOp("%", self, to_expr(other))
+
+    def __neg__(self) -> "Expr":
+        return BinOp("-", Const(0), self)
+
+    # -------------------------- comparisons ------------------------- #
+    def __eq__(self, other: ExprLike):  # type: ignore[override]
+        from repro.solver.constraints import Comparison
+        return Comparison("==", self, to_expr(other))
+
+    def __ne__(self, other: ExprLike):  # type: ignore[override]
+        from repro.solver.constraints import Comparison
+        return Comparison("!=", self, to_expr(other))
+
+    def __le__(self, other: ExprLike):
+        from repro.solver.constraints import Comparison
+        return Comparison("<=", self, to_expr(other))
+
+    def __lt__(self, other: ExprLike):
+        from repro.solver.constraints import Comparison
+        return Comparison("<", self, to_expr(other))
+
+    def __ge__(self, other: ExprLike):
+        from repro.solver.constraints import Comparison
+        return Comparison(">=", self, to_expr(other))
+
+    def __gt__(self, other: ExprLike):
+        from repro.solver.constraints import Comparison
+        return Comparison(">", self, to_expr(other))
+
+    def __hash__(self) -> int:
+        return hash(repr(self))
+
+
+class SymVar(Expr):
+    """A named symbolic integer variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, assignment: Assignment) -> int:
+        try:
+            return int(assignment[self.name])
+        except KeyError:
+            raise KeyError(f"no value assigned to symbolic variable {self.name!r}") from None
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return hash(("SymVar", self.name))
+
+
+class Const(Expr):
+    """A constant integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = int(value)
+
+    def evaluate(self, assignment: Assignment) -> int:
+        return self.value
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.value))
+
+
+class BinOp(Expr):
+    """A binary arithmetic operation."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    _OPS = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "//": lambda a, b: _floordiv(a, b),
+        "%": lambda a, b: _mod(a, b),
+        "min": min,
+        "max": max,
+    }
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr) -> None:
+        if op not in self._OPS:
+            raise ValueError(f"unsupported operator {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def evaluate(self, assignment: Assignment) -> int:
+        return int(self._OPS[self.op](self.lhs.evaluate(assignment),
+                                      self.rhs.evaluate(assignment)))
+
+    def variables(self) -> FrozenSet[str]:
+        return self.lhs.variables() | self.rhs.variables()
+
+    def __repr__(self) -> str:
+        if self.op in ("min", "max"):
+            return f"{self.op}({self.lhs!r}, {self.rhs!r})"
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+    def __hash__(self) -> int:
+        return hash(("BinOp", self.op, hash(self.lhs), hash(self.rhs)))
+
+
+def _floordiv(a: int, b: int) -> int:
+    if b == 0:
+        # Division by zero makes the enclosing constraint unsatisfied rather
+        # than crashing the solver; the sentinel propagates as a huge value.
+        return 1 << 62
+    return a // b
+
+
+def _mod(a: int, b: int) -> int:
+    if b == 0:
+        return 1 << 62
+    return a % b
+
+
+def to_expr(value: ExprLike) -> Expr:
+    """Coerce a Python int (or an existing expression) to an :class:`Expr`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not valid symbolic integers")
+    if isinstance(value, int):
+        return Const(value)
+    raise TypeError(f"cannot convert {type(value).__name__} to a symbolic expression")
+
+
+def sym_min(lhs: ExprLike, rhs: ExprLike) -> Expr:
+    """Symbolic minimum of two expressions."""
+    return BinOp("min", to_expr(lhs), to_expr(rhs))
+
+
+def sym_max(lhs: ExprLike, rhs: ExprLike) -> Expr:
+    """Symbolic maximum of two expressions."""
+    return BinOp("max", to_expr(lhs), to_expr(rhs))
+
+
+def product(terms: Iterable[ExprLike]) -> Expr:
+    """Symbolic product of a sequence of expressions (1 when empty)."""
+    result: Expr = Const(1)
+    for term in terms:
+        result = result * to_expr(term)
+    return result

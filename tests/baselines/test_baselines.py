@@ -1,0 +1,99 @@
+"""Tests for the LEMON, GraphFuzzer and Tzer baselines and the seed zoo."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GraphFuzzerGenerator, LemonGenerator, TzerFuzzer, build_seed_models
+from repro.compilers.bugs import BugConfig
+from repro.compilers.coverage import CoverageTracer
+from repro.graph.validate import validation_errors
+from repro.ops.registry import SHAPE_PRESERVING_OPS
+from repro.runtime import Interpreter, random_inputs
+
+
+class TestSeedZoo:
+    def test_seed_models_are_valid_and_runnable(self):
+        models = build_seed_models()
+        assert len(models) == 3
+        for model in models:
+            assert validation_errors(model) == []
+            inputs = random_inputs(model, np.random.default_rng(0))
+            Interpreter().run(model, inputs)
+
+    def test_seed_models_are_realistic_sizes(self):
+        for model in build_seed_models():
+            assert len(model.nodes) >= 5
+
+
+class TestLemon:
+    def test_mutants_stay_valid(self):
+        generator = LemonGenerator(seed=0)
+        for _ in range(15):
+            model = generator.next_case()
+            assert validation_errors(model) == []
+
+    def test_only_shape_preserving_ops_added(self):
+        """LEMON's design restriction: it never introduces new operator kinds
+        beyond shape-preserving unary layers."""
+        baseline_ops = set()
+        for model in build_seed_models():
+            baseline_ops.update(node.op for node in model.nodes)
+        generator = LemonGenerator(seed=1)
+        new_ops = set()
+        for _ in range(25):
+            model = generator.next_case()
+            new_ops.update(node.op for node in model.nodes)
+        assert new_ops - baseline_ops <= set(SHAPE_PRESERVING_OPS)
+
+    def test_mutants_are_executable(self):
+        generator = LemonGenerator(seed=2)
+        for _ in range(5):
+            model = generator.next_case()
+            Interpreter().run(model, random_inputs(model, np.random.default_rng(0)))
+
+
+class TestGraphFuzzer:
+    def test_models_valid_and_runnable(self):
+        generator = GraphFuzzerGenerator(seed=0, n_nodes=8)
+        for _ in range(10):
+            model = generator.next_case()
+            assert validation_errors(model) == []
+            Interpreter().run(model, random_inputs(model, np.random.default_rng(1)))
+
+    def test_shape_alignment_inserts_slices(self):
+        """GraphFuzzer's signature behaviour: slicing nodes appear to align
+        mismatched shapes (the bias the paper criticises)."""
+        generator = GraphFuzzerGenerator(seed=3, n_nodes=12)
+        ops = set()
+        for _ in range(20):
+            ops.update(node.op for node in generator.next_case().nodes)
+        assert "Slice" in ops
+
+    def test_conv_instances_are_shape_preserving(self):
+        generator = GraphFuzzerGenerator(seed=1, n_nodes=12)
+        for _ in range(20):
+            model = generator.next_case()
+            for node in model.nodes:
+                if node.op == "Conv2d":
+                    assert model.type_of(node.inputs[0]).shape == \
+                        model.type_of(node.outputs[0]).shape
+
+
+class TestTzer:
+    def test_iterations_run_and_grow_corpus(self):
+        fuzzer = TzerFuzzer(seed=0, bugs=BugConfig.none())
+        initial = len(fuzzer.corpus)
+        for _ in range(10):
+            fuzzer.run_iteration()
+        assert len(fuzzer.corpus) >= initial
+
+    def test_coverage_feedback(self):
+        fuzzer = TzerFuzzer(seed=1, bugs=BugConfig.all())
+        tracer = CoverageTracer(systems=("deepc",))
+        crashes = 0
+        with tracer:
+            for _ in range(10):
+                crashes += int(fuzzer.run_iteration(tracer))
+        assert tracer.count() > 0
+        # Crashes, if any, are recorded with messages.
+        assert len(fuzzer.crashes) == crashes

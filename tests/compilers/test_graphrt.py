@@ -1,0 +1,282 @@
+"""Tests for the GraphRT compiler: importer, passes, runtime, seeded bugs."""
+
+import numpy as np
+import pytest
+
+from repro.compilers import CompileOptions, GraphRTCompiler
+from repro.compilers.bugs import BugConfig
+from repro.compilers.graphrt.passes import PassContext, run_pipeline
+from repro.dtypes import DType
+from repro.errors import ConversionError, TransformationError
+from repro.graph.builder import GraphBuilder
+from repro.runtime import Interpreter, random_inputs
+
+from tests.conftest import build_conv_model, build_mlp_model
+
+
+def compile_and_compare(model, bugs=None, rng_seed=0, opt_level=2):
+    """Compile with GraphRT and compare against the oracle; return both."""
+    compiler = GraphRTCompiler(CompileOptions(opt_level=opt_level,
+                                              bugs=bugs or BugConfig.none()))
+    compiled = compiler.compile_model(model)
+    inputs = random_inputs(model, np.random.default_rng(rng_seed))
+    reference = Interpreter().run(model, inputs)
+    outputs = compiled.run(inputs)
+    return reference, outputs, compiled
+
+
+def assert_matches_oracle(model, bugs=None, **kwargs):
+    reference, outputs, compiled = compile_and_compare(model, bugs, **kwargs)
+    for name in reference:
+        np.testing.assert_allclose(np.asarray(reference[name], dtype=np.float64),
+                                   np.asarray(outputs[name], dtype=np.float64),
+                                   rtol=1e-4, atol=1e-5)
+    return compiled
+
+
+class TestImporter:
+    def test_rejects_unknown_operator(self):
+        builder = GraphBuilder("weird")
+        x = builder.input([2, 2])
+        builder.op1("Relu", [x])
+        model = builder.build()
+        model.nodes[0].op = "Bogus"
+        with pytest.raises(ConversionError):
+            GraphRTCompiler().compile_model(model)
+
+    def test_rejects_opset_unsupported(self, mlp_model):
+        model = mlp_model.clone()
+        model.nodes[0].attrs["opset_unsupported"] = True
+        with pytest.raises(ConversionError):
+            GraphRTCompiler().compile_model(model)
+
+    def test_rejects_type_invalid_model(self, mlp_model):
+        from repro.graph.tensor_type import TensorType
+
+        model = mlp_model.clone()
+        model.value_types[model.nodes[0].outputs[0]] = TensorType((1,), DType.float32)
+        with pytest.raises(ConversionError):
+            GraphRTCompiler().compile_model(model)
+
+    def test_supported_ops_probe(self):
+        compiler = GraphRTCompiler()
+        supported = compiler.supported_ops(["Relu", "Conv2d", "NoSuchOp"])
+        assert supported == ["Relu", "Conv2d"]
+
+
+class TestOptimizationsPreserveSemantics:
+    def test_mlp(self, mlp_model):
+        assert_matches_oracle(mlp_model)
+
+    def test_cnn(self, conv_model):
+        assert_matches_oracle(conv_model)
+
+    def test_opt_level_zero_applies_no_passes(self, conv_model):
+        compiled = assert_matches_oracle(conv_model, opt_level=0)
+        assert compiled.applied_passes == []
+
+    def test_identity_dropout_eliminated(self):
+        builder = GraphBuilder("ident")
+        x = builder.input([2, 3])
+        v = builder.op1("Identity", [x])
+        v = builder.op1("Dropout", [v], ratio=0.3)
+        v = builder.op1("Relu", [v])
+        builder.output(v)
+        compiled = assert_matches_oracle(builder.build())
+        assert [n.op for n in compiled.model.nodes] == ["Relu"]
+
+    def test_constant_folding(self):
+        builder = GraphBuilder("fold")
+        x = builder.input([2, 2])
+        a = builder.weight(np.full((2, 2), 2.0, dtype=np.float32))
+        b = builder.weight(np.full((2, 2), 3.0, dtype=np.float32))
+        folded = builder.op1("Add", [a, b])
+        builder.op1("Mul", [x, folded])
+        compiled = assert_matches_oracle(builder.build())
+        assert all(node.op != "Add" for node in compiled.model.nodes)
+
+    def test_arithmetic_simplification_removes_add_zero(self):
+        builder = GraphBuilder("simp")
+        x = builder.input([2, 2])
+        zero = builder.weight(np.zeros((2, 2), dtype=np.float32))
+        v = builder.op1("Add", [x, zero])
+        v = builder.op1("Relu", [v])
+        builder.output(v)
+        compiled = assert_matches_oracle(builder.build())
+        assert all(node.op != "Add" for node in compiled.model.nodes)
+
+    def test_gemm_fusion(self):
+        builder = GraphBuilder("gemm")
+        x = builder.input([3, 4])
+        w = builder.weight(np.random.rand(4, 5).astype(np.float32))
+        b = builder.weight(np.random.rand(5).astype(np.float32))
+        mm = builder.op1("MatMul", [x, w])
+        out = builder.op1("Add", [mm, b])
+        builder.output(out)
+        compiled = assert_matches_oracle(builder.build())
+        assert any(node.op == "Gemm" for node in compiled.model.nodes)
+
+    def test_relu_clip_fusion_float32_correct(self):
+        builder = GraphBuilder("reluclip")
+        x = builder.input([8])
+        v = builder.op1("Relu", [x])
+        v = builder.op1("Clip", [v], min=-1.0, max=2.0)
+        builder.output(v)
+        compiled = assert_matches_oracle(builder.build(), bugs=BugConfig.all())
+        assert all(node.op != "Relu" for node in compiled.model.nodes)
+
+    def test_transpose_pair_eliminated(self):
+        builder = GraphBuilder("tt")
+        x = builder.input([2, 3, 4])
+        v = builder.op1("Transpose", [x], perm=[2, 0, 1])
+        v = builder.op1("Transpose", [v], perm=[1, 2, 0])
+        v = builder.op1("Relu", [v])
+        builder.output(v)
+        compiled = assert_matches_oracle(builder.build())
+        assert sum(node.op == "Transpose" for node in compiled.model.nodes) == 0
+
+    def test_transpose_pair_merged_when_not_identity(self):
+        builder = GraphBuilder("tt2")
+        x = builder.input([2, 3, 4])
+        v = builder.op1("Transpose", [x], perm=[2, 0, 1])
+        v = builder.op1("Transpose", [v], perm=[2, 0, 1])
+        v = builder.op1("Relu", [v])
+        builder.output(v)
+        compiled = assert_matches_oracle(builder.build())
+        assert sum(node.op == "Transpose" for node in compiled.model.nodes) == 1
+
+    def test_bias_softmax_fusion(self):
+        builder = GraphBuilder("bsm")
+        x = builder.input([2, 6])
+        bias = builder.weight(np.random.rand(6).astype(np.float32))
+        v = builder.op1("Add", [x, bias])
+        v = builder.op1("Softmax", [v], axis=1)
+        builder.output(v)
+        compiled = assert_matches_oracle(builder.build())
+        assert any(node.op == "BiasSoftmax" for node in compiled.model.nodes)
+
+    def test_conv_batchnorm_folding(self):
+        builder = GraphBuilder("convbn")
+        x = builder.input([1, 3, 6, 6])
+        w = builder.weight(np.random.rand(4, 3, 3, 3).astype(np.float32) * 0.3)
+        conv = builder.op1("Conv2d", [x, w], stride=1, padding=1)
+        scale = builder.weight(np.random.rand(4).astype(np.float32) + 0.5)
+        bias = builder.weight(np.random.rand(4).astype(np.float32))
+        mean = builder.weight(np.random.rand(4).astype(np.float32))
+        var = builder.weight(np.random.rand(4).astype(np.float32) + 0.5)
+        bn = builder.op1("BatchNorm", [conv, scale, bias, mean, var], epsilon=1e-5)
+        builder.output(bn)
+        compiled = assert_matches_oracle(builder.build())
+        assert all(node.op != "BatchNorm" for node in compiled.model.nodes)
+
+    def test_pad_conv_fusion(self):
+        builder = GraphBuilder("padconv")
+        x = builder.input([1, 2, 6, 6])
+        pad = builder.op1("Pad", [x], pads=[0, 0, 1, 1, 0, 0, 1, 1],
+                          mode="constant", value=0.0)
+        w = builder.weight(np.random.rand(3, 2, 3, 3).astype(np.float32))
+        conv = builder.op1("Conv2d", [pad, w], stride=1, padding=0)
+        builder.output(conv)
+        compiled = assert_matches_oracle(builder.build())
+        assert all(node.op != "Pad" for node in compiled.model.nodes)
+        assert compiled.model.nodes[-1].attrs["padding"] == 1
+
+    def test_cse_merges_duplicates(self):
+        builder = GraphBuilder("cse")
+        x = builder.input([4])
+        a = builder.op1("Sigmoid", [x])
+        b = builder.op1("Sigmoid", [x])
+        out = builder.op1("Add", [a, b])
+        builder.output(out)
+        compiled = assert_matches_oracle(builder.build())
+        assert sum(node.op == "Sigmoid" for node in compiled.model.nodes) == 1
+
+    def test_graph_output_names_preserved(self, conv_model):
+        compiled = assert_matches_oracle(conv_model, bugs=BugConfig.all())
+        assert compiled.model.outputs == conv_model.outputs
+
+
+class TestSeededBugs:
+    def test_matmul_scale_1x1_crash(self):
+        builder = GraphBuilder("m0")
+        x = builder.input([3, 1])
+        scale = builder.weight(np.array(2.0, dtype=np.float32))
+        scaled = builder.op1("Mul", [x, scale])
+        one_by_one = builder.weight(np.random.rand(1, 1).astype(np.float32))
+        mm = builder.op1("MatMul", [scaled, one_by_one])
+        builder.output(mm)
+        model = builder.build()
+        with pytest.raises(TransformationError, match="graphrt-fuse-matmul-scale-1x1"):
+            GraphRTCompiler(CompileOptions(bugs=BugConfig.only(
+                "graphrt-fuse-matmul-scale-1x1"))).compile_model(model)
+        # Correct behaviour without the bug: compiles and matches the oracle.
+        assert_matches_oracle(model, bugs=BugConfig.none())
+
+    def test_relu_clip_f64_semantic(self):
+        builder = GraphBuilder("rc64")
+        x = builder.input([8], DType.float64)
+        v = builder.op1("Relu", [x])
+        v = builder.op1("Clip", [v], min=-2.0, max=2.0)
+        builder.output(v)
+        model = builder.build()
+        compiler = GraphRTCompiler(CompileOptions(bugs=BugConfig.only(
+            "graphrt-relu-clip-fusion-f64")))
+        compiled = compiler.compile_model(model)
+        assert "graphrt-relu-clip-fusion-f64" in compiled.triggered_bugs
+        inputs = {model.inputs[0]: np.linspace(-4, 4, 8)}
+        reference = Interpreter().run(model, inputs)
+        outputs = compiled.run(inputs)
+        assert not np.allclose(list(reference.values())[0], list(outputs.values())[0])
+
+    def test_gemm_fusion_scalar_bias_semantic(self):
+        builder = GraphBuilder("gemmscalar")
+        x = builder.input([3, 4])
+        w = builder.weight(np.random.rand(4, 5).astype(np.float32))
+        scalar = builder.weight(np.array(1.5, dtype=np.float32))
+        mm = builder.op1("MatMul", [x, w])
+        out = builder.op1("Add", [mm, scalar])
+        builder.output(out)
+        model = builder.build()
+        compiled = GraphRTCompiler(CompileOptions(bugs=BugConfig.only(
+            "graphrt-gemm-fusion-bias-broadcast"))).compile_model(model)
+        assert "graphrt-gemm-fusion-bias-broadcast" in compiled.triggered_bugs
+        inputs = random_inputs(model, np.random.default_rng(0))
+        reference = Interpreter().run(model, inputs)
+        outputs = compiled.run(inputs)
+        assert not np.allclose(list(reference.values())[0], list(outputs.values())[0])
+
+    def test_transpose_elimination_bug_semantic(self):
+        builder = GraphBuilder("ttbug")
+        x = builder.input([2, 3, 4])
+        v = builder.op1("Transpose", [x], perm=[2, 0, 1])
+        v = builder.op1("Transpose", [v], perm=[2, 0, 1])
+        v = builder.op1("ReduceSum", [v], axes=[0], keepdims=False)
+        builder.output(v)
+        model = builder.build()
+        compiled = GraphRTCompiler(CompileOptions(bugs=BugConfig.only(
+            "graphrt-transpose-elimination-perm"))).compile_model(model)
+        assert "graphrt-transpose-elimination-perm" in compiled.triggered_bugs
+
+    def test_constfold_pow_overflow_crash(self):
+        builder = GraphBuilder("pow")
+        x = builder.input([2, 2])
+        base = builder.weight(np.full((2, 2), 3.0, dtype=np.float32))
+        exponent = builder.weight(np.full((2, 2), 20.0, dtype=np.float32))
+        powed = builder.op1("Pow", [base, exponent])
+        builder.op1("Add", [x, powed])
+        model = builder.build()
+        with pytest.raises(TransformationError, match="graphrt-constfold-pow-overflow"):
+            GraphRTCompiler(CompileOptions(bugs=BugConfig.only(
+                "graphrt-constfold-pow-overflow"))).compile_model(model)
+
+    def test_slice_merge_step_crash(self):
+        builder = GraphBuilder("slices")
+        x = builder.input([4, 12])
+        v = builder.op1("Slice", [x], starts=[1], ends=[11], axes=[1], steps=[2])
+        v = builder.op1("Slice", [v], starts=[0], ends=[3], axes=[0], steps=[1])
+        builder.output(v)
+        model = builder.build()
+        with pytest.raises(TransformationError, match="graphrt-slice-merge-negative-step"):
+            GraphRTCompiler(CompileOptions(bugs=BugConfig.only(
+                "graphrt-slice-merge-negative-step"))).compile_model(model)
+        assert_matches_oracle(model, bugs=BugConfig.none())

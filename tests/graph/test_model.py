@@ -1,0 +1,216 @@
+"""Unit tests for Model, Node, GraphBuilder, validation and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.errors import GraphError, TypeCheckError
+from repro.graph import (
+    GraphBuilder,
+    Model,
+    Node,
+    TensorType,
+    is_valid,
+    validate_model,
+    validation_errors,
+)
+from repro.graph.serialize import dumps, loads, model_from_dict, model_to_dict
+
+from tests.conftest import build_conv_model, build_mlp_model
+
+
+class TestNode:
+    def test_clone_is_independent(self):
+        node = Node("Add", "add0", ["a", "b"], ["c"], {"axes": [1, 2]})
+        clone = node.clone()
+        clone.inputs.append("x")
+        clone.attrs["axes"].append(3)
+        assert node.inputs == ["a", "b"]
+        assert node.attrs["axes"] == [1, 2]
+
+    def test_signature_stable_under_attr_order(self):
+        a = Node("Conv2d", "c1", [], [], {"stride": 2, "padding": 1})
+        b = Node("Conv2d", "c2", [], [], {"padding": 1, "stride": 2})
+        assert a.signature() == b.signature()
+
+    def test_with_attrs(self):
+        node = Node("Clip", "clip", ["x"], ["y"], {"min": 0})
+        updated = node.with_attrs(max=5)
+        assert updated.attrs == {"min": 0, "max": 5}
+        assert node.attrs == {"min": 0}
+
+    def test_attr_default(self):
+        node = Node("Softmax", "s", ["x"], ["y"], {})
+        assert node.attr("axis", -1) == -1
+
+
+class TestModelConstruction:
+    def test_duplicate_value_rejected(self):
+        model = Model()
+        model.add_input("x", TensorType((2,), DType.float32))
+        with pytest.raises(GraphError):
+            model.add_input("x", TensorType((2,), DType.float32))
+
+    def test_node_with_unknown_input_rejected(self):
+        model = Model()
+        node = Node("Relu", "r", ["missing"], ["y"])
+        with pytest.raises(GraphError):
+            model.add_node(node, [TensorType((2,), DType.float32)])
+
+    def test_mark_unknown_output_rejected(self):
+        model = Model()
+        with pytest.raises(GraphError):
+            model.mark_output("nope")
+
+    def test_output_type_count_mismatch(self):
+        model = Model()
+        model.add_input("x", TensorType((2,), DType.float32))
+        node = Node("Relu", "r", ["x"], ["y"])
+        with pytest.raises(GraphError):
+            model.add_node(node, [])
+
+    def test_builder_produces_valid_models(self):
+        for model in (build_mlp_model(), build_conv_model()):
+            assert is_valid(model)
+            assert model.outputs
+
+    def test_builder_default_outputs_are_leaves(self):
+        model = build_conv_model()
+        consumed = {name for node in model.nodes for name in node.inputs}
+        for output in model.outputs:
+            assert output not in consumed
+
+
+class TestModelQueries:
+    def test_topological_order(self, mlp_model):
+        order = mlp_model.topological_order()
+        seen = set(mlp_model.inputs) | set(mlp_model.initializers)
+        for node in order:
+            assert all(name in seen for name in node.inputs)
+            seen.update(node.outputs)
+
+    def test_cycle_detection(self):
+        model = Model()
+        model.add_input("x", TensorType((2,), DType.float32))
+        model.value_types["a"] = TensorType((2,), DType.float32)
+        model.value_types["b"] = TensorType((2,), DType.float32)
+        model.nodes.append(Node("Relu", "n1", ["b"], ["a"]))
+        model.nodes.append(Node("Relu", "n2", ["a"], ["b"]))
+        with pytest.raises(GraphError):
+            model.topological_order()
+
+    def test_producer_consumer_maps(self, mlp_model):
+        producers = mlp_model.producer_map()
+        consumers = mlp_model.consumer_map()
+        for node in mlp_model.nodes:
+            for output in node.outputs:
+                assert producers[output] is node
+            for name in node.inputs:
+                assert node in consumers[name]
+
+    def test_is_connected(self, conv_model):
+        assert conv_model.is_connected()
+
+    def test_clone_independent(self, conv_model):
+        clone = conv_model.clone()
+        clone.nodes[0].attrs["stride"] = 99
+        first_weight = next(iter(clone.initializers))
+        clone.initializers[first_weight][...] = 0
+        assert conv_model.nodes[0].attrs["stride"] != 99
+        assert not np.all(conv_model.initializers[first_weight] == 0)
+
+    def test_fresh_names(self, mlp_model):
+        assert mlp_model.fresh_value_name() not in mlp_model.value_types
+        assert mlp_model.fresh_node_name("gemm") not in {
+            node.name for node in mlp_model.nodes}
+
+
+class TestModelMutation:
+    def test_replace_uses(self, mlp_model):
+        target = mlp_model.nodes[1].outputs[0]
+        mlp_model.replace_uses(target, mlp_model.inputs[0])
+        for node in mlp_model.nodes:
+            assert target not in node.inputs
+
+    def test_prune_dead_nodes(self, conv_model):
+        model = conv_model.clone()
+        # Add a node whose output is unused.
+        dead_out = model.fresh_value_name("dead")
+        node = Node("Relu", "dead_relu", [model.inputs[0]], [dead_out])
+        model.add_node(node, [model.type_of(model.inputs[0])])
+        removed = model.prune_dead_nodes()
+        assert removed == 1
+        assert all(n.name != "dead_relu" for n in model.nodes)
+
+    def test_remove_node_keeps_used_types(self, mlp_model):
+        model = mlp_model.clone()
+        node = model.nodes[-1]
+        model.remove_node(node)
+        assert all(n.name != node.name for n in model.nodes)
+
+
+class TestValidation:
+    def test_valid_model_passes(self, conv_model):
+        validate_model(conv_model)
+
+    def test_wrong_output_type_detected(self, mlp_model):
+        model = mlp_model.clone()
+        some_output = model.nodes[0].outputs[0]
+        model.value_types[some_output] = TensorType((99, 99), DType.float32)
+        errors = validation_errors(model)
+        assert errors
+        with pytest.raises(TypeCheckError):
+            validate_model(model)
+
+    def test_shape_mismatch_detected(self):
+        builder = GraphBuilder("bad")
+        x = builder.input([2, 3])
+        w = builder.weight(np.zeros((4, 5), dtype=np.float32))
+        model = builder.model
+        node = Node("MatMul", "mm", [x, w], ["out"])
+        model.value_types["out"] = TensorType((2, 5), DType.float32)
+        model.nodes.append(node)
+        model.mark_output("out")
+        assert not is_valid(model)
+
+    def test_unknown_graph_output_detected(self, mlp_model):
+        model = mlp_model.clone()
+        model.outputs.append("ghost")
+        assert any("ghost" in problem for problem in validation_errors(model))
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_structure(self, conv_model):
+        restored = loads(dumps(conv_model))
+        assert [n.op for n in restored.nodes] == [n.op for n in conv_model.nodes]
+        assert restored.inputs == conv_model.inputs
+        assert restored.outputs == conv_model.outputs
+        assert restored.value_types == conv_model.value_types
+        for name, array in conv_model.initializers.items():
+            np.testing.assert_allclose(restored.initializers[name], array, rtol=1e-6)
+        assert is_valid(restored)
+
+    def test_roundtrip_execution_matches(self, mlp_model, rng):
+        from repro.runtime import Interpreter, random_inputs
+
+        restored = loads(dumps(mlp_model))
+        inputs = random_inputs(mlp_model, rng)
+        ref = Interpreter().run(mlp_model, inputs)
+        out = Interpreter().run(restored, inputs)
+        for key in ref:
+            np.testing.assert_allclose(ref[key], out[key], rtol=1e-6)
+
+    def test_version_check(self, mlp_model):
+        payload = model_to_dict(mlp_model)
+        payload["format_version"] = 999
+        with pytest.raises(GraphError):
+            model_from_dict(payload)
+
+    def test_attr_encoding(self):
+        builder = GraphBuilder("attrs")
+        x = builder.input([2, 4])
+        builder.op1("Slice", [x], starts=[0], ends=[np.int64(2)], axes=(0,), steps=[1])
+        model = builder.build()
+        restored = loads(dumps(model))
+        assert restored.nodes[0].attrs["ends"] == [2]
+        assert restored.nodes[0].attrs["axes"] == [0]

@@ -1,0 +1,82 @@
+"""Unit tests for TensorType and broadcasting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dtypes import DType
+from repro.graph.tensor_type import TensorType, broadcast_shapes
+
+
+class TestTensorType:
+    def test_basic_properties(self):
+        ttype = TensorType((2, 3, 4), DType.float32)
+        assert ttype.rank == 3
+        assert ttype.numel == 24
+        assert ttype.nbytes == 96
+
+    def test_scalar(self):
+        scalar = TensorType((), DType.int64)
+        assert scalar.rank == 0
+        assert scalar.numel == 1
+        assert scalar.is_scalar()
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorType((2, -1), DType.float32)
+
+    def test_equality_and_hash(self):
+        a = TensorType([2, 3], DType.float32)
+        b = TensorType((2, 3), DType.float32)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != TensorType((2, 3), DType.float64)
+
+    def test_with_shape_and_dtype(self):
+        ttype = TensorType((2, 3), DType.float32)
+        assert ttype.with_shape((6,)).shape == (6,)
+        assert ttype.with_dtype(DType.int32).dtype is DType.int32
+        # original unchanged (frozen dataclass semantics)
+        assert ttype.shape == (2, 3)
+
+    def test_str(self):
+        assert str(TensorType((2, 3), DType.float32)) == "float32[2x3]"
+        assert "scalar" in str(TensorType((), DType.float32))
+
+
+class TestBroadcastShapes:
+    @pytest.mark.parametrize("lhs,rhs,expected", [
+        ((2, 3), (2, 3), (2, 3)),
+        ((2, 3), (1, 3), (2, 3)),
+        ((2, 1), (1, 3), (2, 3)),
+        ((4, 2, 3), (3,), (4, 2, 3)),
+        ((), (5,), (5,)),
+        ((1,), (7, 1), (7, 1)),
+    ])
+    def test_valid(self, lhs, rhs, expected):
+        assert broadcast_shapes(lhs, rhs) == expected
+
+    @pytest.mark.parametrize("lhs,rhs", [
+        ((2, 3), (2, 4)),
+        ((2,), (3,)),
+        ((5, 2, 2), (3, 2, 2, 2)),
+    ])
+    def test_invalid(self, lhs, rhs):
+        with pytest.raises(ValueError):
+            broadcast_shapes(lhs, rhs)
+
+    def test_commutative(self):
+        assert broadcast_shapes((2, 1), (3,)) == broadcast_shapes((3,), (2, 1))
+
+    @given(st.lists(st.integers(min_value=1, max_value=5), min_size=0, max_size=4))
+    def test_broadcast_with_self_is_identity(self, shape):
+        shape = tuple(shape)
+        assert broadcast_shapes(shape, shape) == shape
+
+    @given(st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=4))
+    def test_broadcast_with_ones_matches_numpy(self, shape):
+        import numpy as np
+
+        shape = tuple(shape)
+        ones = (1,) * len(shape)
+        expected = np.broadcast_shapes(shape, ones)
+        assert broadcast_shapes(shape, ones) == expected

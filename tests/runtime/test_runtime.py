@@ -1,0 +1,138 @@
+"""Tests for the reference interpreter and the model exporter."""
+
+import numpy as np
+import pytest
+
+from repro.compilers.bugs import BugConfig
+from repro.dtypes import DType
+from repro.errors import ExecutionError
+from repro.graph.builder import GraphBuilder
+from repro.runtime import (
+    ExportReport,
+    Interpreter,
+    export_model,
+    random_inputs,
+    random_weights,
+)
+
+from tests.conftest import build_conv_model, build_mlp_model
+
+
+class TestInterpreter:
+    def test_runs_and_records_intermediates(self, mlp_model, rng):
+        inputs = random_inputs(mlp_model, rng)
+        result = Interpreter().run_detailed(mlp_model, inputs)
+        assert set(result.outputs) == set(mlp_model.outputs)
+        for node in mlp_model.nodes:
+            for output in node.outputs:
+                assert output in result.values
+
+    def test_missing_input_rejected(self, mlp_model):
+        with pytest.raises(ExecutionError):
+            Interpreter().run(mlp_model, {})
+
+    def test_wrong_input_shape_rejected(self, mlp_model):
+        bad = {mlp_model.inputs[0]: np.zeros((1, 1), dtype=np.float32)}
+        with pytest.raises(ExecutionError):
+            Interpreter().run(mlp_model, bad)
+
+    def test_numerical_validity_flags(self):
+        builder = GraphBuilder("nan")
+        x = builder.input([3])
+        log = builder.op1("Log", [x])
+        builder.op1("Relu", [log])
+        model = builder.build()
+        result = Interpreter().run_detailed(model, {x: np.array([-1.0, 1.0, 2.0],
+                                                                dtype=np.float32)})
+        assert not result.numerically_valid
+        assert result.first_exceptional_node == model.nodes[0].name
+
+    def test_internal_nan_detected_even_if_outputs_finite(self):
+        """ArgMax can mask upstream NaN (the paper's subtle requirement)."""
+        builder = GraphBuilder("masked")
+        x = builder.input([4])
+        log = builder.op1("Log", [x])
+        builder.op1("ArgMax", [log], axis=0)
+        model = builder.build()
+        result = Interpreter().run_detailed(
+            model, {x: np.array([-1.0, 1.0, 2.0, 3.0], dtype=np.float32)})
+        assert np.all(np.isfinite(list(result.outputs.values())[0]))
+        assert not result.numerically_valid
+
+    def test_valid_execution_flag(self, conv_model, rng):
+        result = Interpreter().run_detailed(conv_model, random_inputs(conv_model, rng))
+        assert result.numerically_valid
+
+    def test_random_inputs_respect_types(self, rng):
+        builder = GraphBuilder("types")
+        builder.input([2, 2], DType.float32, name="f")
+        builder.input([3], DType.int64, name="i")
+        builder.input([4], DType.bool_, name="b")
+        builder.op1("Relu", [ "f" ])
+        model = builder.build()
+        values = random_inputs(model, rng)
+        assert values["f"].dtype == np.float32
+        assert values["i"].dtype == np.int64
+        assert values["b"].dtype == np.bool_
+
+    def test_random_weights_match_shapes(self, mlp_model, rng):
+        weights = random_weights(mlp_model, rng)
+        for name, array in weights.items():
+            assert array.shape == mlp_model.initializers[name].shape
+
+
+class TestExporter:
+    def test_export_is_equivalent_without_bugs(self, conv_model, rng):
+        exported = export_model(conv_model, bugs=BugConfig.none())
+        inputs = random_inputs(conv_model, rng)
+        ref = Interpreter().run(conv_model, inputs)
+        out = Interpreter().run(exported, inputs)
+        for key in ref:
+            np.testing.assert_allclose(ref[key], out[key], rtol=1e-6)
+
+    def test_log2_scalar_rank_bug(self):
+        builder = GraphBuilder("log2")
+        x = builder.input([], DType.float32)
+        builder.op1("Log2", [x])
+        model = builder.build()
+        report = ExportReport()
+        exported = export_model(model, BugConfig.only("exporter-log2-scalar-rank"),
+                                report)
+        assert report.triggered_bugs == ["exporter-log2-scalar-rank"]
+        assert exported.type_of(exported.outputs[0]).shape == (1,)
+
+    def test_clip_int32_bug_marks_node(self):
+        builder = GraphBuilder("clip")
+        x = builder.input([4], DType.int32)
+        builder.op1("Clip", [x], min=0, max=3)
+        model = builder.build()
+        report = ExportReport()
+        exported = export_model(model, BugConfig.only("exporter-clip-int32-opset"),
+                                report)
+        assert report.triggered_bugs == ["exporter-clip-int32-opset"]
+        assert exported.nodes[0].attrs.get("opset_unsupported") is True
+
+    def test_clip_float_not_affected(self):
+        builder = GraphBuilder("clipf")
+        x = builder.input([4], DType.float32)
+        builder.op1("Clip", [x], min=0.0, max=3.0)
+        model = builder.build()
+        report = ExportReport()
+        export_model(model, BugConfig.only("exporter-clip-int32-opset"), report)
+        assert not report.triggered_bugs
+
+    def test_pad_reflect_rank2_bug(self):
+        builder = GraphBuilder("pad")
+        x = builder.input([3, 4], DType.float32)
+        builder.op1("Pad", [x], pads=[1, 2, 1, 2], mode="reflect")
+        model = builder.build()
+        report = ExportReport()
+        exported = export_model(model, BugConfig.only("exporter-pad-reflect-rank2"),
+                                report)
+        assert report.triggered_bugs == ["exporter-pad-reflect-rank2"]
+        assert exported.nodes[0].attrs["pads"] == [2, 1, 2, 1]
+
+    def test_no_bugs_no_reports(self, conv_model):
+        report = ExportReport()
+        export_model(conv_model, BugConfig.none(), report)
+        assert not report.triggered_bugs

@@ -1,0 +1,65 @@
+"""Unit tests for the dtype system."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import ALL_DTYPES, DType, FLOAT_DTYPES, INT_DTYPES, promote
+
+
+class TestDTypeBasics:
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    def test_roundtrip_string(self, dtype):
+        assert DType.from_str(str(dtype)) is dtype
+
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    def test_roundtrip_numpy(self, dtype):
+        assert DType.from_numpy(dtype.numpy) is dtype
+
+    def test_from_str_unknown(self):
+        with pytest.raises(ValueError):
+            DType.from_str("float16")
+
+    def test_from_numpy_unknown(self):
+        with pytest.raises(ValueError):
+            DType.from_numpy(np.complex64)
+
+    @pytest.mark.parametrize("dtype", FLOAT_DTYPES)
+    def test_float_flags(self, dtype):
+        assert dtype.is_float and not dtype.is_int and not dtype.is_bool
+
+    @pytest.mark.parametrize("dtype", INT_DTYPES)
+    def test_int_flags(self, dtype):
+        assert dtype.is_int and not dtype.is_float
+
+    def test_bool_flags(self):
+        assert DType.bool_.is_bool
+        assert not DType.bool_.is_float
+
+    def test_bytes(self):
+        assert DType.float32.bytes == 4
+        assert DType.float64.bytes == 8
+        assert DType.int64.bytes == 8
+        assert DType.bool_.bytes == 1
+
+
+class TestPromotion:
+    @pytest.mark.parametrize("dtype", ALL_DTYPES)
+    def test_promote_identity(self, dtype):
+        assert promote(dtype, dtype) is dtype
+
+    def test_promote_int_float(self):
+        assert promote(DType.int32, DType.float32) is DType.float32
+        assert promote(DType.float32, DType.int64) is DType.float32
+
+    def test_promote_widths(self):
+        assert promote(DType.int32, DType.int64) is DType.int64
+        assert promote(DType.float32, DType.float64) is DType.float64
+
+    def test_promote_bool_lowest(self):
+        for dtype in ALL_DTYPES:
+            assert promote(DType.bool_, dtype) is dtype
+
+    def test_promote_commutative(self):
+        for a in ALL_DTYPES:
+            for b in ALL_DTYPES:
+                assert promote(a, b) is promote(b, a)
