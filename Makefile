@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test smoke benchmarks
+
+# Tier-1: the full test + benchmark suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fast end-to-end smoke: exercises the sharded parallel campaign path
+# (2-worker ~10-iteration campaign + the scaling benchmark) in well under
+# a minute.
+smoke:
+	$(PYTHON) -m pytest -q -m smoke tests benchmarks
+
+# Regenerate the paper's tables/figures on scaled-down budgets.
+benchmarks:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -19,6 +19,12 @@ BUG_STUDY_ITERATIONS = 120
 ABLATION_ITERATIONS = 25
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "smoke: fast end-to-end checks (run with `make smoke` / `pytest -m smoke`)")
+
+
 def run_once(benchmark, func, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

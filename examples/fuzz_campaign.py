@@ -4,39 +4,56 @@ This is the workload the paper's introduction motivates: generate diverse
 valid models, give them numerically valid inputs, and differentially test
 several DL compilers, collecting deduplicated bug reports.
 
-Run with:  python examples/fuzz_campaign.py [iterations]
+The campaign can run serially (one ``Fuzzer`` loop) or sharded across
+worker processes via :mod:`repro.core.parallel`:
+
+* the total iteration budget is split evenly over N shards;
+* each shard's seed comes from ``SeedSequence((campaign_seed, shard_index))``
+  and each iteration's generator seed from
+  ``SeedSequence((shard_seed, generator_seed, iteration))``, so shards — and
+  nearby campaign seeds — explore disjoint model streams;
+* workers stream findings back to a coordinator that performs global
+  dedup and merges the shard results with ``CampaignResult.merge``;
+* passing a checkpoint path persists each completed shard as JSON, and
+  re-running the same campaign resumes from the checkpoint, executing only
+  the missing shards (see ``python -m repro.campaign --checkpoint ...``).
+
+Run with:  python examples/fuzz_campaign.py [iterations] [workers]
 """
 
 import sys
 
-from repro.compilers import (
-    CompileOptions,
-    DeepCCompiler,
-    GraphRTCompiler,
-    TurboCompiler,
-)
 from repro.compilers.bugs import BugConfig, bug_spec
-from repro.core import Fuzzer, FuzzerConfig, GeneratorConfig
+from repro.core import (
+    Fuzzer,
+    FuzzerConfig,
+    GeneratorConfig,
+    default_compiler_factory,
+    first_line,
+    run_parallel_campaign,
+)
 
 
-def main(iterations: int = 150) -> None:
+def main(iterations: int = 150, workers: int = 1) -> None:
     bugs = BugConfig.all()  # every seeded bug is live, as in a real campaign
-    compilers = [
-        GraphRTCompiler(CompileOptions(opt_level=2, bugs=bugs)),
-        DeepCCompiler(CompileOptions(opt_level=2, bugs=bugs)),
-        TurboCompiler(CompileOptions(opt_level=2, bugs=bugs)),
-    ]
-    fuzzer = Fuzzer(compilers, FuzzerConfig(
+    config = FuzzerConfig(
         generator=GeneratorConfig(n_nodes=10),
         max_iterations=iterations,
         value_search_method="gradient_proxy",
         bugs=bugs,
         seed=7,
-    ))
+    )
 
-    print(f"Fuzzing {', '.join(c.name for c in compilers)} "
-          f"for {iterations} iterations ...")
-    result = fuzzer.run()
+    if workers > 1:
+        print(f"Fuzzing graphrt, deepc, turbo for {iterations} iterations "
+              f"across {workers} worker processes ...")
+        result = run_parallel_campaign(config=config, n_workers=workers)
+    else:
+        compilers = default_compiler_factory(bugs)
+        fuzzer = Fuzzer(compilers, config)
+        print(f"Fuzzing {', '.join(c.name for c in compilers)} "
+              f"for {iterations} iterations ...")
+        result = fuzzer.run()
 
     print(f"\n{result.generated_models} models generated in {result.elapsed:.1f}s "
           f"({result.numerically_valid_models} numerically valid)")
@@ -44,7 +61,7 @@ def main(iterations: int = 150) -> None:
           f"{len(result.seeded_bugs_found)} distinct seeded bugs hit:\n")
     for report in result.reports:
         print(f"  [{report.compiler:<7}] {report.status:<8} ({report.phase}) "
-              f"{report.message.splitlines()[0][:90]}")
+              f"{first_line(report.message, 90)}")
     print("\nGround-truth seeded bugs found:")
     for bug_id in sorted(result.seeded_bugs_found):
         spec = bug_spec(bug_id)
@@ -53,4 +70,5 @@ def main(iterations: int = 150) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150)
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150,
+         int(sys.argv[2]) if len(sys.argv) > 2 else 1)

@@ -1,0 +1,127 @@
+"""Command-line front end for sharded fuzzing campaigns.
+
+Run a parallel campaign against the three in-repo compilers::
+
+    python -m repro.campaign --iterations 200 --workers 4
+
+Resume an interrupted campaign from its checkpoint (completed shards are
+loaded, only missing shards re-run)::
+
+    python -m repro.campaign --iterations 200 --workers 4 \\
+        --checkpoint campaign.ckpt.json
+
+``--workers 0`` (or ``--serial``) runs the same shard configs in-process,
+serially — useful as a determinism reference and on single-core boxes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.compilers.bugs import bug_spec
+from repro.core.difftest import first_line
+from repro.core.fuzzer import CampaignResult, FuzzerConfig
+from repro.core.generator import GeneratorConfig
+from repro.core.parallel import (
+    default_compiler_factory,
+    deterministic_config,
+    run_parallel_campaign,
+    run_sharded_serial,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Sharded, process-parallel fuzzing campaign runner.")
+    parser.add_argument("--iterations", type=int, default=100,
+                        help="total iterations across all shards (default 100)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="number of worker shards; 0 = serial (default 2)")
+    parser.add_argument("--serial", action="store_true",
+                        help="run the shards serially in-process")
+    parser.add_argument("--nodes", type=int, default=10,
+                        help="operators per generated model (default 10)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    parser.add_argument("--method", default="gradient_proxy",
+                        choices=("sampling", "gradient", "gradient_proxy"),
+                        help="value-search method (default gradient_proxy)")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        help="wall-clock budget per shard in seconds")
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="JSON checkpoint path for resume support")
+    parser.add_argument("--deterministic", action="store_true",
+                        help="step-bounded value search (machine-load "
+                             "independent results)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress streamed per-finding progress")
+    return parser
+
+
+def make_config(args: argparse.Namespace) -> FuzzerConfig:
+    config = FuzzerConfig(
+        generator=GeneratorConfig(n_nodes=args.nodes),
+        max_iterations=args.iterations,
+        time_budget=args.time_budget,
+        value_search_method=args.method,
+        seed=args.seed,
+    )
+    if args.deterministic:
+        config = deterministic_config(config)
+    return config
+
+
+def print_summary(result: CampaignResult) -> None:
+    print(f"\n{result.generated_models} models generated over "
+          f"{result.iterations} iterations in {result.elapsed:.1f}s "
+          f"({result.numerically_valid_models} numerically valid)")
+    print(f"{len(result.reports)} deduplicated findings, "
+          f"{len(result.seeded_bugs_found)} distinct seeded bugs hit")
+    for report in result.reports:
+        print(f"  [{report.compiler:<7}] {report.status:<8} ({report.phase}) "
+              f"{first_line(report.message, 90)}")
+    if result.seeded_bugs_found:
+        print("\nGround-truth seeded bugs found:")
+        for bug_id in sorted(result.seeded_bugs_found):
+            spec = bug_spec(bug_id)
+            print(f"  {bug_id:<38} {spec.system}/{spec.phase}/{spec.symptom}")
+    print("\nPer-system counts:", result.bugs_by_system())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = make_config(args)
+    serial = args.serial or args.workers == 0
+    n_workers = max(args.workers, 1)
+
+    mode = "serially" if serial else f"across {n_workers} worker processes"
+    print(f"Fuzzing graphrt, deepc, turbo for {args.iterations} iterations "
+          f"{mode} ...")
+
+    if serial:
+        if args.checkpoint:
+            print("warning: --checkpoint is only supported for parallel runs "
+                  "and is ignored in serial mode", file=sys.stderr)
+        result = run_sharded_serial(config, n_workers)
+    else:
+        def on_event(kind, shard, payload):
+            if kind == "progress" and not args.quiet:
+                print(f"  shard {shard}: iteration {payload['iteration']} "
+                      f"{payload['status']} in {payload['compiler']}")
+
+        result = run_parallel_campaign(
+            config=config,
+            n_workers=n_workers,
+            compiler_factory=default_compiler_factory,
+            checkpoint_path=args.checkpoint,
+            on_event=on_event,
+        )
+    print_summary(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

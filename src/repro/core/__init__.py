@@ -3,11 +3,25 @@
 from repro.core.abstract import AbsTensor
 from repro.core.binning import apply_attribute_binning
 from repro.core.concretize import GeneratedModel, concretize
-from repro.core.difftest import CaseResult, CompilerVerdict, DifferentialTester, compare_outputs
+from repro.core.difftest import (
+    CaseResult,
+    CompilerVerdict,
+    DifferentialTester,
+    compare_outputs,
+    first_line,
+)
 from repro.core.fuzzer import BugReport, CampaignResult, Fuzzer, FuzzerConfig
 from repro.core.generator import GeneratorConfig, GraphGenerator, SymbolicGraph, generate_model
 from repro.core.op_spec import AbsOpBase, SpecContext
 from repro.core.oplib import ALL_SPECS, DEFAULT_OP_POOL, SPEC_BY_KIND, specs_for_ops
+from repro.core.parallel import (
+    ParallelCampaign,
+    default_compiler_factory,
+    deterministic_config,
+    run_parallel_campaign,
+    run_sharded_serial,
+    shard_configs,
+)
 from repro.core.value_search import (
     SearchResult,
     gradient_search,
@@ -30,6 +44,7 @@ __all__ = [
     "GeneratedModel",
     "GeneratorConfig",
     "GraphGenerator",
+    "ParallelCampaign",
     "SPEC_BY_KIND",
     "SearchResult",
     "SpecContext",
@@ -37,9 +52,15 @@ __all__ = [
     "apply_attribute_binning",
     "compare_outputs",
     "concretize",
+    "default_compiler_factory",
+    "deterministic_config",
+    "first_line",
     "generate_model",
     "gradient_search",
+    "run_parallel_campaign",
+    "run_sharded_serial",
     "sampling_search",
     "search_values",
+    "shard_configs",
     "specs_for_ops",
 ]

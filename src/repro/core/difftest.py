@@ -33,6 +33,17 @@ RELATIVE_TOLERANCE = 1e-2
 ABSOLUTE_TOLERANCE = 1e-3
 
 
+def first_line(message: str, limit: int = 160) -> str:
+    """First line of a (possibly empty) message, truncated to ``limit``.
+
+    Crash messages are deduplicated by their first line; some seeded bugs
+    raise with an empty message, where ``message.splitlines()[0]`` would
+    raise ``IndexError``.
+    """
+    lines = message.splitlines()
+    return lines[0][:limit] if lines else ""
+
+
 def compare_outputs(reference: Mapping[str, np.ndarray],
                     candidate: Mapping[str, np.ndarray],
                     rtol: float = RELATIVE_TOLERANCE,
@@ -85,7 +96,7 @@ class CompilerVerdict:
     def dedup_key(self) -> str:
         """Deduplication key mirroring "unique crashes by error message"."""
         if self.status == "crash":
-            return f"{self.compiler}|crash|{self.message.splitlines()[0][:160]}"
+            return f"{self.compiler}|crash|{first_line(self.message)}"
         return f"{self.compiler}|{self.status}|{self.phase}"
 
 
@@ -118,21 +129,30 @@ class DifferentialTester:
 
     # ------------------------------------------------------------------ #
     def run_case(self, model: Model,
-                 inputs: Optional[Dict[str, np.ndarray]] = None) -> CaseResult:
-        """Differentially test one model (weights are baked into the model)."""
+                 inputs: Optional[Dict[str, np.ndarray]] = None,
+                 numerically_valid: Optional[bool] = None) -> CaseResult:
+        """Differentially test one model (weights are baked into the model).
+
+        ``numerically_valid`` lets the caller forward an already-established
+        validity verdict (e.g. from a successful value search over the same
+        inputs/weights) instead of re-deriving it from the oracle run.
+        """
         if inputs is None:
             inputs = random_inputs(model, np.random.default_rng(0))
 
         oracle = self._interpreter.run_detailed(model, inputs)
+        if numerically_valid is None:
+            numerically_valid = oracle.numerically_valid
+
         export_report = ExportReport()
         exported = export_model(model, bugs=self.bugs, report=export_report)
 
         result = CaseResult(model=model,
-                            numerically_valid=oracle.numerically_valid,
+                            numerically_valid=numerically_valid,
                             exporter_bugs=list(export_report.triggered_bugs))
         for compiler in self.compilers:
             verdict = self._test_compiler(compiler, exported, inputs, oracle.outputs,
-                                          oracle.numerically_valid)
+                                          numerically_valid)
             verdict.triggered_bugs.extend(
                 bug for bug in export_report.triggered_bugs
                 if bug not in verdict.triggered_bugs)

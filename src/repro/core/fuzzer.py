@@ -8,23 +8,32 @@ under test.  The campaign records:
   following §5.1's bug counting) and their ground-truth seeded-bug ids;
 * the operator-instance signatures exercised (Figure 9's diversity metric);
 * per-iteration timing, usable for the coverage/throughput figures.
+
+The single-iteration step is factored into module-level pure functions
+(:func:`iteration_seed`, :func:`generate_for_iteration`,
+:func:`run_campaign_iteration`, :func:`fold_case`) so the serial loop here
+and the sharded parallel engine in :mod:`repro.core.parallel` share exactly
+the same per-iteration behaviour — a prerequisite for the parallel engine's
+serial-equivalence guarantee.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.compilers.base import Compiler
 from repro.compilers.bugs import BugConfig
 from repro.core.concretize import GeneratedModel
-from repro.core.difftest import CaseResult, DifferentialTester
+from repro.core.difftest import CaseResult, DifferentialTester, first_line
 from repro.core.generator import GeneratorConfig, generate_model
 from repro.core.value_search import search_values
 from repro.errors import GenerationError, ReproError
+from repro.runtime.interpreter import random_inputs
 
 
 @dataclass
@@ -42,6 +51,13 @@ class BugReport:
     def seeded_ids(self) -> List[str]:
         return list(self.triggered_bugs)
 
+    def dedup_key(self) -> str:
+        """Same key as :meth:`CompilerVerdict.dedup_key` — crash messages are
+        deduplicated by first line, semantic mismatches by compiler/phase."""
+        if self.status == "crash":
+            return f"{self.compiler}|crash|{first_line(self.message)}"
+        return f"{self.compiler}|{self.status}|{self.phase}"
+
 
 @dataclass
 class FuzzerConfig:
@@ -49,7 +65,11 @@ class FuzzerConfig:
 
     generator: GeneratorConfig = field(default_factory=GeneratorConfig)
     value_search_method: str = "gradient_proxy"
-    value_search_budget: float = 0.064
+    #: Wall-clock budget per value search (None = no time bound; searches are
+    #: then limited only by their step counts, which makes them deterministic).
+    value_search_budget: Optional[float] = 0.064
+    #: Step bound per value search (None = the search method's default).
+    value_search_max_steps: Optional[int] = None
     #: Stop after this many iterations (None = unbounded).
     max_iterations: Optional[int] = 100
     #: Stop after this much wall-clock time in seconds (None = unbounded).
@@ -78,7 +98,7 @@ class CampaignResult:
     timeline: List[Dict[str, float]] = field(default_factory=list)
 
     def unique_crashes(self, compiler: Optional[str] = None) -> int:
-        keys = {report.message.splitlines()[0][:160]
+        keys = {first_line(report.message)
                 for report in self.reports
                 if report.status == "crash" and
                 (compiler is None or report.compiler == compiler)}
@@ -91,6 +111,143 @@ class CampaignResult:
                 system = bug_id.split("-")[0]
                 found.setdefault(system, set()).add(bug_id)
         return {system: len(ids) for system, ids in found.items()}
+
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "CampaignResult") -> "CampaignResult":
+        """Fold another (shard) result into this one, in place.
+
+        Counters add up; bug/operator sets union; reports are globally
+        re-deduplicated by :meth:`BugReport.dedup_key` keeping the first
+        occurrence in fold order.  ``elapsed`` is the max of the two (shards
+        run concurrently), and the merged timeline re-numbers iterations
+        cumulatively in elapsed order so throughput plots stay monotonic.
+        """
+        self.iterations += other.iterations
+        self.generated_models += other.generated_models
+        self.generation_failures += other.generation_failures
+        self.numerically_valid_models += other.numerically_valid_models
+        self.elapsed = max(self.elapsed, other.elapsed)
+        seen = {report.dedup_key() for report in self.reports}
+        for report in other.reports:
+            key = report.dedup_key()
+            if key not in seen:
+                seen.add(key)
+                self.reports.append(report)
+        self.operator_instances.update(other.operator_instances)
+        self.seeded_bugs_found.update(other.seeded_bugs_found)
+        samples = sorted(self.timeline + other.timeline,
+                         key=lambda sample: sample["elapsed"])
+        self.timeline = [{"elapsed": sample["elapsed"], "iteration": float(rank)}
+                         for rank, sample in enumerate(samples, start=1)]
+        return self
+
+    @classmethod
+    def merge_all(cls, results: Sequence["CampaignResult"]) -> "CampaignResult":
+        """Merge shard results (in shard order) into a fresh campaign result."""
+        merged = cls()
+        for result in results:
+            merged.merge(result)
+        return merged
+
+
+# --------------------------------------------------------------------------- #
+# The single-iteration step, shared by the serial and parallel engines.
+# --------------------------------------------------------------------------- #
+def iteration_seed(campaign_seed: int, generator_seed: Optional[int],
+                   iteration: int) -> int:
+    """Mix campaign seed, generator seed and iteration into one stream seed.
+
+    Uses :class:`numpy.random.SeedSequence` so nearby campaign seeds produce
+    unrelated per-iteration streams.  (The previous linear mixing
+    ``gen_seed * 100_003 + iteration + campaign_seed`` made campaigns with
+    seeds ``s`` and ``s + 1`` replay almost the same generator stream shifted
+    by one iteration.)
+    """
+    entropy = (campaign_seed % (1 << 63), (generator_seed or 0) % (1 << 63),
+               iteration % (1 << 63))
+    return int(np.random.SeedSequence(entropy).generate_state(1, np.uint64)[0])
+
+
+def generate_for_iteration(config: FuzzerConfig,
+                           iteration: int) -> Optional[GeneratedModel]:
+    """Generate this iteration's model, or None when generation fails."""
+    generator = dataclasses.replace(
+        config.generator,
+        seed=iteration_seed(config.seed, config.generator.seed, iteration))
+    try:
+        return generate_model(generator)
+    except (GenerationError, ReproError):
+        return None
+
+
+def search_and_difftest(tester: DifferentialTester, config: FuzzerConfig,
+                         generated: GeneratedModel,
+                         rng: np.random.Generator) -> Optional[CaseResult]:
+    """Value-search a generated model and differentially test it.
+
+    Inputs and weights are forwarded to the tester only when the search
+    *succeeded*; a failed search's last-trial values are known-invalid, so
+    the case is re-tested with the model's original weights on fresh random
+    inputs instead, and the numeric-validity flag established by a
+    successful search is recorded rather than re-derived.
+    """
+    search = search_values(generated.model,
+                           method=config.value_search_method,
+                           rng=rng,
+                           time_budget=config.value_search_budget,
+                           max_steps=config.value_search_max_steps)
+    if search.success:
+        model = search.apply_weights(generated.model) if search.weights \
+            else generated.model
+        inputs, validity = search.inputs, True
+    else:
+        model = generated.model
+        inputs, validity = random_inputs(model, rng), None
+    try:
+        return tester.run_case(model, inputs=inputs, numerically_valid=validity)
+    except ReproError:
+        return None
+
+
+def run_campaign_iteration(tester: DifferentialTester, config: FuzzerConfig,
+                           iteration: int, rng: np.random.Generator
+                           ) -> Tuple[Optional[GeneratedModel], Optional[CaseResult]]:
+    """One full generate → value-search → difftest step (pure, picklable)."""
+    generated = generate_for_iteration(config, iteration)
+    if generated is None:
+        return None, None
+    return generated, search_and_difftest(tester, config, generated, rng)
+
+
+def fold_case(result: CampaignResult, case: CaseResult, iteration: int,
+              seen_reports: Set[str]) -> List[BugReport]:
+    """Fold one case's verdicts into a campaign result, deduplicating reports.
+
+    Returns the reports that were new to this campaign (useful for streaming
+    findings out of parallel shard workers).
+    """
+    fresh: List[BugReport] = []
+    if case.numerically_valid:
+        result.numerically_valid_models += 1
+    for verdict in case.verdicts:
+        if not verdict.found_bug:
+            continue
+        result.seeded_bugs_found.update(verdict.triggered_bugs)
+        key = verdict.dedup_key()
+        if key in seen_reports:
+            continue
+        seen_reports.add(key)
+        report = BugReport(
+            compiler=verdict.compiler,
+            status=verdict.status,
+            phase=verdict.phase,
+            message=verdict.message,
+            triggered_bugs=list(verdict.triggered_bugs),
+            iteration=iteration,
+        )
+        result.reports.append(report)
+        fresh.append(report)
+    return fresh
 
 
 class Fuzzer:
@@ -126,34 +283,16 @@ class Fuzzer:
 
         while not self._budget_exhausted(iteration, start):
             iteration += 1
-            generated = self._generate(iteration)
+            generated, case = run_campaign_iteration(
+                self.tester, self.config, iteration, rng)
             if generated is None:
                 result.generation_failures += 1
                 continue
             result.generated_models += 1
             result.operator_instances.update(generated.op_instances)
-
-            case = self._test_one(generated, rng)
             if case is None:
                 continue
-            if case.numerically_valid:
-                result.numerically_valid_models += 1
-            for verdict in case.verdicts:
-                if not verdict.found_bug:
-                    continue
-                key = verdict.dedup_key()
-                result.seeded_bugs_found.update(verdict.triggered_bugs)
-                if key in seen_reports:
-                    continue
-                seen_reports.add(key)
-                result.reports.append(BugReport(
-                    compiler=verdict.compiler,
-                    status=verdict.status,
-                    phase=verdict.phase,
-                    message=verdict.message,
-                    triggered_bugs=list(verdict.triggered_bugs),
-                    iteration=iteration,
-                ))
+            fold_case(result, case, iteration, seen_reports)
             result.timeline.append(
                 {"elapsed": time.monotonic() - start, "iteration": float(iteration)})
             if on_iteration is not None:
@@ -174,33 +313,10 @@ class Fuzzer:
         return False
 
     def _generate(self, iteration: int) -> Optional[GeneratedModel]:
-        config = self.config.generator
-        per_iteration = GeneratorConfig(
-            n_nodes=config.n_nodes,
-            max_dim=config.max_dim,
-            max_rank=config.max_rank,
-            seed=(config.seed or 0) * 100_003 + iteration + self.config.seed,
-            forward_probability=config.forward_probability,
-            weight_probability=config.weight_probability,
-            use_binning=config.use_binning,
-            n_bins=config.n_bins,
-            op_pool=config.op_pool,
-            dtype_weights=config.dtype_weights,
-            max_attempts_per_node=config.max_attempts_per_node,
-        )
-        try:
-            return generate_model(per_iteration)
-        except (GenerationError, ReproError):
-            return None
+        """Back-compat shim over :func:`generate_for_iteration`."""
+        return generate_for_iteration(self.config, iteration)
 
     def _test_one(self, generated: GeneratedModel,
                   rng: np.random.Generator) -> Optional[CaseResult]:
-        search = search_values(generated.model,
-                               method=self.config.value_search_method,
-                               rng=rng,
-                               time_budget=self.config.value_search_budget)
-        model = search.apply_weights(generated.model) if search.weights else generated.model
-        try:
-            return self.tester.run_case(model, inputs=search.inputs or None)
-        except ReproError:
-            return None
+        """Back-compat shim over :func:`search_and_difftest`."""
+        return search_and_difftest(self.tester, self.config, generated, rng)

@@ -1,0 +1,382 @@
+"""Sharded, process-parallel fuzzing campaigns.
+
+:class:`repro.core.fuzzer.Fuzzer` is a strictly serial loop; a campaign uses
+one core no matter how many are available.  The search is embarrassingly
+parallel, so this module splits a :class:`FuzzerConfig` into N worker
+*shards* with disjoint seed streams (:func:`shard_configs`), runs each
+shard's generate → value-search → difftest loop in its own
+``multiprocessing`` worker, and streams per-iteration progress and fresh
+:class:`BugReport` records back to the coordinator over a queue.  The
+coordinator performs global report dedup and merges the shard
+:class:`CampaignResult`\\ s (operator instances, seeded-bug sets, timelines)
+via :meth:`CampaignResult.merge`.
+
+Determinism: a shard's result depends only on its shard config, so running
+the same shard configs serially (``Fuzzer(...).run()`` per shard, then
+``CampaignResult.merge_all``) yields the same merged found-bug and
+operator-instance sets as the parallel run.  For *exact* report equality use
+deterministic value-search settings (``value_search_budget=None`` plus
+``value_search_max_steps``) so CPU contention cannot change search outcomes;
+:func:`deterministic_config` applies that transform.
+
+Checkpoint/resume: pass ``checkpoint_path`` and every completed shard's
+result is persisted as JSON (reusing the :mod:`repro.graph.serialize` JSON
+conventions).  Re-running the same campaign resumes by loading completed
+shards from the checkpoint and only executing the missing ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.compilers.base import Compiler
+from repro.compilers.bugs import BugConfig
+from repro.core.fuzzer import BugReport, CampaignResult, Fuzzer, FuzzerConfig
+from repro.errors import ReproError
+from repro.graph.serialize import to_jsonable
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: A picklable callable building the compilers under test inside a worker.
+CompilerFactory = Callable[[BugConfig], List[Compiler]]
+
+
+def default_compiler_factory(bugs: BugConfig) -> List[Compiler]:
+    """The three in-repo systems under test at full optimization level."""
+    from repro.compilers import (CompileOptions, DeepCCompiler, GraphRTCompiler,
+                                 TurboCompiler)
+
+    return [
+        GraphRTCompiler(CompileOptions(opt_level=2, bugs=bugs)),
+        DeepCCompiler(CompileOptions(opt_level=2, bugs=bugs)),
+        TurboCompiler(CompileOptions(opt_level=2, bugs=bugs)),
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Shard seeding
+# --------------------------------------------------------------------------- #
+def shard_seed(campaign_seed: int, shard_index: int) -> int:
+    """Derive a shard's campaign seed; disjoint streams across shards *and*
+    across nearby campaign seeds (SeedSequence mixing, not linear offsets)."""
+    entropy = (campaign_seed % (1 << 63), shard_index % (1 << 63))
+    return int(np.random.SeedSequence(entropy).generate_state(1, np.uint64)[0])
+
+
+def shard_configs(config: FuzzerConfig, n_workers: int) -> List[FuzzerConfig]:
+    """Split a campaign config into per-shard configs with disjoint seeds.
+
+    The iteration budget is divided as evenly as possible (earlier shards
+    absorb the remainder); a wall-clock ``time_budget`` is passed through
+    unchanged since shards run concurrently.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    shards: List[FuzzerConfig] = []
+    total = config.max_iterations
+    for index in range(n_workers):
+        if total is None:
+            budget = None
+        else:
+            budget = total // n_workers + (1 if index < total % n_workers else 0)
+        shards.append(dataclasses.replace(
+            config,
+            generator=dataclasses.replace(config.generator),
+            max_iterations=budget,
+            seed=shard_seed(config.seed, index),
+        ))
+    return shards
+
+
+def deterministic_config(config: FuzzerConfig,
+                         max_steps: int = 32) -> FuzzerConfig:
+    """A copy of ``config`` whose value searches are step-bounded instead of
+    time-bounded, making each iteration's outcome independent of machine
+    load.  A campaign-level ``time_budget`` is preserved — but note that
+    full campaign determinism additionally requires an iteration-bounded
+    campaign (``time_budget=None``)."""
+    return dataclasses.replace(
+        config,
+        generator=dataclasses.replace(config.generator),
+        value_search_budget=None,
+        value_search_max_steps=max_steps,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Campaign-result (de)serialization for checkpoints
+# --------------------------------------------------------------------------- #
+def campaign_result_to_dict(result: CampaignResult) -> Dict[str, Any]:
+    """JSON-compatible encoding of a campaign result."""
+    return {
+        "iterations": result.iterations,
+        "generated_models": result.generated_models,
+        "generation_failures": result.generation_failures,
+        "numerically_valid_models": result.numerically_valid_models,
+        "elapsed": result.elapsed,
+        "reports": [to_jsonable(dataclasses.asdict(report))
+                    for report in result.reports],
+        "operator_instances": sorted(result.operator_instances),
+        "seeded_bugs_found": sorted(result.seeded_bugs_found),
+        "timeline": to_jsonable(result.timeline),
+    }
+
+
+def campaign_result_from_dict(payload: Dict[str, Any]) -> CampaignResult:
+    """Rebuild a campaign result from :func:`campaign_result_to_dict`."""
+    return CampaignResult(
+        iterations=payload.get("iterations", 0),
+        generated_models=payload.get("generated_models", 0),
+        generation_failures=payload.get("generation_failures", 0),
+        numerically_valid_models=payload.get("numerically_valid_models", 0),
+        elapsed=payload.get("elapsed", 0.0),
+        reports=[BugReport(**entry) for entry in payload.get("reports", [])],
+        operator_instances=set(payload.get("operator_instances", [])),
+        seeded_bugs_found=set(payload.get("seeded_bugs_found", [])),
+        timeline=list(payload.get("timeline", [])),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+def _shard_worker(shard_index: int, config: FuzzerConfig,
+                  factory: CompilerFactory, queue) -> None:
+    """Run one shard's full campaign, streaming progress to the coordinator.
+
+    Emits ``("progress", shard, payload)`` for every bug-finding verdict,
+    ``("done", shard, result_dict)`` on success and
+    ``("error", shard, message)`` on failure.
+    """
+    try:
+        compilers = factory(config.bugs)
+        fuzzer = Fuzzer(compilers, config)
+
+        def stream(iteration, case):
+            for verdict in case.verdicts:
+                if verdict.found_bug:
+                    queue.put(("progress", shard_index,
+                               {"iteration": iteration,
+                                "compiler": verdict.compiler,
+                                "status": verdict.status}))
+
+        result = fuzzer.run(on_iteration=stream)
+        queue.put(("done", shard_index, campaign_result_to_dict(result)))
+    except BaseException as exc:  # surface worker death to the coordinator
+        queue.put(("error", shard_index, f"{type(exc).__name__}: {exc}"))
+
+
+# --------------------------------------------------------------------------- #
+# Coordinator
+# --------------------------------------------------------------------------- #
+@dataclass
+class ParallelCampaign:
+    """Coordinator for a sharded fuzzing campaign.
+
+    Parameters mirror the serial :class:`Fuzzer`: ``config`` describes the
+    whole campaign and is split across ``n_workers`` shards.  The compilers
+    under test are built *inside* each worker by ``compiler_factory`` (which
+    must be a picklable, module-level callable).
+    """
+
+    config: FuzzerConfig = field(default_factory=FuzzerConfig)
+    n_workers: int = 2
+    compiler_factory: CompilerFactory = default_compiler_factory
+    #: Persist completed shard results here and resume from them on re-run.
+    checkpoint_path: Optional[str] = None
+    #: multiprocessing start method ("fork" on Linux is fastest; "spawn" is
+    #: portable). None picks the platform default.
+    mp_context: Optional[str] = None
+    #: Optional observer for streamed worker events (kind, shard, payload).
+    on_event: Optional[Callable[[str, int, Any], None]] = None
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> CampaignResult:
+        """Run all shards in parallel and return the merged campaign result."""
+        shards = shard_configs(self.config, self.n_workers)
+        completed = self._load_checkpoint(len(shards))
+        pending = [index for index in range(len(shards))
+                   if completed[index] is None]
+
+        if pending:
+            context = (multiprocessing.get_context(self.mp_context)
+                       if self.mp_context else multiprocessing.get_context())
+            queue = context.Queue()
+            workers = {index: context.Process(target=_shard_worker,
+                                              args=(index, shards[index],
+                                                    self.compiler_factory, queue),
+                                              daemon=True)
+                       for index in pending}
+            for worker in workers.values():
+                worker.start()
+            try:
+                self._drain(queue, completed, set(pending), workers)
+            finally:
+                for worker in workers.values():
+                    worker.join(timeout=30)
+                    if worker.is_alive():
+                        worker.terminate()
+
+        results = [campaign_result_from_dict(payload) for payload in completed]
+        return CampaignResult.merge_all(results)
+
+    # ------------------------------------------------------------------ #
+    def _drain(self, queue, completed: List[Optional[Dict[str, Any]]],
+               pending: Set[int], workers: Dict[int, Any]) -> None:
+        import queue as queue_module
+
+        errors: List[str] = []
+        dead_polls: Dict[int, int] = {}
+        while pending:
+            try:
+                kind, shard, payload = queue.get(timeout=1.0)
+            except queue_module.Empty:
+                # A worker killed by the OS (OOM, signal) never reports back;
+                # detect the silent death instead of blocking forever.  A
+                # freshly-exited worker's final message can still be in
+                # flight, so only give up on a shard once its worker stays
+                # dead over consecutive quiet polls.
+                for shard in list(pending):
+                    if workers[shard].is_alive():
+                        dead_polls[shard] = 0
+                        continue
+                    dead_polls[shard] = dead_polls.get(shard, 0) + 1
+                    if dead_polls[shard] >= 3:
+                        pending.discard(shard)
+                        errors.append(
+                            f"shard {shard}: worker died with exit code "
+                            f"{workers[shard].exitcode}")
+                continue
+            if self.on_event is not None:
+                self.on_event(kind, shard, payload)
+            if kind == "done":
+                completed[shard] = payload
+                pending.discard(shard)
+                self._save_checkpoint(completed)
+            elif kind == "error":
+                pending.discard(shard)
+                errors.append(f"shard {shard}: {payload}")
+        if errors:
+            raise ReproError("parallel campaign worker(s) failed: "
+                             + "; ".join(errors))
+
+    # ------------------------------------------------------------------ #
+    def _checkpoint_fingerprint(self, n_shards: int) -> Dict[str, Any]:
+        """Everything that changes what a shard computes.  A checkpoint whose
+        fingerprint differs is discarded rather than silently reused."""
+        factory = self.compiler_factory
+        generator = self.config.generator
+        return {
+            "n_shards": n_shards,
+            "compiler_factory": f"{factory.__module__}.{factory.__qualname__}",
+            "seed": self.config.seed,
+            "max_iterations": self.config.max_iterations,
+            "time_budget": self.config.time_budget,
+            "value_search_method": self.config.value_search_method,
+            "value_search_budget": self.config.value_search_budget,
+            "value_search_max_steps": self.config.value_search_max_steps,
+            "probe_operator_support": self.config.probe_operator_support,
+            "bugs": sorted(self.config.bugs.enabled_ids()),
+            "generator": {
+                "n_nodes": generator.n_nodes,
+                "max_dim": generator.max_dim,
+                "max_rank": generator.max_rank,
+                "seed": generator.seed,
+                "forward_probability": generator.forward_probability,
+                "weight_probability": generator.weight_probability,
+                "use_binning": generator.use_binning,
+                "n_bins": generator.n_bins,
+                "op_pool": sorted(spec.op_kind for spec in generator.op_pool),
+                "dtype_weights": {str(dtype): weight for dtype, weight
+                                  in sorted(generator.dtype_weights.items(),
+                                            key=lambda item: str(item[0]))},
+                "max_attempts_per_node": generator.max_attempts_per_node,
+            },
+        }
+
+    def _load_checkpoint(self, n_shards: int) -> List[Optional[Dict[str, Any]]]:
+        completed: List[Optional[Dict[str, Any]]] = [None] * n_shards
+        path = self.checkpoint_path
+        if not path or not os.path.exists(path):
+            return completed
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return completed  # unreadable/corrupt checkpoint: start fresh
+        if not isinstance(payload, dict) or \
+                payload.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+            return completed
+        if payload.get("campaign") != self._checkpoint_fingerprint(n_shards):
+            return completed  # different campaign: start over
+        for key, entry in payload.get("shards", {}).items():
+            try:
+                index = int(key)
+                if not 0 <= index < n_shards:
+                    continue
+                campaign_result_from_dict(entry)  # reject malformed payloads
+            except (ValueError, TypeError, KeyError, AttributeError):
+                continue  # treat a corrupt shard entry as not completed
+            completed[index] = entry
+        return completed
+
+    def _save_checkpoint(self, completed: List[Optional[Dict[str, Any]]]) -> None:
+        path = self.checkpoint_path
+        if not path:
+            return
+        payload = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "campaign": self._checkpoint_fingerprint(len(completed)),
+            "shards": {str(index): entry
+                       for index, entry in enumerate(completed)
+                       if entry is not None},
+        }
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+
+
+def run_parallel_campaign(config: Optional[FuzzerConfig] = None,
+                          n_workers: int = 2,
+                          compiler_factory: CompilerFactory = default_compiler_factory,
+                          checkpoint_path: Optional[str] = None,
+                          mp_context: Optional[str] = None,
+                          on_event: Optional[Callable[[str, int, Any], None]] = None
+                          ) -> CampaignResult:
+    """Convenience wrapper: build a :class:`ParallelCampaign` and run it."""
+    campaign = ParallelCampaign(
+        config=config or FuzzerConfig(),
+        n_workers=n_workers,
+        compiler_factory=compiler_factory,
+        checkpoint_path=checkpoint_path,
+        mp_context=mp_context,
+        on_event=on_event,
+    )
+    return campaign.run()
+
+
+def run_sharded_serial(config: FuzzerConfig, n_workers: int,
+                       compiler_factory: CompilerFactory = default_compiler_factory
+                       ) -> CampaignResult:
+    """Run the same shard configs in-process, serially, and merge them.
+
+    This is the reference implementation the parallel engine is equivalent
+    to; it is also the fallback when ``multiprocessing`` is unavailable.
+    """
+    results = []
+    for shard in shard_configs(config, n_workers):
+        fuzzer = Fuzzer(compiler_factory(shard.bugs), shard)
+        results.append(fuzzer.run())
+    merged = CampaignResult.merge_all(results)
+    # merge() assumes concurrent shards (elapsed = max); these ran back to
+    # back, so wall-clock is the sum.
+    merged.elapsed = sum(result.elapsed for result in results)
+    return merged

@@ -52,17 +52,23 @@ def _run(model: Model, inputs, weights, interpreter: Interpreter):
 
 
 def sampling_search(model: Model, rng: Optional[np.random.Generator] = None,
-                    time_budget: float = 0.064,
+                    time_budget: Optional[float] = 0.064,
                     max_trials: int = 64) -> SearchResult:
-    """The paper's "Sampling" baseline: re-draw random values until valid."""
+    """The paper's "Sampling" baseline: re-draw random values until valid.
+
+    ``time_budget=None`` disables the wall-clock bound so the search is only
+    limited by ``max_trials`` — this makes the outcome deterministic, which
+    parallel campaigns rely on for serial-equivalence.
+    """
     rng = rng or np.random.default_rng()
+    budget = float("inf") if time_budget is None else time_budget
     interpreter = Interpreter(record_intermediates=False)
     work_model = model.clone()
     start = time.monotonic()
     trials = 0
     inputs = {}
     weights = {}
-    while trials < max_trials and (time.monotonic() - start) <= time_budget:
+    while trials < max_trials and (time.monotonic() - start) <= budget:
         trials += 1
         inputs = random_inputs(model, rng)
         weights = random_weights(model, rng)
@@ -75,7 +81,7 @@ def sampling_search(model: Model, rng: Optional[np.random.Generator] = None,
 
 
 def gradient_search(model: Model, rng: Optional[np.random.Generator] = None,
-                    time_budget: float = 0.064,
+                    time_budget: Optional[float] = 0.064,
                     learning_rate: float = 0.5,
                     proxy: ProxyConfig = DEFAULT_PROXY,
                     max_iterations: int = 100) -> SearchResult:
@@ -87,8 +93,12 @@ def gradient_search(model: Model, rng: Optional[np.random.Generator] = None,
     every graph input and weight.  The optimizer state is reset whenever the
     targeted operator changes; zero gradients trigger re-initialization and
     NaN/Inf parameters are replaced by fresh random values.
+
+    ``time_budget=None`` disables the wall-clock bound so the search is only
+    limited by ``max_iterations`` and therefore deterministic.
     """
     rng = rng or np.random.default_rng()
+    budget = float("inf") if time_budget is None else time_budget
     interpreter = Interpreter(record_intermediates=True)
     work_model = model.clone()
     method = "gradient_proxy" if proxy.enabled else "gradient"
@@ -100,7 +110,7 @@ def gradient_search(model: Model, rng: Optional[np.random.Generator] = None,
 
     start = time.monotonic()
     iterations = 0
-    while iterations < max_iterations and (time.monotonic() - start) <= time_budget:
+    while iterations < max_iterations and (time.monotonic() - start) <= budget:
         iterations += 1
         run = _run(work_model, inputs, weights, interpreter)
         if run.numerically_valid:
@@ -169,14 +179,24 @@ def gradient_search(model: Model, rng: Optional[np.random.Generator] = None,
 
 def search_values(model: Model, method: str = "gradient_proxy",
                   rng: Optional[np.random.Generator] = None,
-                  time_budget: float = 0.064) -> SearchResult:
-    """Dispatch helper used by the fuzzer and the Figure 11 experiment."""
-    if method == "sampling":
-        return sampling_search(model, rng, time_budget=time_budget)
-    if method == "gradient":
-        from repro.autodiff import NO_PROXY
+                  time_budget: Optional[float] = 0.064,
+                  max_steps: Optional[int] = None) -> SearchResult:
+    """Dispatch helper used by the fuzzer and the Figure 11 experiment.
 
-        return gradient_search(model, rng, time_budget=time_budget, proxy=NO_PROXY)
-    if method == "gradient_proxy":
-        return gradient_search(model, rng, time_budget=time_budget, proxy=DEFAULT_PROXY)
+    ``max_steps`` bounds the number of trials (sampling) or optimizer
+    iterations (gradient search); combined with ``time_budget=None`` it makes
+    the search fully deterministic.
+    """
+    if method == "sampling":
+        kwargs = {} if max_steps is None else {"max_trials": max_steps}
+        return sampling_search(model, rng, time_budget=time_budget, **kwargs)
+    if method in ("gradient", "gradient_proxy"):
+        if method == "gradient":
+            from repro.autodiff import NO_PROXY
+            proxy = NO_PROXY
+        else:
+            proxy = DEFAULT_PROXY
+        kwargs = {} if max_steps is None else {"max_iterations": max_steps}
+        return gradient_search(model, rng, time_budget=time_budget, proxy=proxy,
+                               **kwargs)
     raise ValueError(f"unknown value-search method {method!r}")

@@ -40,7 +40,7 @@ from repro.compilers.bugs import (
     all_bugs,
     bug_spec,
 )
-from repro.core.difftest import DifferentialTester
+from repro.core.difftest import DifferentialTester, first_line
 from repro.core.fuzzer import CampaignResult, Fuzzer, FuzzerConfig
 from repro.core.generator import GeneratorConfig
 from repro.errors import ReproError
@@ -212,7 +212,7 @@ def crash_comparison(max_iterations: int = 40, seed: int = 0,
             for verdict in case.verdicts:
                 found.update(verdict.triggered_bugs)
                 if verdict.status == "crash":
-                    crashes[verdict.compiler].add(verdict.message.splitlines()[0][:160])
+                    crashes[verdict.compiler].add(first_line(verdict.message))
         result.unique_crashes[name] = {k: len(v) for k, v in crashes.items()}
         result.seeded_found[name] = found
     return result

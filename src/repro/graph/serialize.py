@@ -107,6 +107,23 @@ def load(path: str) -> Model:
         return loads(handle.read())
 
 
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays and containers to JSON types.
+
+    Shared by the model format above and by campaign checkpoints
+    (:mod:`repro.core.parallel`), so every artifact the repo persists uses
+    the same encoding conventions.
+    """
+    if isinstance(value, dict):
+        return {key: to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [to_jsonable(item) for item in items]
+    if isinstance(value, np.ndarray):
+        return to_jsonable(value.tolist())
+    return _encode_attr_value(value)
+
+
 def _encode_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
     return {key: _encode_attr_value(value) for key, value in attrs.items()}
 

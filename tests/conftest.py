@@ -11,6 +11,12 @@ from repro.graph.builder import GraphBuilder
 from repro.graph.model import Model
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "smoke: fast end-to-end checks (run with `make smoke` / `pytest -m smoke`)")
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(0)
