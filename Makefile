@@ -1,14 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke benchmarks
+.PHONY: test test-all smoke benchmarks
 
-# Tier-1: the full test + benchmark suite.
+# Default tier: everything except tests marked `slow`.
 test:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+# Tier-1: the full test + benchmark suite, including slow tests.
+test-all:
 	$(PYTHON) -m pytest -x -q
 
-# Fast end-to-end smoke: exercises the sharded parallel campaign path
-# (2-worker ~10-iteration campaign + the scaling benchmark) in well under
+# Fast end-to-end smoke: exercises the sharded/matrix parallel campaign path
+# (2-worker ~10-iteration campaigns + the scaling benchmark) in well under
 # a minute.
 smoke:
 	$(PYTHON) -m pytest -q -m smoke tests benchmarks

@@ -5,11 +5,16 @@ budget (seconds instead of the paper's 4-hour campaigns) and prints the
 regenerated rows/series so they can be compared with the paper side by side.
 Run with ``pytest benchmarks/ --benchmark-only -s`` to see the printed
 tables.
+
+Marker registration and the run-exactly-once benchmark adapter are shared
+with ``tests/conftest.py`` via :mod:`repro.testing`.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from repro.testing import register_markers, run_once
 
 #: Iteration budgets shared by the coverage-style campaigns.  Small enough to
 #: keep the whole benchmark suite to a few minutes, large enough that the
@@ -20,14 +25,7 @@ ABLATION_ITERATIONS = 25
 
 
 def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "smoke: fast end-to-end checks (run with `make smoke` / `pytest -m smoke`)")
-
-
-def run_once(benchmark, func, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    register_markers(config)
 
 
 @pytest.fixture

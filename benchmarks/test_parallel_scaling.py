@@ -1,9 +1,11 @@
-"""Throughput of the sharded parallel campaign engine vs. the serial loop.
+"""Throughput of the sharded/matrix parallel campaign engine.
 
 The paper's headline metric is bugs-found-per-unit-time, which at fixed
 per-iteration cost reduces to iteration throughput.  This benchmark runs the
 same campaign budget through the serial ``Fuzzer`` loop and through
-``run_parallel_campaign`` and prints iterations/second for each.
+``run_parallel_campaign`` and prints iterations/second for each, then does
+the same for a compiler-set × opt-level matrix campaign with adaptive chunk
+scheduling.
 
 On a machine with >= 4 cores the 4-worker parallel run must reach at least
 2x the serial throughput; on smaller boxes the speedup assertion is relaxed
@@ -80,3 +82,42 @@ def test_parallel_scaling(once):
         assert parallel_rate >= 2.0 * serial_rate, (
             f"expected >=2x speedup on {cores} cores, got "
             f"{parallel_rate / max(serial_rate, 1e-9):.2f}x")
+
+
+@pytest.mark.smoke
+def test_matrix_campaign_scaling(once):
+    """Adaptive matrix scheduling: a 2-subset × 2-opt-level campaign keeps
+    all workers busy and preserves per-cell iteration budgets exactly."""
+    iterations = 12
+    subsets = [["graphrt", "deepc"], ["turbo"]]
+
+    def run_matrix():
+        start = time.monotonic()
+        result = run_parallel_campaign(
+            config=deterministic_config(FuzzerConfig(
+                generator=GeneratorConfig(n_nodes=6),
+                max_iterations=iterations,
+                bugs=BugConfig.all(),
+                seed=17,
+            ), max_steps=8),
+            n_workers=WORKERS, n_shards=2,
+            compiler_sets=subsets, opt_levels=[0, 2],
+            adaptive=True)
+        return result, time.monotonic() - start
+
+    result, elapsed = once(run_matrix)
+    combos = len(subsets) * 2
+    print(f"\n--- Matrix campaign ({combos} combos x {iterations} iterations, "
+          f"{WORKERS} workers) ---")
+    print(f"matrix:   {elapsed:6.2f}s  "
+          f"{result.iterations / max(elapsed, 1e-9):6.2f} iters/s  "
+          f"({len(result.cells)} cells)")
+
+    assert result.iterations == combos * iterations
+    assert len(result.cells) == combos * 2
+    # every combination ran its full budget, split over its two shards
+    per_combo = {}
+    for cell in result.cells.values():
+        key = (cell.compilers, cell.opt_level)
+        per_combo[key] = per_combo.get(key, 0) + cell.iterations
+    assert set(per_combo.values()) == {iterations}

@@ -6,10 +6,16 @@ triggered by LEMON's or GraphFuzzer's designs; in a same-budget run NNSmith
 triggers dozens of unique crashes while the baselines trigger at most one.
 """
 
+import pytest
+
 from benchmarks.conftest import BUG_STUDY_ITERATIONS
 from repro.compilers.bugs import all_bugs
 from repro.experiments import crash_comparison, reachability_analysis, run_bug_study
 from repro.experiments.reporting import format_table
+
+# The bug-study campaigns are the slowest benchmarks in the suite; they run
+# in the full tier (`make test-all`) but not the default `make test`.
+pytestmark = [pytest.mark.slow, pytest.mark.campaign]
 
 
 def test_table3_bug_distribution(benchmark):

@@ -4,21 +4,30 @@ This is the workload the paper's introduction motivates: generate diverse
 valid models, give them numerically valid inputs, and differentially test
 several DL compilers, collecting deduplicated bug reports.
 
-The campaign can run serially (one ``Fuzzer`` loop) or sharded across
-worker processes via :mod:`repro.core.parallel`:
+The campaign can run serially (one ``Fuzzer`` loop), sharded across worker
+processes, or as a **matrix campaign** over compiler subsets × optimization
+levels (:mod:`repro.core.parallel`):
 
-* the total iteration budget is split evenly over N shards;
-* each shard's seed comes from ``SeedSequence((campaign_seed, shard_index))``
-  and each iteration's generator seed from
-  ``SeedSequence((shard_seed, generator_seed, iteration))``, so shards — and
-  nearby campaign seeds — explore disjoint model streams;
-* workers stream findings back to a coordinator that performs global
-  dedup and merges the shard results with ``CampaignResult.merge``;
-* passing a checkpoint path persists each completed shard as JSON, and
-  re-running the same campaign resumes from the checkpoint, executing only
-  the missing shards (see ``python -m repro.campaign --checkpoint ...``).
+* the iteration budget of every compiler-set × opt-level combination is
+  split evenly over N shards; each shard's seed comes from
+  ``SeedSequence((campaign_seed, shard_index))`` and every iteration's
+  generator and value-search RNGs from
+  ``SeedSequence((shard_seed, generator_seed, iteration, stream))`` — so
+  shards explore disjoint model streams while every *combination* replays
+  the identical streams (apples-to-apples per-backend comparison);
+* workers lease work from a shared queue; with ``adaptive=True`` a cell's
+  budget is split into chunks so a worker whose cell finishes early steals
+  the remaining iterations of slower cells;
+* every completed iteration is streamed to the coordinator, which folds it
+  into per-cell results (global report dedup via ``CampaignResult.merge``)
+  and, when a checkpoint path is set, persists it — a campaign killed
+  mid-shard resumes from the exact iteration it reached
+  (see ``python -m repro.campaign --checkpoint ...``);
+* the merged result carries per-cell provenance (``result.cells``), which
+  ``repro.experiments.venn.campaign_cell_sets`` slices into per-backend /
+  per-opt-level bug Venn diagrams.
 
-Run with:  python examples/fuzz_campaign.py [iterations] [workers]
+Run with:  python examples/fuzz_campaign.py [iterations] [workers] [--matrix]
 """
 
 import sys
@@ -32,9 +41,10 @@ from repro.core import (
     first_line,
     run_parallel_campaign,
 )
+from repro.experiments.venn import campaign_cell_sets, format_venn_table
 
 
-def main(iterations: int = 150, workers: int = 1) -> None:
+def main(iterations: int = 150, workers: int = 1, matrix: bool = False) -> None:
     bugs = BugConfig.all()  # every seeded bug is live, as in a real campaign
     config = FuzzerConfig(
         generator=GeneratorConfig(n_nodes=10),
@@ -44,7 +54,20 @@ def main(iterations: int = 150, workers: int = 1) -> None:
         seed=7,
     )
 
-    if workers > 1:
+    if matrix:
+        # Race two compiler subsets over the same model streams at O0 and
+        # O2; the per-cell provenance feeds the Venn analysis below.
+        print(f"Matrix campaign: [graphrt+deepc | turbo] x O[0,2], "
+              f"{iterations} iterations per combination, "
+              f"{max(workers, 1)} worker(s) ...")
+        result = run_parallel_campaign(
+            config=config,
+            n_workers=max(workers, 1),
+            compiler_sets=[["graphrt", "deepc"], ["turbo"]],
+            opt_levels=[0, 2],
+            adaptive=True,
+        )
+    elif workers > 1:
         print(f"Fuzzing graphrt, deepc, turbo for {iterations} iterations "
               f"across {workers} worker processes ...")
         result = run_parallel_campaign(config=config, n_workers=workers)
@@ -67,8 +90,17 @@ def main(iterations: int = 150, workers: int = 1) -> None:
         spec = bug_spec(bug_id)
         print(f"  {bug_id:<38} {spec.system}/{spec.phase}/{spec.symptom}")
     print("\nPer-system counts:", result.bugs_by_system())
+    if matrix:
+        print()
+        print(format_venn_table(campaign_cell_sets(result, by="compiler_set"),
+                                title="Seeded bugs by compiler subset:"))
+        print()
+        print(format_venn_table(campaign_cell_sets(result, by="opt_level"),
+                                title="Seeded bugs by opt level:"))
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150,
-         int(sys.argv[2]) if len(sys.argv) > 2 else 1)
+    positional = [arg for arg in sys.argv[1:] if not arg.startswith("--")]
+    main(int(positional[0]) if positional else 150,
+         int(positional[1]) if len(positional) > 1 else 1,
+         matrix="--matrix" in sys.argv[1:])

@@ -1,25 +1,44 @@
-"""Command-line front end for sharded fuzzing campaigns.
+"""Command-line front end for sharded and matrix fuzzing campaigns.
 
-Run a parallel campaign against the three in-repo compilers::
+Run a flat parallel campaign against the three in-repo compilers::
 
     python -m repro.campaign --iterations 200 --workers 4
 
-Resume an interrupted campaign from its checkpoint (completed shards are
-loaded, only missing shards re-run)::
+Run a **matrix campaign** — the same shard seed streams raced over several
+compiler subsets and optimization levels, with per-cell provenance for
+Venn-style per-backend/per-opt-level analysis::
+
+    python -m repro.campaign --iterations 100 --workers 4 \\
+        --compilers graphrt,deepc --compilers turbo --opt-levels 0,2
+
+``--matrix`` is shorthand for "every registered compiler on its own"
+(crossed with ``--opt-levels``).
+
+Checkpointing streams *per-iteration* progress: a campaign killed mid-shard
+resumes from the exact iteration it reached, re-executing only the missing
+iterations of each matrix cell::
 
     python -m repro.campaign --iterations 200 --workers 4 \\
         --checkpoint campaign.ckpt.json
 
-``--workers 0`` (or ``--serial``) runs the same shard configs in-process,
-serially — useful as a determinism reference and on single-core boxes.
+``--adaptive`` splits every cell's iteration budget into chunks that workers
+lease from a shared queue, so a worker whose cell finishes early picks up
+the remaining budget of slower cells (results are unchanged — only their
+placement moves).
+
+``--workers 1`` runs the campaign in-process — no worker processes, no
+queues — while keeping full checkpoint/resume support.  ``--workers 0`` (or
+``--serial``) runs the PR-1 reference path (one ``Fuzzer`` per shard,
+merged); it has no checkpoint support and refuses ``--checkpoint`` loudly.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
+from repro.compilers.base import registered_compilers
 from repro.compilers.bugs import bug_spec
 from repro.core.difftest import first_line
 from repro.core.fuzzer import CampaignResult, FuzzerConfig
@@ -30,18 +49,37 @@ from repro.core.parallel import (
     run_parallel_campaign,
     run_sharded_serial,
 )
+from repro.experiments.venn import campaign_cell_sets, format_venn_table
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.campaign",
-        description="Sharded, process-parallel fuzzing campaign runner.")
+        description="Sharded / matrix process-parallel fuzzing campaign runner.")
     parser.add_argument("--iterations", type=int, default=100,
-                        help="total iterations across all shards (default 100)")
+                        help="total iterations per compiler-set x opt-level "
+                             "combination, split across shards (default 100)")
     parser.add_argument("--workers", type=int, default=2,
-                        help="number of worker shards; 0 = serial (default 2)")
+                        help="worker processes; 1 = in-process, "
+                             "0 = serial reference (default 2)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="shards per combination (default: --workers)")
     parser.add_argument("--serial", action="store_true",
-                        help="run the shards serially in-process")
+                        help="run the PR-1 serial reference path")
+    parser.add_argument("--compilers", action="append", default=None,
+                        metavar="NAME[,NAME...]",
+                        help="a compiler subset to race as matrix columns; "
+                             "repeat for several subsets "
+                             "(e.g. --compilers graphrt,deepc --compilers turbo)")
+    parser.add_argument("--matrix", action="store_true",
+                        help="shorthand: every registered compiler as its own "
+                             "single-element subset")
+    parser.add_argument("--opt-levels", default=None, metavar="N[,N...]",
+                        help="optimization levels crossed with --compilers "
+                             "(default 2)")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="lease cell budgets in chunks so idle workers "
+                             "steal remaining iterations from slower cells")
     parser.add_argument("--nodes", type=int, default=10,
                         help="operators per generated model (default 10)")
     parser.add_argument("--seed", type=int, default=0,
@@ -52,7 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--time-budget", type=float, default=None,
                         help="wall-clock budget per shard in seconds")
     parser.add_argument("--checkpoint", default=None, metavar="PATH",
-                        help="JSON checkpoint path for resume support")
+                        help="JSON checkpoint path; streams per-iteration "
+                             "progress and resumes mid-cell")
+    parser.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                        help="persist the checkpoint every N folded "
+                             "iterations (default 1 = finest resume "
+                             "granularity; raise for long campaigns — the "
+                             "snapshot is rewritten in full on every save)")
     parser.add_argument("--deterministic", action="store_true",
                         help="step-bounded value search (machine-load "
                              "independent results)")
@@ -74,6 +118,26 @@ def make_config(args: argparse.Namespace) -> FuzzerConfig:
     return config
 
 
+def parse_compiler_sets(args: argparse.Namespace) -> Optional[List[List[str]]]:
+    """The matrix columns requested on the command line, or None (flat)."""
+    sets: List[List[str]] = []
+    if args.compilers:
+        for spec in args.compilers:
+            names = [name.strip() for name in spec.split(",") if name.strip()]
+            if names:
+                sets.append(names)
+    if args.matrix and not sets:
+        sets = [[name] for name in registered_compilers()]
+    return sets or None
+
+
+def parse_opt_levels(args: argparse.Namespace) -> Optional[List[int]]:
+    if args.opt_levels is None:
+        return None
+    return [int(level.strip()) for level in args.opt_levels.split(",")
+            if level.strip()]
+
+
 def print_summary(result: CampaignResult) -> None:
     print(f"\n{result.generated_models} models generated over "
           f"{result.iterations} iterations in {result.elapsed:.1f}s "
@@ -89,36 +153,73 @@ def print_summary(result: CampaignResult) -> None:
             spec = bug_spec(bug_id)
             print(f"  {bug_id:<38} {spec.system}/{spec.phase}/{spec.symptom}")
     print("\nPer-system counts:", result.bugs_by_system())
+    if result.cells and any(cell.compilers for cell in result.cells.values()):
+        print()
+        print(format_venn_table(campaign_cell_sets(result, by="compiler_set"),
+                                title="Seeded bugs by compiler subset:"))
+        by_opt = campaign_cell_sets(result, by="opt_level")
+        if len(by_opt) > 1:
+            print()
+            print(format_venn_table(by_opt,
+                                    title="Seeded bugs by opt level:"))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     config = make_config(args)
     serial = args.serial or args.workers == 0
     n_workers = max(args.workers, 1)
-
-    mode = "serially" if serial else f"across {n_workers} worker processes"
-    print(f"Fuzzing graphrt, deepc, turbo for {args.iterations} iterations "
-          f"{mode} ...")
+    compiler_sets = parse_compiler_sets(args)
+    opt_levels = parse_opt_levels(args)
+    if opt_levels is not None and compiler_sets is None:
+        # Factory mode fixes its own opt levels; silently ignoring the flag
+        # would hand the user an O2 campaign labeled as whatever they asked.
+        parser.error("--opt-levels requires --compilers or --matrix")
 
     if serial:
         if args.checkpoint:
-            print("warning: --checkpoint is only supported for parallel runs "
-                  "and is ignored in serial mode", file=sys.stderr)
+            # The reference path has no checkpoint pipeline; silently
+            # ignoring the flag would look like resume support.  Refuse.
+            parser.error("--checkpoint requires the parallel engine; "
+                         "use --workers 1 for an in-process run with "
+                         "checkpoint support")
+        if compiler_sets:
+            parser.error("--compilers/--matrix require the parallel engine; "
+                         "use --workers 1 for an in-process matrix run")
+        print(f"Fuzzing graphrt, deepc, turbo for {args.iterations} "
+              f"iterations serially ...")
         result = run_sharded_serial(config, n_workers)
-    else:
-        def on_event(kind, shard, payload):
-            if kind == "progress" and not args.quiet:
-                print(f"  shard {shard}: iteration {payload['iteration']} "
-                      f"{payload['status']} in {payload['compiler']}")
+        print_summary(result)
+        return 0
 
-        result = run_parallel_campaign(
-            config=config,
-            n_workers=n_workers,
-            compiler_factory=default_compiler_factory,
-            checkpoint_path=args.checkpoint,
-            on_event=on_event,
-        )
+    if compiler_sets:
+        columns = " | ".join(",".join(subset) for subset in compiler_sets)
+        levels = ",".join(str(level) for level in (opt_levels or [2]))
+        mode = f"matrix [{columns}] x O[{levels}]"
+    else:
+        mode = "graphrt, deepc, turbo"
+    how = "in-process" if n_workers == 1 else \
+        f"across {n_workers} worker processes"
+    print(f"Fuzzing {mode} for {args.iterations} iterations {how} ...")
+
+    def on_event(kind, cell_key, payload):
+        if kind == "progress" and not args.quiet:
+            print(f"  [{cell_key}] iteration {payload['iteration']} "
+                  f"{payload['status']} in {payload['compiler']}")
+
+    result = run_parallel_campaign(
+        config=config,
+        n_workers=n_workers,
+        compiler_factory=default_compiler_factory,
+        compiler_sets=compiler_sets,
+        opt_levels=opt_levels,
+        n_shards=args.shards,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        adaptive=args.adaptive,
+        on_event=on_event,
+    )
     print_summary(result)
     return 0
 

@@ -1,6 +1,14 @@
 """The systems under test: GraphRT, DeepC and Turbo, plus shared infrastructure."""
 
-from repro.compilers.base import CompiledModel, Compiler, CompileOptions
+from repro.compilers.base import (
+    CompiledModel,
+    Compiler,
+    CompileOptions,
+    build_compiler_set,
+    create_compiler,
+    register_compiler,
+    registered_compilers,
+)
 from repro.compilers.bugs import BugConfig, BugSpec, all_bugs, bug_spec, bugs_of_system
 from repro.compilers.coverage import CoverageTracer, CoverageTimeline, estimate_total_arcs
 from repro.compilers.deepc import DeepCCompiler, DeepCExecutable
@@ -24,18 +32,20 @@ __all__ = [
     "all_bugs",
     "bug_spec",
     "bugs_of_system",
+    "build_compiler_set",
+    "create_compiler",
     "estimate_total_arcs",
+    "make_compiler",
+    "register_compiler",
+    "registered_compilers",
 ]
 
 
 def make_compiler(name: str, options: CompileOptions = None) -> Compiler:
-    """Instantiate a compiler under test by its short name."""
-    registry = {
-        "graphrt": GraphRTCompiler,
-        "deepc": DeepCCompiler,
-        "turbo": TurboCompiler,
-    }
-    try:
-        return registry[name](options)
-    except KeyError:
-        raise KeyError(f"unknown compiler {name!r}; available: {sorted(registry)}") from None
+    """Instantiate a compiler under test by its short name.
+
+    Back-compat alias for :func:`repro.compilers.base.create_compiler`; the
+    named registry is populated by the ``@register_compiler`` decorators on
+    the compiler classes themselves.
+    """
+    return create_compiler(name, options)

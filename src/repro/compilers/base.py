@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -83,3 +83,63 @@ class Compiler(abc.ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(opt_level={self.options.opt_level})"
+
+
+# --------------------------------------------------------------------------- #
+# Named factory registry
+# --------------------------------------------------------------------------- #
+# The matrix campaign engine schedules work units over *compiler subsets*
+# identified by name.  Names (unlike compiler instances or factory callables)
+# are trivially picklable and diffable, so they travel through worker
+# processes and checkpoint fingerprints unchanged.
+_COMPILER_REGISTRY: Dict[str, Type["Compiler"]] = {}
+
+
+def register_compiler(cls: Type["Compiler"]) -> Type["Compiler"]:
+    """Class decorator adding a compiler to the named factory registry.
+
+    Idempotent for re-registration of the same class; a different class under
+    an already-taken name is a configuration error.
+    """
+    name = cls.name
+    existing = _COMPILER_REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"compiler name {name!r} already registered "
+                         f"by {existing.__name__}")
+    _COMPILER_REGISTRY[name] = cls
+    return cls
+
+
+def _ensure_builtin_compilers() -> None:
+    """Import the in-repo compiler packages so they self-register."""
+    import repro.compilers  # noqa: F401  (side effect: registration)
+
+
+def registered_compilers() -> Tuple[str, ...]:
+    """Names of every registered compiler, in deterministic order."""
+    _ensure_builtin_compilers()
+    return tuple(sorted(_COMPILER_REGISTRY))
+
+
+def create_compiler(name: str, options: Optional[CompileOptions] = None) -> "Compiler":
+    """Instantiate a registered compiler by its short name."""
+    _ensure_builtin_compilers()
+    try:
+        cls = _COMPILER_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown compiler {name!r}; available: "
+                       f"{sorted(_COMPILER_REGISTRY)}") from None
+    return cls(options)
+
+
+def build_compiler_set(names: Sequence[str], opt_level: int = 2,
+                       bugs: Optional[BugConfig] = None) -> List["Compiler"]:
+    """Instantiate one compiler per name, all at the same optimization level.
+
+    This is the per-cell factory of the matrix campaign engine: a
+    ``(shard, compiler_subset, opt_level)`` cell materializes its systems
+    under test through this function inside the worker process.
+    """
+    bugs = bugs if bugs is not None else BugConfig.all()
+    return [create_compiler(name, CompileOptions(opt_level=opt_level, bugs=bugs))
+            for name in names]

@@ -6,7 +6,8 @@ from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
-from repro.compilers.base import CompiledModel, Compiler, CompileOptions
+from repro.compilers.base import (CompiledModel, Compiler, CompileOptions,
+                                  register_compiler)
 from repro.compilers.deepc import codegen, converter
 from repro.compilers.deepc.lowering import lower_graph
 from repro.compilers.deepc.lowir import LowModule
@@ -35,6 +36,7 @@ class DeepCExecutable(CompiledModel):
             raise ExecutionError(f"DeepC runtime failure: {exc}") from exc
 
 
+@register_compiler
 class DeepCCompiler(Compiler):
     """TVM analogue: end-to-end compiler with graph and loop-level passes."""
 

@@ -6,7 +6,8 @@ from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
-from repro.compilers.base import CompiledModel, Compiler, CompileOptions
+from repro.compilers.base import (CompiledModel, Compiler, CompileOptions,
+                                  register_compiler)
 from repro.compilers.graphrt import runtime
 from repro.compilers.graphrt.passes import PassContext, run_pipeline
 from repro.errors import ConversionError, ExecutionError, ReproError
@@ -32,6 +33,7 @@ class GraphRTExecutable(CompiledModel):
             raise ExecutionError(f"GraphRT runtime failure: {exc}") from exc
 
 
+@register_compiler
 class GraphRTCompiler(Compiler):
     """ONNXRuntime analogue: graph-optimizing runtime without code generation."""
 

@@ -12,7 +12,8 @@ from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
-from repro.compilers.base import CompiledModel, Compiler, CompileOptions
+from repro.compilers.base import (CompiledModel, Compiler, CompileOptions,
+                                  register_compiler)
 from repro.dtypes import DType
 from repro.errors import ConversionError, ExecutionError, ReproError, TransformationError
 from repro.graph.model import Model
@@ -74,6 +75,7 @@ class TurboEngine(CompiledModel):
         return semantics.execute_node(node, inputs)
 
 
+@register_compiler
 class TurboCompiler(Compiler):
     """TensorRT analogue: kernel-selecting builder, closed source."""
 

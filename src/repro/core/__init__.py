@@ -10,12 +10,27 @@ from repro.core.difftest import (
     compare_outputs,
     first_line,
 )
-from repro.core.fuzzer import BugReport, CampaignResult, Fuzzer, FuzzerConfig
+from repro.core.fuzzer import (
+    BugReport,
+    CampaignResult,
+    CellOutcome,
+    Fuzzer,
+    FuzzerConfig,
+    iteration_rng,
+    iteration_seed,
+    probe_supported_pool,
+    single_iteration_result,
+)
 from repro.core.generator import GeneratorConfig, GraphGenerator, SymbolicGraph, generate_model
 from repro.core.op_spec import AbsOpBase, SpecContext
 from repro.core.oplib import ALL_SPECS, DEFAULT_OP_POOL, SPEC_BY_KIND, specs_for_ops
 from repro.core.parallel import (
+    CellTask,
+    MatrixCell,
     ParallelCampaign,
+    build_matrix,
+    campaign_result_from_dict,
+    campaign_result_to_dict,
     default_compiler_factory,
     deterministic_config,
     run_parallel_campaign,
@@ -36,6 +51,8 @@ __all__ = [
     "BugReport",
     "CampaignResult",
     "CaseResult",
+    "CellOutcome",
+    "CellTask",
     "CompilerVerdict",
     "DEFAULT_OP_POOL",
     "DifferentialTester",
@@ -44,12 +61,16 @@ __all__ = [
     "GeneratedModel",
     "GeneratorConfig",
     "GraphGenerator",
+    "MatrixCell",
     "ParallelCampaign",
     "SPEC_BY_KIND",
     "SearchResult",
     "SpecContext",
     "SymbolicGraph",
     "apply_attribute_binning",
+    "build_matrix",
+    "campaign_result_from_dict",
+    "campaign_result_to_dict",
     "compare_outputs",
     "concretize",
     "default_compiler_factory",
@@ -57,10 +78,14 @@ __all__ = [
     "first_line",
     "generate_model",
     "gradient_search",
+    "iteration_rng",
+    "iteration_seed",
+    "probe_supported_pool",
     "run_parallel_campaign",
     "run_sharded_serial",
     "sampling_search",
     "search_values",
     "shard_configs",
+    "single_iteration_result",
     "specs_for_ops",
 ]

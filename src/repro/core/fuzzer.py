@@ -83,6 +83,46 @@ class FuzzerConfig:
 
 
 @dataclass
+class CellOutcome:
+    """Per-matrix-cell provenance of a campaign result.
+
+    A *cell* is the matrix campaign engine's work unit: one shard's seed
+    stream run against one compiler subset at one optimization level
+    (:class:`repro.core.parallel.MatrixCell`).  Keeping per-cell iteration
+    counts and bug sets inside the merged :class:`CampaignResult` lets
+    :mod:`repro.experiments.venn` compute per-backend / per-opt-level bug
+    Venn diagrams directly from a single campaign.
+    """
+
+    shard: int
+    #: Compiler subset names; empty means "the campaign's default factory".
+    compilers: Tuple[str, ...] = ()
+    #: Optimization level; None means "whatever the factory chose".
+    opt_level: Optional[int] = None
+    iterations: int = 0
+    seeded_bugs_found: Set[str] = field(default_factory=set)
+    #: Deduplicated report keys observed in this cell.
+    report_keys: Set[str] = field(default_factory=set)
+
+    def key(self) -> str:
+        """Stable identifier of the matrix cell this outcome belongs to."""
+        names = "+".join(self.compilers) if self.compilers else "<default>"
+        opt = "O?" if self.opt_level is None else f"O{self.opt_level}"
+        return f"shard{self.shard}|{names}|{opt}"
+
+    def copy(self) -> "CellOutcome":
+        return CellOutcome(self.shard, tuple(self.compilers), self.opt_level,
+                           self.iterations, set(self.seeded_bugs_found),
+                           set(self.report_keys))
+
+    def fold(self, other: "CellOutcome") -> None:
+        """Accumulate another outcome of the *same* cell into this one."""
+        self.iterations += other.iterations
+        self.seeded_bugs_found |= other.seeded_bugs_found
+        self.report_keys |= other.report_keys
+
+
+@dataclass
 class CampaignResult:
     """Aggregated results of one fuzzing campaign."""
 
@@ -96,6 +136,9 @@ class CampaignResult:
     seeded_bugs_found: Set[str] = field(default_factory=set)
     #: (elapsed seconds, iteration) samples for throughput plots.
     timeline: List[Dict[str, float]] = field(default_factory=list)
+    #: Per-matrix-cell provenance, keyed by :meth:`CellOutcome.key`.  Empty
+    #: for plain serial campaigns that have no cell structure.
+    cells: Dict[str, CellOutcome] = field(default_factory=dict)
 
     def unique_crashes(self, compiler: Optional[str] = None) -> int:
         keys = {first_line(report.message)
@@ -139,6 +182,12 @@ class CampaignResult:
                          key=lambda sample: sample["elapsed"])
         self.timeline = [{"elapsed": sample["elapsed"], "iteration": float(rank)}
                          for rank, sample in enumerate(samples, start=1)]
+        for key, cell in other.cells.items():
+            mine = self.cells.get(key)
+            if mine is None:
+                self.cells[key] = cell.copy()
+            else:
+                mine.fold(cell)
         return self
 
     @classmethod
@@ -154,7 +203,7 @@ class CampaignResult:
 # The single-iteration step, shared by the serial and parallel engines.
 # --------------------------------------------------------------------------- #
 def iteration_seed(campaign_seed: int, generator_seed: Optional[int],
-                   iteration: int) -> int:
+                   iteration: int, stream: int = 0) -> int:
     """Mix campaign seed, generator seed and iteration into one stream seed.
 
     Uses :class:`numpy.random.SeedSequence` so nearby campaign seeds produce
@@ -162,10 +211,23 @@ def iteration_seed(campaign_seed: int, generator_seed: Optional[int],
     ``gen_seed * 100_003 + iteration + campaign_seed`` made campaigns with
     seeds ``s`` and ``s + 1`` replay almost the same generator stream shifted
     by one iteration.)
+
+    ``stream`` separates independent per-iteration consumers: stream 0 seeds
+    the model generator, stream 1 the value-search RNG.  Seeding *every*
+    random decision of an iteration from ``(config, iteration)`` alone makes
+    iterations order-independent, which is what lets the matrix campaign
+    engine checkpoint mid-cell and re-execute any subset of iterations on
+    any worker while still reproducing a serial run exactly.
     """
     entropy = (campaign_seed % (1 << 63), (generator_seed or 0) % (1 << 63),
-               iteration % (1 << 63))
+               iteration % (1 << 63), stream % (1 << 63))
     return int(np.random.SeedSequence(entropy).generate_state(1, np.uint64)[0])
+
+
+def iteration_rng(config: "FuzzerConfig", iteration: int) -> np.random.Generator:
+    """The value-search RNG for one iteration (stream 1 of the seed mix)."""
+    return np.random.default_rng(
+        iteration_seed(config.seed, config.generator.seed, iteration, stream=1))
 
 
 def generate_for_iteration(config: FuzzerConfig,
@@ -250,6 +312,50 @@ def fold_case(result: CampaignResult, case: CaseResult, iteration: int,
     return fresh
 
 
+def single_iteration_result(tester: DifferentialTester, config: FuzzerConfig,
+                            iteration: int, elapsed: float = 0.0
+                            ) -> CampaignResult:
+    """Run one iteration and fold it into a fresh one-iteration result.
+
+    This is the unit of work the matrix campaign engine streams between
+    workers and the coordinator: because every iteration is seeded purely
+    from ``(config, iteration)`` (see :func:`iteration_seed`), merging these
+    one-iteration results — in any order, across any process boundary —
+    reproduces exactly what a serial loop over the same iterations computes.
+    """
+    result = CampaignResult(iterations=1)
+    generated, case = run_campaign_iteration(
+        tester, config, iteration, iteration_rng(config, iteration))
+    if generated is None:
+        result.generation_failures += 1
+        return result
+    result.generated_models += 1
+    result.operator_instances.update(generated.op_instances)
+    if case is not None:
+        fold_case(result, case, iteration, set())
+        result.timeline.append(
+            {"elapsed": elapsed, "iteration": float(iteration)})
+    return result
+
+
+def probe_supported_pool(compilers: Sequence[Compiler], pool):
+    """Restrict an operator-spec pool to kinds every compiler implements.
+
+    NNSmith probes compilers for their support matrices to avoid
+    "Not-Implemented" noise (§4).  Exposed at module level so the matrix
+    campaign engine can probe once over the *union* of all compilers in the
+    matrix and bake the same pool into every cell — per-cell probing would
+    give different compiler subsets different generator streams, breaking
+    the apples-to-apples property the per-cell Venn diagrams rely on.
+    """
+    kinds = [spec.op_kind for spec in pool]
+    supported = set(kinds)
+    for compiler in compilers:
+        supported &= set(compiler.supported_ops(kinds))
+    filtered = [spec for spec in pool if spec.op_kind in supported]
+    return filtered or list(pool)
+
+
 class Fuzzer:
     """NNSmith's fuzzing loop over the in-repo compilers."""
 
@@ -259,17 +365,8 @@ class Fuzzer:
         self.config = config or FuzzerConfig()
         self.tester = DifferentialTester(self.compilers, bugs=self.config.bugs)
         if self.config.probe_operator_support:
-            self.config.generator.op_pool = self._probe_supported_pool(
-                self.config.generator.op_pool)
-
-    def _probe_supported_pool(self, pool):
-        """Restrict the operator pool to kinds every compiler implements."""
-        kinds = [spec.op_kind for spec in pool]
-        supported = set(kinds)
-        for compiler in self.compilers:
-            supported &= set(compiler.supported_ops(kinds))
-        filtered = [spec for spec in pool if spec.op_kind in supported]
-        return filtered or list(pool)
+            self.config.generator.op_pool = probe_supported_pool(
+                self.compilers, self.config.generator.op_pool)
 
     # ------------------------------------------------------------------ #
     def run(self, on_iteration: Optional[Callable[[int, CaseResult], None]] = None
@@ -277,14 +374,14 @@ class Fuzzer:
         """Run the campaign until the iteration or time budget is exhausted."""
         result = CampaignResult()
         seen_reports: Set[str] = set()
-        rng = np.random.default_rng(self.config.seed)
         start = time.monotonic()
         iteration = 0
 
         while not self._budget_exhausted(iteration, start):
             iteration += 1
             generated, case = run_campaign_iteration(
-                self.tester, self.config, iteration, rng)
+                self.tester, self.config, iteration,
+                iteration_rng(self.config, iteration))
             if generated is None:
                 result.generation_failures += 1
                 continue

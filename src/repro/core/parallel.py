@@ -1,48 +1,89 @@
-"""Sharded, process-parallel fuzzing campaigns.
+"""Matrix campaigns: sharded, process-parallel fuzzing over a compiler matrix.
 
 :class:`repro.core.fuzzer.Fuzzer` is a strictly serial loop; a campaign uses
 one core no matter how many are available.  The search is embarrassingly
-parallel, so this module splits a :class:`FuzzerConfig` into N worker
-*shards* with disjoint seed streams (:func:`shard_configs`), runs each
-shard's generate → value-search → difftest loop in its own
-``multiprocessing`` worker, and streams per-iteration progress and fresh
-:class:`BugReport` records back to the coordinator over a queue.  The
-coordinator performs global report dedup and merges the shard
-:class:`CampaignResult`\\ s (operator instances, seeded-bug sets, timelines)
-via :meth:`CampaignResult.merge`.
+parallel, so this module schedules it over a pool of ``multiprocessing``
+workers.  The unit of work is a **matrix cell** — one shard's seed stream
+run against one *compiler subset* at one *optimization level*
+(:class:`MatrixCell`).  A classic PR-1-style campaign is the degenerate
+1×1 matrix: N shards against the single compiler set built by
+``compiler_factory``.
 
-Determinism: a shard's result depends only on its shard config, so running
-the same shard configs serially (``Fuzzer(...).run()`` per shard, then
-``CampaignResult.merge_all``) yields the same merged found-bug and
-operator-instance sets as the parallel run.  For *exact* report equality use
-deterministic value-search settings (``value_search_budget=None`` plus
-``value_search_max_steps``) so CPU contention cannot change search outcomes;
+Three properties distinguish the matrix engine from a flat shard list:
+
+* **Shared streams.**  Every compiler subset sees the *same* shard seed
+  streams: cell ``(shard=s, subset=A, O2)`` and cell ``(shard=s, subset=B,
+  O0)`` generate and value-search identical models.  Combined with the
+  per-cell provenance recorded in :class:`~repro.core.fuzzer.CellOutcome`,
+  this makes per-backend / per-opt-level bug Venn diagrams
+  (:func:`repro.experiments.venn.campaign_cell_sets`) an apples-to-apples
+  comparison.  When ``probe_operator_support`` is on, the operator pool is
+  probed once over the *union* of all matrix compilers so every cell
+  generates from the same pool.
+* **Intra-cell checkpointing.**  Workers stream every completed iteration's
+  folded result back to the coordinator, which persists an incremental JSON
+  checkpoint (`format_version` 2): per cell, the accumulated
+  :class:`CampaignResult` plus the exact set of completed iterations.  An
+  interrupted cell resumes *mid-stream* — only the missing iterations are
+  re-executed — instead of restarting at whole-shard granularity.  This is
+  sound because every iteration is seeded purely from ``(config,
+  iteration)`` (see :func:`repro.core.fuzzer.iteration_seed`), so iterations
+  can be re-executed in any order on any worker.  Cells with a pure
+  wall-clock budget (``max_iterations=None``) have no well-defined
+  "remaining iterations" and still checkpoint at whole-cell granularity.
+* **Adaptive budgets.**  With ``adaptive=True`` (or an explicit
+  ``chunk_iterations``), each cell's iteration range is split into chunks
+  that workers lease from a shared queue.  A worker whose cell finishes
+  early immediately picks up the remaining iteration budget of slower
+  cells, so no core idles while work remains — without changing the result:
+  the set of executed iterations is fixed, only their placement moves.
+
+Determinism: the merged found-bug sets, per-cell iteration counts and
+deduplicated report keys depend only on the campaign config and matrix
+shape — not on worker count, chunking, interruption, or scheduling order.
+For *exact* reproducibility use deterministic value-search settings
+(``value_search_budget=None`` plus ``value_search_max_steps``);
 :func:`deterministic_config` applies that transform.
 
-Checkpoint/resume: pass ``checkpoint_path`` and every completed shard's
-result is persisted as JSON (reusing the :mod:`repro.graph.serialize` JSON
-conventions).  Re-running the same campaign resumes by loading completed
-shards from the checkpoint and only executing the missing ones.
+Checkpoints are fingerprinted by everything that changes what a cell
+computes — including the compiler subsets and opt levels of the matrix —
+so a differently-shaped campaign can never silently cross-load another
+campaign's checkpoint.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Set,
+                    Tuple)
 
 import numpy as np
 
-from repro.compilers.base import Compiler
+from repro.compilers.base import Compiler, registered_compilers
 from repro.compilers.bugs import BugConfig
-from repro.core.fuzzer import BugReport, CampaignResult, Fuzzer, FuzzerConfig
+from repro.core.difftest import DifferentialTester
+from repro.core.fuzzer import (BugReport, CampaignResult, CellOutcome, Fuzzer,
+                               FuzzerConfig, probe_supported_pool,
+                               single_iteration_result)
 from repro.errors import ReproError
 from repro.graph.serialize import to_jsonable
 
-CHECKPOINT_FORMAT_VERSION = 1
+CHECKPOINT_FORMAT_VERSION = 2
+
+#: Coordinator poll interval while waiting for worker messages (seconds).
+POLL_TIMEOUT = 1.0
+#: Consecutive quiet polls before a dead worker is given up on (its final
+#: messages can still be in flight right after exit).
+DEAD_WORKER_POLLS = 3
+#: Consecutive quiet polls before unclaimed chunks are considered lost with
+#: a claim-lessly dead worker (a healthy survivor leases within one poll).
+ORPHAN_QUIET_POLLS = 10
 
 #: A picklable callable building the compilers under test inside a worker.
 CompilerFactory = Callable[[BugConfig], List[Compiler]]
@@ -111,6 +152,84 @@ def deterministic_config(config: FuzzerConfig,
 
 
 # --------------------------------------------------------------------------- #
+# The campaign matrix
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MatrixCell:
+    """One work unit of a matrix campaign.
+
+    ``compilers`` is a sorted tuple of registered compiler names; the empty
+    tuple means "whatever the campaign's ``compiler_factory`` builds"
+    (the flat, PR-1-compatible mode).  ``opt_level`` is None in factory
+    mode (the factory fixes its own levels).
+    """
+
+    shard: int
+    compilers: Tuple[str, ...] = ()
+    opt_level: Optional[int] = None
+
+    def outcome(self) -> CellOutcome:
+        """A fresh, empty provenance record for this cell."""
+        return CellOutcome(shard=self.shard, compilers=tuple(self.compilers),
+                           opt_level=self.opt_level)
+
+    @property
+    def key(self) -> str:
+        return self.outcome().key()
+
+
+@dataclass
+class CellTask:
+    """A matrix cell plus the shard config it executes."""
+
+    cell: MatrixCell
+    config: FuzzerConfig
+
+
+def build_matrix(config: FuzzerConfig, n_shards: int,
+                 compiler_sets: Optional[Sequence[Sequence[str]]] = None,
+                 opt_levels: Optional[Sequence[int]] = None) -> List[CellTask]:
+    """Expand a campaign config into the shard × compiler-set × opt matrix.
+
+    Every ``(compiler_set, opt_level)`` combination receives the *full*
+    campaign iteration budget, split over ``n_shards`` shards exactly like a
+    flat campaign — so each combination explores the same model streams and
+    results are comparable cell-by-cell.  With ``compiler_sets=None`` the
+    matrix degenerates to the flat shard list (one factory-built combo).
+    """
+    shards = shard_configs(config, n_shards)
+    if compiler_sets is None:
+        combos: List[Tuple[Tuple[str, ...], Optional[int]]] = [((), None)]
+    else:
+        known = set(registered_compilers())
+        subsets: List[Tuple[str, ...]] = []
+        for subset in compiler_sets:
+            names = tuple(sorted(subset))
+            if not names:
+                raise ValueError("empty compiler subset in compiler_sets")
+            unknown = [name for name in names if name not in known]
+            if unknown:
+                raise KeyError(f"unknown compiler(s) {unknown}; "
+                               f"registered: {sorted(known)}")
+            subsets.append(names)
+        if not subsets:
+            raise ValueError("compiler_sets must name at least one subset")
+        levels = list(opt_levels) if opt_levels else [2]
+        # Dedupe: repeated subsets/levels would produce cells with identical
+        # keys, which collide in the checkpoint and double-count provenance.
+        combos = []
+        for subset in subsets:
+            for level in levels:
+                if (subset, level) not in combos:
+                    combos.append((subset, level))
+    return [CellTask(cell=MatrixCell(shard=index, compilers=subset,
+                                     opt_level=level),
+                     config=shard)
+            for subset, level in combos
+            for index, shard in enumerate(shards)]
+
+
+# --------------------------------------------------------------------------- #
 # Campaign-result (de)serialization for checkpoints
 # --------------------------------------------------------------------------- #
 def campaign_result_to_dict(result: CampaignResult) -> Dict[str, Any]:
@@ -126,11 +245,33 @@ def campaign_result_to_dict(result: CampaignResult) -> Dict[str, Any]:
         "operator_instances": sorted(result.operator_instances),
         "seeded_bugs_found": sorted(result.seeded_bugs_found),
         "timeline": to_jsonable(result.timeline),
+        "cells": {
+            key: {
+                "shard": cell.shard,
+                "compilers": list(cell.compilers),
+                "opt_level": cell.opt_level,
+                "iterations": cell.iterations,
+                "seeded_bugs_found": sorted(cell.seeded_bugs_found),
+                "report_keys": sorted(cell.report_keys),
+            }
+            for key, cell in result.cells.items()
+        },
     }
 
 
 def campaign_result_from_dict(payload: Dict[str, Any]) -> CampaignResult:
     """Rebuild a campaign result from :func:`campaign_result_to_dict`."""
+    cells = {
+        key: CellOutcome(
+            shard=entry["shard"],
+            compilers=tuple(entry.get("compilers", [])),
+            opt_level=entry.get("opt_level"),
+            iterations=entry.get("iterations", 0),
+            seeded_bugs_found=set(entry.get("seeded_bugs_found", [])),
+            report_keys=set(entry.get("report_keys", [])),
+        )
+        for key, entry in payload.get("cells", {}).items()
+    }
     return CampaignResult(
         iterations=payload.get("iterations", 0),
         generated_models=payload.get("generated_models", 0),
@@ -141,141 +282,559 @@ def campaign_result_from_dict(payload: Dict[str, Any]) -> CampaignResult:
         operator_instances=set(payload.get("operator_instances", [])),
         seeded_bugs_found=set(payload.get("seeded_bugs_found", [])),
         timeline=list(payload.get("timeline", [])),
+        cells=cells,
     )
+
+
+def _ranges_from_iterations(iterations: Set[int]) -> List[List[int]]:
+    """Compact a set of iteration indices into inclusive [start, end] runs."""
+    runs: List[List[int]] = []
+    for value in sorted(iterations):
+        if runs and value == runs[-1][1] + 1:
+            runs[-1][1] = value
+        else:
+            runs.append([value, value])
+    return runs
+
+
+def _iterations_from_ranges(runs: Sequence[Sequence[int]]) -> Set[int]:
+    completed: Set[int] = set()
+    for start, end in runs:
+        completed.update(range(int(start), int(end) + 1))
+    return completed
 
 
 # --------------------------------------------------------------------------- #
 # Worker side
 # --------------------------------------------------------------------------- #
-def _shard_worker(shard_index: int, config: FuzzerConfig,
-                  factory: CompilerFactory, queue) -> None:
-    """Run one shard's full campaign, streaming progress to the coordinator.
+def _cell_tester(task: CellTask, factory: CompilerFactory
+                 ) -> Tuple[DifferentialTester, FuzzerConfig]:
+    """Build a cell's systems under test and its effective config.
 
-    Emits ``("progress", shard, payload)`` for every bug-finding verdict,
-    ``("done", shard, result_dict)`` on success and
-    ``("error", shard, message)`` on failure.
+    Named subsets come from the compiler registry at the cell's opt level;
+    the empty subset falls back to the campaign's ``compiler_factory``.
+    Factory cells probe the operator pool locally (every cell shares the
+    same factory, so every shard derives the identical pool); named cells
+    arrive with the pool already probed and baked in by the coordinator.
     """
-    try:
-        compilers = factory(config.bugs)
-        fuzzer = Fuzzer(compilers, config)
+    cell, config = task.cell, task.config
+    if cell.compilers:
+        opt_level = 2 if cell.opt_level is None else cell.opt_level
+        tester = DifferentialTester.for_compiler_names(
+            cell.compilers, opt_level=opt_level, bugs=config.bugs)
+    else:
+        tester = DifferentialTester(factory(config.bugs), bugs=config.bugs)
+    if config.probe_operator_support:
+        config = dataclasses.replace(
+            config,
+            generator=dataclasses.replace(
+                config.generator,
+                op_pool=probe_supported_pool(tester.compilers,
+                                             config.generator.op_pool)),
+            probe_operator_support=False)
+    return tester, config
 
-        def stream(iteration, case):
-            for verdict in case.verdicts:
-                if verdict.found_bug:
-                    queue.put(("progress", shard_index,
-                               {"iteration": iteration,
-                                "compiler": verdict.compiler,
-                                "status": verdict.status}))
 
-        result = fuzzer.run(on_iteration=stream)
-        queue.put(("done", shard_index, campaign_result_to_dict(result)))
-    except BaseException as exc:  # surface worker death to the coordinator
-        queue.put(("error", shard_index, f"{type(exc).__name__}: {exc}"))
+def _run_chunk(tester: DifferentialTester, config: FuzzerConfig,
+               start: int, stop: Optional[int],
+               emit: Callable[[int, CampaignResult], None]) -> None:
+    """Execute one chunk's iterations, emitting each folded result.
+
+    ``stop`` is inclusive; None means "until the cell's time budget runs
+    out" (unbounded cells).  A time budget, when present, also bounds
+    iteration-budgeted chunks so mixed-budget campaigns terminate.
+    """
+    chunk_start = time.monotonic()
+    deadline = (None if config.time_budget is None
+                else chunk_start + config.time_budget)
+    iteration = start
+    while stop is None or iteration <= stop:
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        partial = single_iteration_result(
+            tester, config, iteration,
+            elapsed=time.monotonic() - chunk_start)
+        emit(iteration, partial)
+        iteration += 1
+
+
+def _matrix_worker(worker_index: int, tasks: List[CellTask],
+                   factory: CompilerFactory, task_queue, result_queue) -> None:
+    """Pool worker: lease chunks from the shared queue until told to stop.
+
+    Emits ``("claim", worker, chunk_id, ...)`` when starting a chunk,
+    ``("iter", cell, iteration, result_dict)`` per completed iteration,
+    ``("chunk_done", worker, chunk_id, cell)`` per finished chunk and
+    ``("error", worker, chunk_id, cell, message)`` on failure (after which
+    the worker exits and surviving workers absorb the remaining queue).
+    """
+    testers: Dict[int, Tuple[DifferentialTester, FuzzerConfig]] = {}
+    while True:
+        item = task_queue.get()
+        if item is None:
+            break
+        chunk_id, cell_index, start, stop = item
+        result_queue.put(("claim", worker_index, chunk_id, cell_index, None))
+        try:
+            if cell_index not in testers:
+                testers[cell_index] = _cell_tester(tasks[cell_index], factory)
+            tester, config = testers[cell_index]
+
+            def emit(iteration, partial):
+                result_queue.put(("iter", worker_index, chunk_id, cell_index,
+                                  (iteration, campaign_result_to_dict(partial))))
+
+            _run_chunk(tester, config, start, stop, emit)
+            result_queue.put(("chunk_done", worker_index, chunk_id,
+                              cell_index, None))
+        except BaseException as exc:  # surface worker failure, then retire
+            result_queue.put(("error", worker_index, chunk_id, cell_index,
+                              f"{type(exc).__name__}: {exc}"))
+            break
 
 
 # --------------------------------------------------------------------------- #
 # Coordinator
 # --------------------------------------------------------------------------- #
 @dataclass
-class ParallelCampaign:
-    """Coordinator for a sharded fuzzing campaign.
+class _CellState:
+    """Coordinator-side bookkeeping for one matrix cell."""
 
-    Parameters mirror the serial :class:`Fuzzer`: ``config`` describes the
-    whole campaign and is split across ``n_workers`` shards.  The compilers
-    under test are built *inside* each worker by ``compiler_factory`` (which
-    must be a picklable, module-level callable).
+    task: CellTask
+    result: Optional[CampaignResult] = None
+    completed: Set[int] = field(default_factory=set)
+    done: bool = False
+    outstanding_chunks: int = 0
+    #: Persistent dedup-key set of ``result.reports`` so per-iteration folds
+    #: stay O(new reports) instead of rebuilding the set every fold.
+    seen_keys: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ParallelCampaign:
+    """Coordinator for a (possibly matrix-shaped) sharded fuzzing campaign.
+
+    With only the PR-1 parameters (``config``, ``n_workers``,
+    ``compiler_factory``) this schedules a flat 1×1 matrix: N shards against
+    the factory-built compiler trio.  Passing ``compiler_sets`` (and
+    optionally ``opt_levels``) expands the campaign into the full
+    shard × compiler-set × opt-level matrix; every combination runs the
+    same shard seed streams and the merged :class:`CampaignResult` carries
+    per-cell provenance for Venn-style analysis.
     """
 
     config: FuzzerConfig = field(default_factory=FuzzerConfig)
     n_workers: int = 2
     compiler_factory: CompilerFactory = default_compiler_factory
-    #: Persist completed shard results here and resume from them on re-run.
+    #: Named compiler subsets forming the matrix columns (None = factory mode).
+    compiler_sets: Optional[Sequence[Sequence[str]]] = None
+    #: Optimization levels crossed with ``compiler_sets`` (default: [2]).
+    opt_levels: Optional[Sequence[int]] = None
+    #: Shards per combination (default: ``n_workers``).
+    n_shards: Optional[int] = None
+    #: Persist per-iteration progress here and resume mid-cell on re-run.
     checkpoint_path: Optional[str] = None
+    #: Split cell budgets into chunks so idle workers steal remaining budget
+    #: from slower cells.  Does not change results, only their placement.
+    adaptive: bool = False
+    #: Explicit chunk size in iterations (implies chunked scheduling).
+    chunk_iterations: Optional[int] = None
+    #: Save the checkpoint every N folded iterations (1 = every iteration).
+    checkpoint_every: int = 1
     #: multiprocessing start method ("fork" on Linux is fastest; "spawn" is
     #: portable). None picks the platform default.
     mp_context: Optional[str] = None
-    #: Optional observer for streamed worker events (kind, shard, payload).
-    on_event: Optional[Callable[[str, int, Any], None]] = None
+    #: Optional observer for streamed events (kind, cell_key, payload).
+    on_event: Optional[Callable[[str, str, Any], None]] = None
 
     # ------------------------------------------------------------------ #
     def run(self) -> CampaignResult:
-        """Run all shards in parallel and return the merged campaign result."""
-        shards = shard_configs(self.config, self.n_workers)
-        completed = self._load_checkpoint(len(shards))
-        pending = [index for index in range(len(shards))
-                   if completed[index] is None]
+        """Run every matrix cell and return the merged campaign result."""
+        started = time.monotonic()
+        self._run_started = started
+        tasks = self._build_tasks()
+        states = [_CellState(task=task) for task in tasks]
+        self._load_checkpoint(states)
+        self._unsaved_folds = 0
 
-        if pending:
-            context = (multiprocessing.get_context(self.mp_context)
-                       if self.mp_context else multiprocessing.get_context())
-            queue = context.Queue()
-            workers = {index: context.Process(target=_shard_worker,
-                                              args=(index, shards[index],
-                                                    self.compiler_factory, queue),
-                                              daemon=True)
-                       for index in pending}
-            for worker in workers.values():
-                worker.start()
-            try:
-                self._drain(queue, completed, set(pending), workers)
-            finally:
-                for worker in workers.values():
-                    worker.join(timeout=30)
-                    if worker.is_alive():
-                        worker.terminate()
+        chunks = self._plan_chunks(states)
+        if chunks:
+            workers = min(self.n_workers, len(chunks))
+            if workers <= 1:
+                self._execute_inprocess(states, chunks)
+            else:
+                self._execute_pool(states, chunks, workers)
+            self._save_checkpoint(states, force=True)
 
-        results = [campaign_result_from_dict(payload) for payload in completed]
-        return CampaignResult.merge_all(results)
+        merged = CampaignResult.merge_all(
+            [self._provenanced_result(state) for state in states])
+        merged.elapsed = max(merged.elapsed, time.monotonic() - started)
+        return merged
 
     # ------------------------------------------------------------------ #
-    def _drain(self, queue, completed: List[Optional[Dict[str, Any]]],
-               pending: Set[int], workers: Dict[int, Any]) -> None:
+    def _build_tasks(self) -> List[CellTask]:
+        n_shards = self.n_shards if self.n_shards is not None else self.n_workers
+        tasks = build_matrix(self.config, n_shards,
+                             compiler_sets=self.compiler_sets,
+                             opt_levels=self.opt_levels)
+        if self.compiler_sets is not None and self.config.probe_operator_support:
+            # Probe once over the union of every compiler in the matrix and
+            # bake the shared pool into every cell (see module docstring).
+            names = sorted({name for task in tasks
+                            for name in task.cell.compilers})
+            from repro.compilers.base import build_compiler_set
+
+            pool = probe_supported_pool(
+                build_compiler_set(names, bugs=self.config.bugs),
+                self.config.generator.op_pool)
+            tasks = [CellTask(
+                cell=task.cell,
+                config=dataclasses.replace(
+                    task.config,
+                    generator=dataclasses.replace(task.config.generator,
+                                                  op_pool=list(pool)),
+                    probe_operator_support=False))
+                for task in tasks]
+        return tasks
+
+    def _plan_chunks(self, states: List[_CellState]
+                     ) -> List[Tuple[int, int, int, Optional[int]]]:
+        """Chunks of not-yet-completed iterations: (chunk_id, cell, start, stop).
+
+        Chunks are interleaved round-robin across cells so every cell makes
+        early progress (and its compilers' reports stream out) even when
+        there are more cells than workers.
+        """
+        per_cell: List[List[Tuple[int, int, Optional[int]]]] = []
+        for index, state in enumerate(states):
+            budget = state.task.config.max_iterations
+            if state.done:
+                per_cell.append([])
+                continue
+            if budget is None:
+                # Pure time-budget cell: no well-defined remaining range —
+                # cell-granular checkpointing, single chunk, fresh start.
+                # The dedup set must restart with the result: stale keys
+                # would silently swallow reports re-found after the restart.
+                state.result = None
+                state.completed = set()
+                state.seen_keys = set()
+                per_cell.append([(index, 1, None)])
+                continue
+            remaining = [i for i in range(1, budget + 1)
+                         if i not in state.completed]
+            if not remaining:
+                state.done = True
+                per_cell.append([])
+                continue
+            size = self._chunk_size(len(remaining))
+            runs = _ranges_from_iterations(set(remaining))
+            cell_chunks: List[Tuple[int, int, Optional[int]]] = []
+            for start, end in runs:
+                cursor = start
+                while cursor <= end:
+                    stop = min(cursor + size - 1, end)
+                    cell_chunks.append((index, cursor, stop))
+                    cursor = stop + 1
+            per_cell.append(cell_chunks)
+        interleaved: List[Tuple[int, int, Optional[int]]] = []
+        rank = 0
+        while True:
+            layer = [chunks[rank] for chunks in per_cell if rank < len(chunks)]
+            if not layer:
+                break
+            interleaved.extend(layer)
+            rank += 1
+        for index, chunks in enumerate(per_cell):
+            states[index].outstanding_chunks = len(chunks)
+        return [(chunk_id,) + chunk
+                for chunk_id, chunk in enumerate(interleaved)]
+
+    def _chunk_size(self, remaining: int) -> int:
+        if self.config.time_budget is not None:
+            # The wall-clock deadline is measured from chunk start; splitting
+            # a time-budgeted cell across chunks would grant each lease a
+            # fresh budget, multiplying the cell's effective allowance.
+            return remaining
+        if self.chunk_iterations is not None:
+            return max(1, self.chunk_iterations)
+        if self.adaptive:
+            # Aim for ~4 leases per cell: fine enough to rebalance, coarse
+            # enough to amortize scheduling and checkpoint traffic.
+            return max(1, math.ceil(remaining / 4))
+        return remaining
+
+    # ------------------------------------------------------------------ #
+    def _fold_iteration(self, states: List[_CellState], cell_index: int,
+                        iteration: int, partial: CampaignResult) -> None:
+        """Accumulate one iteration's result into its cell.
+
+        A hand-rolled fold rather than ``CampaignResult.merge``: merge
+        rebuilds the report dedup set and re-sorts the whole timeline on
+        every call, which would make the coordinator quadratic in cell
+        size.  The observable outcome is identical (the property tests pin
+        merge's semantics; this fold mirrors them with persistent state).
+        """
+        state = states[cell_index]
+        if iteration in state.completed:
+            return  # replayed message (e.g. duplicate after a worker retry)
+        state.completed.add(iteration)
+        if state.result is None:
+            state.result = CampaignResult()
+        result = state.result
+        # Workers only know chunk-relative time; stamp samples with the
+        # coordinator's campaign clock so merged throughput curves order
+        # iterations by when they actually completed.
+        now = time.monotonic() - self._run_started
+        for sample in partial.timeline:
+            sample["elapsed"] = now
+        result.iterations += partial.iterations
+        result.generated_models += partial.generated_models
+        result.generation_failures += partial.generation_failures
+        result.numerically_valid_models += partial.numerically_valid_models
+        result.elapsed = max(result.elapsed, now)
+        for report in partial.reports:
+            key = report.dedup_key()
+            if key not in state.seen_keys:
+                state.seen_keys.add(key)
+                result.reports.append(report)
+        result.operator_instances.update(partial.operator_instances)
+        result.seeded_bugs_found.update(partial.seeded_bugs_found)
+        result.timeline.extend(partial.timeline)
+        for report in partial.reports:
+            self._emit("progress", state.task.cell.key,
+                       {"iteration": iteration, "compiler": report.compiler,
+                        "status": report.status})
+        self._unsaved_folds += 1
+        if self._unsaved_folds >= max(1, self.checkpoint_every):
+            self._save_checkpoint(states)
+
+    def _finish_chunk(self, states: List[_CellState], cell_index: int) -> None:
+        state = states[cell_index]
+        state.outstanding_chunks -= 1
+        if state.outstanding_chunks <= 0:
+            state.done = True
+            self._emit("cell_done", state.task.cell.key,
+                       {"iterations": len(state.completed)})
+            # Force: the done flag itself must reach disk even when every
+            # fold is already saved — for unbounded (time-budget) cells it
+            # is the only thing distinguishing "finished" from "restart me".
+            self._save_checkpoint(states, force=True)
+
+    def _provenanced_result(self, state: _CellState) -> CampaignResult:
+        result = state.result if state.result is not None else CampaignResult()
+        outcome = state.task.cell.outcome()
+        outcome.iterations = result.iterations
+        outcome.seeded_bugs_found = set(result.seeded_bugs_found)
+        outcome.report_keys = {report.dedup_key() for report in result.reports}
+        result.cells = {outcome.key(): outcome}
+        return result
+
+    def _emit(self, kind: str, cell_key: str, payload: Any) -> None:
+        if self.on_event is not None:
+            self.on_event(kind, cell_key, payload)
+
+    # ------------------------------------------------------------------ #
+    def _execute_inprocess(self, states: List[_CellState],
+                           chunks: List[Tuple[int, int, int, Optional[int]]]
+                           ) -> None:
+        """Single-worker path: run every chunk in this process.
+
+        No process spawn, no queues, no pickling — but the same fold and
+        checkpoint pipeline, so ``--workers 1`` keeps full mid-cell resume
+        support.
+        """
+        testers: Dict[int, Tuple[DifferentialTester, FuzzerConfig]] = {}
+        for _chunk_id, cell_index, start, stop in chunks:
+            try:
+                if cell_index not in testers:
+                    testers[cell_index] = _cell_tester(
+                        states[cell_index].task, self.compiler_factory)
+                tester, config = testers[cell_index]
+                _run_chunk(
+                    tester, config, start, stop,
+                    lambda iteration, partial: self._fold_iteration(
+                        states, cell_index, iteration, partial))
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise ReproError(
+                    "campaign worker(s) failed: cell "
+                    f"{states[cell_index].task.cell.key}: "
+                    f"{type(exc).__name__}: {exc}") from exc
+            self._finish_chunk(states, cell_index)
+
+    # ------------------------------------------------------------------ #
+    def _execute_pool(self, states: List[_CellState],
+                      chunks: List[Tuple[int, int, int, Optional[int]]],
+                      n_workers: int) -> None:
+        context = (multiprocessing.get_context(self.mp_context)
+                   if self.mp_context else multiprocessing.get_context())
+        task_queue = context.Queue()
+        result_queue = context.Queue()
+        for chunk in chunks:
+            task_queue.put(chunk)
+        tasks = [state.task for state in states]
+        workers = {
+            index: context.Process(
+                target=_matrix_worker,
+                args=(index, tasks, self.compiler_factory,
+                      task_queue, result_queue),
+                daemon=True)
+            for index in range(n_workers)
+        }
+        for worker in workers.values():
+            worker.start()
+        try:
+            self._drain(states, chunks, workers, task_queue, result_queue)
+        finally:
+            # One stop sentinel per worker, unconditionally.  Sentinels are
+            # not addressed to a specific worker, so gating them on
+            # is_alive() races: a still-alive worker can consume the
+            # sentinel "meant" for another and then exit before its own
+            # liveness check, leaving one short and a worker blocked in
+            # get() until the join timeout.  Surplus sentinels for
+            # already-dead workers are harmless queue garbage.
+            for _ in workers:
+                task_queue.put(None)
+            for worker in workers.values():
+                worker.join(timeout=30)
+                if worker.is_alive():
+                    worker.terminate()
+
+    def _drain(self, states: List[_CellState], chunks, workers,
+               task_queue, result_queue) -> None:
         import queue as queue_module
 
+        pending: Set[int] = {chunk[0] for chunk in chunks}
+        claims: Dict[int, int] = {}          # chunk_id -> worker_index
         errors: List[str] = []
         dead_polls: Dict[int, int] = {}
+        retired: Set[int] = set()
+        #: Workers that died without a recorded claim very likely popped a
+        #: chunk whose claim message was lost with the process; each such
+        #: death can orphan at most one unclaimed chunk.
+        lost_pops = 0
+        quiet_after_loss = 0
+
+        def fail_chunk(chunk_id: int, message: str) -> None:
+            pending.discard(chunk_id)
+            claims.pop(chunk_id, None)
+            errors.append(message)
+
         while pending:
             try:
-                kind, shard, payload = queue.get(timeout=1.0)
+                message = result_queue.get(timeout=POLL_TIMEOUT)
             except queue_module.Empty:
                 # A worker killed by the OS (OOM, signal) never reports back;
-                # detect the silent death instead of blocking forever.  A
-                # freshly-exited worker's final message can still be in
-                # flight, so only give up on a shard once its worker stays
-                # dead over consecutive quiet polls.
-                for shard in list(pending):
-                    if workers[shard].is_alive():
-                        dead_polls[shard] = 0
+                # detect silent death instead of blocking forever.  A freshly
+                # exited worker's final messages can still be in flight, so a
+                # worker is only given up on after staying dead over several
+                # consecutive quiet polls.
+                for index, worker in workers.items():
+                    if index in retired:
                         continue
-                    dead_polls[shard] = dead_polls.get(shard, 0) + 1
-                    if dead_polls[shard] >= 3:
-                        pending.discard(shard)
-                        errors.append(
-                            f"shard {shard}: worker died with exit code "
-                            f"{workers[shard].exitcode}")
+                    if worker.is_alive():
+                        dead_polls[index] = 0
+                        continue
+                    dead_polls[index] = dead_polls.get(index, 0) + 1
+                    if dead_polls[index] < DEAD_WORKER_POLLS:
+                        continue
+                    retired.add(index)
+                    owned = [chunk_id for chunk_id, owner in claims.items()
+                             if owner == index]
+                    for chunk_id in owned:
+                        cell = states[self._chunk_cell(chunks, chunk_id)]
+                        fail_chunk(
+                            chunk_id,
+                            f"cell {cell.task.cell.key}: worker died "
+                            f"with exit code {worker.exitcode}")
+                    if not owned:
+                        # The claim can be lost with the process (the queue
+                        # feeder thread dies unflushed); still report the
+                        # death so the campaign fails loudly.
+                        lost_pops += 1
+                        errors.append(f"worker {index} died with exit code "
+                                      f"{worker.exitcode}")
+                if pending and all(index in retired for index in workers):
+                    # Quiesced: nobody is left to claim the remaining chunks.
+                    for chunk_id in sorted(pending):
+                        cell = states[self._chunk_cell(chunks, chunk_id)]
+                        fail_chunk(
+                            chunk_id,
+                            f"cell {cell.task.cell.key}: no live worker "
+                            "left to run it")
+                elif pending and lost_pops:
+                    # Some workers survive, but chunks popped by the dead
+                    # ones are gone from the task queue with no claim on
+                    # record.  A healthy survivor would lease an available
+                    # chunk within a poll or two; a long quiet stretch with
+                    # unclaimed chunks outstanding means they are orphaned —
+                    # without this, `while pending` would spin forever.
+                    unclaimed = pending - set(claims)
+                    quiet_after_loss += 1
+                    if unclaimed and quiet_after_loss >= ORPHAN_QUIET_POLLS:
+                        for chunk_id in sorted(unclaimed)[:lost_pops]:
+                            cell = states[self._chunk_cell(chunks, chunk_id)]
+                            fail_chunk(
+                                chunk_id,
+                                f"cell {cell.task.cell.key}: chunk lost "
+                                "with a dead worker")
+                        lost_pops = 0
+                        quiet_after_loss = 0
                 continue
-            if self.on_event is not None:
-                self.on_event(kind, shard, payload)
-            if kind == "done":
-                completed[shard] = payload
-                pending.discard(shard)
-                self._save_checkpoint(completed)
+
+            quiet_after_loss = 0
+
+            kind = message[0]
+            if kind == "claim":
+                _, worker_index, chunk_id, _cell_index, _ = message
+                claims[chunk_id] = worker_index
+            elif kind == "iter":
+                _, _worker_index, _chunk_id, cell_index, payload = message
+                iteration, partial_dict = payload
+                self._fold_iteration(states, cell_index, iteration,
+                                     campaign_result_from_dict(partial_dict))
+            elif kind == "chunk_done":
+                _, _worker_index, chunk_id, cell_index, _ = message
+                pending.discard(chunk_id)
+                claims.pop(chunk_id, None)
+                self._finish_chunk(states, cell_index)
             elif kind == "error":
-                pending.discard(shard)
-                errors.append(f"shard {shard}: {payload}")
+                _, worker_index, chunk_id, cell_index, text = message
+                retired.add(worker_index)
+                fail_chunk(chunk_id,
+                           f"cell {states[cell_index].task.cell.key}: {text}")
+                self._emit("error", states[cell_index].task.cell.key, text)
         if errors:
             raise ReproError("parallel campaign worker(s) failed: "
                              + "; ".join(errors))
 
+    @staticmethod
+    def _chunk_cell(chunks, chunk_id: int) -> int:
+        for cid, cell_index, _start, _stop in chunks:
+            if cid == chunk_id:
+                return cell_index
+        raise KeyError(chunk_id)
+
     # ------------------------------------------------------------------ #
-    def _checkpoint_fingerprint(self, n_shards: int) -> Dict[str, Any]:
-        """Everything that changes what a shard computes.  A checkpoint whose
-        fingerprint differs is discarded rather than silently reused."""
+    def _checkpoint_fingerprint(self, n_cells: int) -> Dict[str, Any]:
+        """Everything that changes what a cell computes.  A checkpoint whose
+        fingerprint differs is discarded rather than silently reused —
+        including the matrix shape (compiler subsets and opt levels), so a
+        differently-shaped campaign can never cross-load cell results."""
         factory = self.compiler_factory
         generator = self.config.generator
+        n_shards = self.n_shards if self.n_shards is not None else self.n_workers
         return {
+            "n_cells": n_cells,
             "n_shards": n_shards,
             "compiler_factory": f"{factory.__module__}.{factory.__qualname__}",
+            "compiler_sets": (None if self.compiler_sets is None
+                              else sorted(sorted(subset)
+                                          for subset in self.compiler_sets)),
+            "opt_levels": (None if self.compiler_sets is None
+                           else list(self.opt_levels or [2])),
             "seed": self.config.seed,
             "max_iterations": self.config.max_iterations,
             "time_budget": self.config.time_budget,
@@ -301,62 +860,91 @@ class ParallelCampaign:
             },
         }
 
-    def _load_checkpoint(self, n_shards: int) -> List[Optional[Dict[str, Any]]]:
-        completed: List[Optional[Dict[str, Any]]] = [None] * n_shards
+    def _load_checkpoint(self, states: List[_CellState]) -> None:
         path = self.checkpoint_path
         if not path or not os.path.exists(path):
-            return completed
+            return
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, json.JSONDecodeError):
-            return completed  # unreadable/corrupt checkpoint: start fresh
+            return  # unreadable/corrupt checkpoint: start fresh
         if not isinstance(payload, dict) or \
                 payload.get("format_version") != CHECKPOINT_FORMAT_VERSION:
-            return completed
-        if payload.get("campaign") != self._checkpoint_fingerprint(n_shards):
-            return completed  # different campaign: start over
-        for key, entry in payload.get("shards", {}).items():
+            return
+        if payload.get("campaign") != self._checkpoint_fingerprint(len(states)):
+            return  # different campaign: start over
+        entries = payload.get("cells", {})
+        for state in states:
+            entry = entries.get(state.task.cell.key)
+            if not isinstance(entry, dict):
+                continue
             try:
-                index = int(key)
-                if not 0 <= index < n_shards:
-                    continue
-                campaign_result_from_dict(entry)  # reject malformed payloads
+                result = (campaign_result_from_dict(entry["result"])
+                          if entry.get("result") is not None else None)
+                completed = _iterations_from_ranges(entry.get("completed", []))
+                done = bool(entry.get("done", False))
             except (ValueError, TypeError, KeyError, AttributeError):
-                continue  # treat a corrupt shard entry as not completed
-            completed[index] = entry
-        return completed
+                continue  # treat a corrupt cell entry as not started
+            state.result = result
+            state.completed = completed
+            state.done = done
+            state.seen_keys = (set() if result is None else
+                               {report.dedup_key() for report in result.reports})
 
-    def _save_checkpoint(self, completed: List[Optional[Dict[str, Any]]]) -> None:
+    def _save_checkpoint(self, states: List[_CellState],
+                         force: bool = False) -> None:
         path = self.checkpoint_path
         if not path:
             return
+        if not force and self._unsaved_folds == 0:
+            return
         payload = {
             "format_version": CHECKPOINT_FORMAT_VERSION,
-            "campaign": self._checkpoint_fingerprint(len(completed)),
-            "shards": {str(index): entry
-                       for index, entry in enumerate(completed)
-                       if entry is not None},
+            "campaign": self._checkpoint_fingerprint(len(states)),
+            "cells": {
+                state.task.cell.key: {
+                    "done": state.done,
+                    "completed": _ranges_from_iterations(state.completed),
+                    "result": (campaign_result_to_dict(state.result)
+                               if state.result is not None else None),
+                }
+                for state in states
+                if state.result is not None or state.done
+            },
         }
         tmp_path = f"{path}.tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
         os.replace(tmp_path, path)
+        self._unsaved_folds = 0
 
 
 def run_parallel_campaign(config: Optional[FuzzerConfig] = None,
                           n_workers: int = 2,
                           compiler_factory: CompilerFactory = default_compiler_factory,
+                          compiler_sets: Optional[Sequence[Sequence[str]]] = None,
+                          opt_levels: Optional[Sequence[int]] = None,
+                          n_shards: Optional[int] = None,
                           checkpoint_path: Optional[str] = None,
+                          checkpoint_every: int = 1,
+                          adaptive: bool = False,
+                          chunk_iterations: Optional[int] = None,
                           mp_context: Optional[str] = None,
-                          on_event: Optional[Callable[[str, int, Any], None]] = None
+                          on_event: Optional[Callable[[str, str, Any], None]] = None
                           ) -> CampaignResult:
     """Convenience wrapper: build a :class:`ParallelCampaign` and run it."""
     campaign = ParallelCampaign(
         config=config or FuzzerConfig(),
         n_workers=n_workers,
         compiler_factory=compiler_factory,
+        compiler_sets=compiler_sets,
+        opt_levels=opt_levels,
+        n_shards=n_shards,
         checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        adaptive=adaptive,
+        chunk_iterations=chunk_iterations,
         mp_context=mp_context,
         on_event=on_event,
     )

@@ -28,7 +28,14 @@ from repro.experiments.gradient_ablation import (
     measure_nan_rate,
     run_gradient_ablation,
 )
-from repro.experiments.venn import format_venn_table, totals, unique_counts, venn_regions
+from repro.experiments.venn import (
+    campaign_cell_sets,
+    campaign_venn,
+    format_venn_table,
+    totals,
+    unique_counts,
+    venn_regions,
+)
 
 __all__ = [
     "BinningCoverageResult",
@@ -41,6 +48,8 @@ __all__ = [
     "NanRateResult",
     "build_model_group",
     "crash_comparison",
+    "campaign_cell_sets",
+    "campaign_venn",
     "format_venn_table",
     "make_case_generator",
     "measure_nan_rate",

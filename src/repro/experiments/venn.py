@@ -1,4 +1,11 @@
-"""Venn-style decomposition of coverage sets (Figures 7, 8 and 10)."""
+"""Venn-style decomposition of coverage sets (Figures 7, 8 and 10).
+
+Besides the generic set machinery, this module knows how to slice a matrix
+campaign's per-cell provenance (:attr:`repro.core.fuzzer.CampaignResult.cells`)
+into labelled bug sets — per compiler subset, per optimization level, per
+shard or per individual cell — so one matrix campaign yields the paper's
+per-backend Venn diagrams directly, without re-running anything.
+"""
 
 from __future__ import annotations
 
@@ -48,6 +55,43 @@ def pairwise_overlap(sets: Mapping[str, Iterable]) -> Dict[Tuple[str, str], int]
         for second in names[i + 1:]:
             overlaps[(first, second)] = len(materialized[first] & materialized[second])
     return overlaps
+
+
+def campaign_cell_sets(result, by: str = "compiler_set",
+                       what: str = "bugs") -> Dict[str, Set[str]]:
+    """Group a matrix campaign's per-cell findings into labelled sets.
+
+    ``by`` selects the grouping axis: ``"compiler_set"`` (the subset names
+    joined with ``+``), ``"opt_level"`` (``O0``/``O2``/...), ``"shard"``
+    or ``"cell"`` (each cell its own set).  ``what`` selects the elements:
+    ``"bugs"`` (ground-truth seeded bug ids) or ``"reports"`` (deduplicated
+    report keys).  The result feeds straight into :func:`venn_regions` /
+    :func:`unique_counts` / :func:`format_venn_table`.
+    """
+    if by not in ("compiler_set", "opt_level", "shard", "cell"):
+        raise ValueError(f"unknown grouping {by!r}")
+    if what not in ("bugs", "reports"):
+        raise ValueError(f"unknown element kind {what!r}")
+    groups: Dict[str, Set[str]] = {}
+    for key, cell in result.cells.items():
+        if by == "cell":
+            label = key
+        elif by == "compiler_set":
+            label = "+".join(cell.compilers) if cell.compilers else "<default>"
+        elif by == "opt_level":
+            label = "O?" if cell.opt_level is None else f"O{cell.opt_level}"
+        else:
+            label = f"shard{cell.shard}"
+        elements = (cell.seeded_bugs_found if what == "bugs"
+                    else cell.report_keys)
+        groups.setdefault(label, set()).update(elements)
+    return groups
+
+
+def campaign_venn(result, by: str = "compiler_set",
+                  what: str = "bugs") -> Dict[FrozenSet[str], int]:
+    """Exclusive Venn regions of a matrix campaign along one axis."""
+    return venn_regions(campaign_cell_sets(result, by=by, what=what))
 
 
 def format_venn_table(sets: Mapping[str, Iterable], title: str = "") -> str:

@@ -1,0 +1,73 @@
+"""Shared test fixtures and helpers for the repo's test and benchmark suites.
+
+``tests/conftest.py`` and ``benchmarks/conftest.py`` previously carried
+duplicated marker registration and model builders; both now import from this
+module so there is exactly one definition of:
+
+* the pytest markers the suites use (:func:`register_markers`);
+* the small reference models used across tests (:func:`build_mlp_model`,
+  :func:`build_conv_model`);
+* the run-exactly-once pytest-benchmark adapter (:func:`run_once`).
+
+Living under :mod:`repro` (rather than inside one of the two test roots)
+keeps it importable from both without ``sys.path`` games.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import Model
+
+#: Markers shared by the test and benchmark suites.  ``make test`` runs the
+#: fast tier (``-m "not slow"``); ``make test-all`` runs everything.
+MARKERS = (
+    "smoke: fast end-to-end checks (run with `make smoke` / `pytest -m smoke`)",
+    "slow: long-running tests excluded from the default `make test` tier "
+    "(run with `make test-all`)",
+    "campaign: tests that execute full (parallel/matrix) fuzzing campaigns",
+)
+
+
+def register_markers(config) -> None:
+    """Register the shared markers on a pytest config (call from conftest)."""
+    for marker in MARKERS:
+        config.addinivalue_line("markers", marker)
+
+
+def build_mlp_model(seed: int = 0, dtype=np.float32) -> Model:
+    """A small Gemm/Relu/Softmax model used across tests."""
+    gen = np.random.default_rng(seed)
+    builder = GraphBuilder("mlp")
+    x = builder.input([2, 8])
+    w1 = builder.weight(gen.normal(0, 0.5, size=(8, 6)).astype(dtype))
+    b1 = builder.weight(np.zeros(6, dtype=dtype))
+    h = builder.op1("Gemm", [x, w1, b1])
+    h = builder.op1("Relu", [h])
+    w2 = builder.weight(gen.normal(0, 0.5, size=(6, 4)).astype(dtype))
+    b2 = builder.weight(np.zeros(4, dtype=dtype))
+    out = builder.op1("Gemm", [h, w2, b2])
+    out = builder.op1("Softmax", [out], axis=1)
+    builder.output(out)
+    return builder.build()
+
+
+def build_conv_model(seed: int = 0) -> Model:
+    """A small convolutional model (conv/relu/pool/flatten)."""
+    gen = np.random.default_rng(seed)
+    builder = GraphBuilder("cnn")
+    x = builder.input([1, 4, 8, 8])
+    w = builder.weight(gen.normal(0, 0.4, size=(8, 4, 3, 3)).astype(np.float32))
+    value = builder.op1("Conv2d", [x, w], stride=1, padding=1)
+    value = builder.op1("Relu", [value])
+    value = builder.op1("MaxPool2d", [value], kh=2, kw=2, stride=2, padding=0)
+    value = builder.op1("Flatten", [value], axis=1)
+    builder.output(value)
+    return builder.build()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -16,7 +16,7 @@ from repro.errors import ConversionError, TransformationError
 from repro.graph.builder import GraphBuilder
 from repro.runtime import Interpreter, random_inputs
 
-from tests.conftest import build_conv_model, build_mlp_model
+from repro.testing import build_conv_model, build_mlp_model
 
 NO_BUGS = BugConfig.none()
 

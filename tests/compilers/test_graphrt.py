@@ -11,7 +11,7 @@ from repro.errors import ConversionError, TransformationError
 from repro.graph.builder import GraphBuilder
 from repro.runtime import Interpreter, random_inputs
 
-from tests.conftest import build_conv_model, build_mlp_model
+from repro.testing import build_conv_model, build_mlp_model
 
 
 def compile_and_compare(model, bugs=None, rng_seed=0, opt_level=2):

@@ -1,4 +1,9 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Marker registration and the reference model builders live in
+:mod:`repro.testing`, shared with ``benchmarks/conftest.py``; this file only
+binds them to pytest fixtures.
+"""
 
 from __future__ import annotations
 
@@ -6,51 +11,17 @@ import numpy as np
 import pytest
 
 from repro.compilers.bugs import BugConfig
-from repro.dtypes import DType
-from repro.graph.builder import GraphBuilder
 from repro.graph.model import Model
+from repro.testing import build_conv_model, build_mlp_model, register_markers
 
 
 def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "smoke: fast end-to-end checks (run with `make smoke` / `pytest -m smoke`)")
+    register_markers(config)
 
 
 @pytest.fixture
 def rng():
     return np.random.default_rng(0)
-
-
-def build_mlp_model(seed: int = 0, dtype=np.float32) -> Model:
-    """A small Gemm/Relu/Softmax model used across tests."""
-    gen = np.random.default_rng(seed)
-    builder = GraphBuilder("mlp")
-    x = builder.input([2, 8])
-    w1 = builder.weight(gen.normal(0, 0.5, size=(8, 6)).astype(dtype))
-    b1 = builder.weight(np.zeros(6, dtype=dtype))
-    h = builder.op1("Gemm", [x, w1, b1])
-    h = builder.op1("Relu", [h])
-    w2 = builder.weight(gen.normal(0, 0.5, size=(6, 4)).astype(dtype))
-    b2 = builder.weight(np.zeros(4, dtype=dtype))
-    out = builder.op1("Gemm", [h, w2, b2])
-    out = builder.op1("Softmax", [out], axis=1)
-    builder.output(out)
-    return builder.build()
-
-
-def build_conv_model(seed: int = 0) -> Model:
-    """A small convolutional model (conv/relu/pool/flatten)."""
-    gen = np.random.default_rng(seed)
-    builder = GraphBuilder("cnn")
-    x = builder.input([1, 4, 8, 8])
-    w = builder.weight(gen.normal(0, 0.4, size=(8, 4, 3, 3)).astype(np.float32))
-    value = builder.op1("Conv2d", [x, w], stride=1, padding=1)
-    value = builder.op1("Relu", [value])
-    value = builder.op1("MaxPool2d", [value], kh=2, kw=2, stride=2, padding=0)
-    value = builder.op1("Flatten", [value], axis=1)
-    builder.output(value)
-    return builder.build()
 
 
 @pytest.fixture

@@ -1,0 +1,185 @@
+"""Algebraic properties of ``CampaignResult.merge`` and checkpoint round-trips.
+
+The matrix campaign engine folds results at three levels (iteration → cell →
+campaign) in whatever order workers deliver them, and resumes from JSON
+checkpoints; that is only sound if ``merge`` behaves like a commutative
+monoid on the observable content and (de)serialization is lossless:
+
+* **associative** — ``(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`` (exactly, for
+  renumber-stable fixtures);
+* **commutative** — up to report *identity* (the first-seen duplicate is
+  kept, so only the deduplicated key set is order-independent);
+* **identity on empty** — merging the empty result changes nothing;
+* **round-trip** — ``campaign_result_from_dict(campaign_result_to_dict(r))
+  == r``, including the per-cell provenance fields.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.fuzzer import BugReport, CampaignResult, CellOutcome
+from repro.core.parallel import (
+    campaign_result_from_dict,
+    campaign_result_to_dict,
+)
+
+_COMPILERS = ["graphrt", "deepc", "turbo"]
+_CELL_SPACE = [
+    (0, ("graphrt",), 2),
+    (1, ("graphrt",), 2),
+    (0, ("deepc", "turbo"), 0),
+    (1, ("deepc", "turbo"), 0),
+    (0, (), None),
+]
+
+
+def _random_result(seed: int) -> CampaignResult:
+    """A pseudo-random result whose timeline is renumber-stable (iteration
+    numbers already equal their rank in elapsed order), so identity and
+    associativity hold *exactly*, not just up to signature."""
+    rnd = random.Random(seed)
+    reports = []
+    seen_keys = set()
+    for _ in range(rnd.randint(0, 4)):
+        report = BugReport(compiler=rnd.choice(_COMPILERS),
+                           status=rnd.choice(["crash", "semantic"]),
+                           phase=rnd.choice(["conversion", "transformation"]),
+                           message=f"failure {rnd.randint(0, 5)}\nstack details",
+                           triggered_bugs=[f"bug-{rnd.randint(0, 6)}"],
+                           iteration=rnd.randint(1, 30))
+        # Results produced by the campaign loop are internally deduplicated
+        # (fold_case); merge's laws are stated on that domain.
+        if report.dedup_key() not in seen_keys:
+            seen_keys.add(report.dedup_key())
+            reports.append(report)
+    elapsed_points = sorted(rnd.sample([round(0.05 * i, 3)
+                                        for i in range(1, 200)],
+                                       rnd.randint(0, 5)))
+    timeline = [{"elapsed": elapsed, "iteration": float(rank)}
+                for rank, elapsed in enumerate(elapsed_points, start=1)]
+    cells = {}
+    for shard, subset, opt in rnd.sample(_CELL_SPACE, rnd.randint(0, 3)):
+        outcome = CellOutcome(
+            shard=shard, compilers=subset, opt_level=opt,
+            iterations=rnd.randint(1, 9),
+            seeded_bugs_found={f"bug-{rnd.randint(0, 6)}"
+                               for _ in range(rnd.randint(0, 3))},
+            report_keys={f"key-{rnd.randint(0, 6)}"
+                         for _ in range(rnd.randint(0, 3))})
+        cells[outcome.key()] = outcome
+    return CampaignResult(
+        iterations=rnd.randint(0, 20),
+        generated_models=rnd.randint(0, 20),
+        generation_failures=rnd.randint(0, 5),
+        numerically_valid_models=rnd.randint(0, 20),
+        elapsed=round(rnd.uniform(0.0, 30.0), 6),
+        reports=reports,
+        operator_instances={f"Op{rnd.randint(0, 9)}|f32"
+                            for _ in range(rnd.randint(0, 5))},
+        seeded_bugs_found={report.triggered_bugs[0] for report in reports},
+        timeline=timeline,
+        cells=cells,
+    )
+
+
+def _copy(result: CampaignResult) -> CampaignResult:
+    """Deep copy through the checkpoint codec (also exercises it)."""
+    return campaign_result_from_dict(campaign_result_to_dict(result))
+
+
+def _signature(result: CampaignResult):
+    """Order-independent observable content."""
+    return (result.iterations,
+            result.generated_models,
+            result.generation_failures,
+            result.numerically_valid_models,
+            result.elapsed,
+            frozenset(result.seeded_bugs_found),
+            frozenset(result.operator_instances),
+            frozenset(report.dedup_key() for report in result.reports),
+            frozenset((key, cell.iterations,
+                       frozenset(cell.seeded_bugs_found),
+                       frozenset(cell.report_keys))
+                      for key, cell in result.cells.items()))
+
+
+SEEDS = range(20)
+
+
+class TestMergeProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_associative_exactly(self, seed):
+        a, b, c = (_random_result(seed * 3 + offset) for offset in range(3))
+        left = _copy(a).merge(_copy(b)).merge(_copy(c))
+        right = _copy(a).merge(_copy(b).merge(_copy(c)))
+        assert left == right
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_commutative_up_to_report_identity(self, seed):
+        a, b = _random_result(seed * 2), _random_result(seed * 2 + 1)
+        assert _signature(_copy(a).merge(_copy(b))) == \
+            _signature(_copy(b).merge(_copy(a)))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_empty_is_identity(self, seed):
+        a = _random_result(seed)
+        assert CampaignResult().merge(_copy(a)) == a
+        assert _copy(a).merge(CampaignResult()) == a
+
+    def test_merge_all_of_nothing_is_empty(self):
+        assert CampaignResult.merge_all([]) == CampaignResult()
+
+    def test_same_cell_outcomes_accumulate(self):
+        first = CellOutcome(shard=0, compilers=("turbo",), opt_level=2,
+                            iterations=3, seeded_bugs_found={"bug-1"},
+                            report_keys={"k1"})
+        second = CellOutcome(shard=0, compilers=("turbo",), opt_level=2,
+                             iterations=4, seeded_bugs_found={"bug-2"},
+                             report_keys={"k1", "k2"})
+        a = CampaignResult(cells={first.key(): first})
+        b = CampaignResult(cells={second.key(): second})
+        merged = _copy(a).merge(_copy(b))
+        assert set(merged.cells) == {first.key()}
+        cell = merged.cells[first.key()]
+        assert cell.iterations == 7
+        assert cell.seeded_bugs_found == {"bug-1", "bug-2"}
+        assert cell.report_keys == {"k1", "k2"}
+
+    def test_merge_does_not_alias_other_cells(self):
+        outcome = CellOutcome(shard=0, compilers=("turbo",), opt_level=2,
+                              iterations=1, seeded_bugs_found={"bug-1"})
+        other = CampaignResult(cells={outcome.key(): outcome})
+        merged = CampaignResult().merge(other)
+        merged.cells[outcome.key()].seeded_bugs_found.add("bug-2")
+        assert other.cells[outcome.key()].seeded_bugs_found == {"bug-1"}
+
+
+class TestCheckpointRoundTrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_round_trip_is_exact(self, seed):
+        result = _random_result(seed)
+        payload = campaign_result_to_dict(result)
+        text = json.dumps(payload)  # must be JSON-compatible
+        rebuilt = campaign_result_from_dict(json.loads(text))
+        assert rebuilt == result
+
+    def test_round_trip_preserves_cell_provenance_types(self):
+        outcome = CellOutcome(shard=1, compilers=("deepc", "graphrt"),
+                              opt_level=0, iterations=5,
+                              seeded_bugs_found={"deepc-a"},
+                              report_keys={"deepc|crash|x"})
+        result = CampaignResult(cells={outcome.key(): outcome})
+        rebuilt = campaign_result_from_dict(
+            json.loads(json.dumps(campaign_result_to_dict(result))))
+        cell = rebuilt.cells[outcome.key()]
+        assert isinstance(cell.compilers, tuple)
+        assert isinstance(cell.seeded_bugs_found, set)
+        assert isinstance(cell.report_keys, set)
+        assert cell == outcome
+        assert cell is not outcome
+
+    def test_empty_result_round_trips(self):
+        assert campaign_result_from_dict(
+            campaign_result_to_dict(CampaignResult())) == CampaignResult()

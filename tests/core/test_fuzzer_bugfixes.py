@@ -22,7 +22,7 @@ from repro.core.fuzzer import (
 )
 from repro.core.generator import GeneratorConfig
 from repro.core.value_search import SearchResult
-from tests.conftest import build_mlp_model
+from repro.testing import build_mlp_model
 
 
 class TestFirstLine:

@@ -9,6 +9,7 @@ from repro.core.fuzzer import BugReport, CampaignResult, FuzzerConfig
 from repro.core.generator import GeneratorConfig
 from repro.core.parallel import (
     ParallelCampaign,
+    _CellState,
     campaign_result_from_dict,
     campaign_result_to_dict,
     default_compiler_factory,
@@ -18,6 +19,13 @@ from repro.core.parallel import (
     shard_configs,
     shard_seed,
 )
+
+
+def _loaded_states(campaign):
+    """Build the campaign's cell states and load its checkpoint into them."""
+    states = [_CellState(task=task) for task in campaign._build_tasks()]
+    campaign._load_checkpoint(states)
+    return states
 
 
 def _campaign_config(iterations, seed=7, n_nodes=8):
@@ -124,6 +132,7 @@ class TestCampaignResultSerialization:
         assert rebuilt.timeline == result.timeline
 
 
+@pytest.mark.campaign
 class TestSerialParallelEquivalence:
     @pytest.mark.smoke
     def test_smoke_two_worker_campaign(self):
@@ -149,6 +158,7 @@ class TestSerialParallelEquivalence:
         assert parallel.iterations == 8
 
 
+@pytest.mark.campaign
 class TestCheckpointResume:
     def test_completed_shards_are_not_rerun(self, tmp_path, monkeypatch):
         config = _campaign_config(6, seed=11)
@@ -161,7 +171,9 @@ class TestCheckpointResume:
                                       checkpoint_path=path)
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
-        assert set(payload["shards"]) == {"0", "1"}
+        assert set(payload["cells"]) == {"shard0|<default>|O?",
+                                         "shard1|<default>|O?"}
+        assert all(entry["done"] for entry in payload["cells"].values())
         assert count_path.read_text() == "xx"  # one factory call per shard
 
         # Resuming must load both shards from the checkpoint without
@@ -180,39 +192,54 @@ class TestCheckpointResume:
         run_parallel_campaign(config=config, n_workers=2, checkpoint_path=path)
         other = ParallelCampaign(config=_campaign_config(4, seed=2),
                                  n_workers=2, checkpoint_path=path)
-        assert other._load_checkpoint(2) == [None, None]
+        assert all(state.result is None and not state.done
+                   for state in _loaded_states(other))
         # generator knobs participate in the fingerprint too
         resized = ParallelCampaign(config=_campaign_config(4, seed=1, n_nodes=5),
                                    n_workers=2, checkpoint_path=path)
-        assert resized._load_checkpoint(2) == [None, None]
+        assert all(state.result is None and not state.done
+                   for state in _loaded_states(resized))
         # ... as does the compiler factory
         refit = ParallelCampaign(config=_campaign_config(4, seed=1),
                                  n_workers=2, checkpoint_path=path,
                                  compiler_factory=_explosive_factory)
-        assert refit._load_checkpoint(2) == [None, None]
+        assert all(state.result is None and not state.done
+                   for state in _loaded_states(refit))
+        # ... and the matrix shape: the same config run as a matrix campaign
+        # must never cross-load the flat campaign's cells
+        matrixed = ParallelCampaign(config=_campaign_config(4, seed=1),
+                                    n_workers=2, checkpoint_path=path,
+                                    compiler_sets=[["graphrt", "deepc"]],
+                                    opt_levels=[2])
+        assert all(state.result is None and not state.done
+                   for state in _loaded_states(matrixed))
 
-    def test_malformed_shard_entries_are_skipped(self, tmp_path):
+    def test_malformed_cell_entries_are_skipped(self, tmp_path):
         config = _campaign_config(4, seed=9)
         path = str(tmp_path / "campaign.ckpt.json")
         run_parallel_campaign(config=config, n_workers=2, checkpoint_path=path)
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
-        payload["shards"]["0"]["reports"] = [{"bogus": 1}]  # bad BugReport
-        payload["shards"]["x"] = {}                         # non-numeric key
+        first_key = "shard0|<default>|O?"
+        payload["cells"][first_key]["result"]["reports"] = [{"bogus": 1}]
+        payload["cells"]["not-a-cell"] = {}  # unknown key is ignored
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
         campaign = ParallelCampaign(config=config, n_workers=2,
                                     checkpoint_path=path)
-        loaded = campaign._load_checkpoint(2)
-        assert loaded[0] is None          # corrupt entry treated as missing
-        assert loaded[1] is not None      # intact shard still resumes
+        loaded = _loaded_states(campaign)
+        assert loaded[0].result is None   # corrupt entry treated as missing
+        assert not loaded[0].done
+        assert loaded[1].result is not None  # intact cell still resumes
+        assert loaded[1].done
 
     def test_corrupt_checkpoint_file_starts_fresh(self, tmp_path):
         path = tmp_path / "campaign.ckpt.json"
         path.write_text("not json {")
         campaign = ParallelCampaign(config=_campaign_config(4, seed=1),
                                     n_workers=2, checkpoint_path=str(path))
-        assert campaign._load_checkpoint(2) == [None, None]
+        assert all(state.result is None and not state.done
+                   for state in _loaded_states(campaign))
 
 
 def _explosive_factory(bugs):
@@ -236,8 +263,25 @@ def _suicidal_factory(bugs):
     os._exit(42)  # die without reporting back, like an OOM kill
 
 
+def _claim_eating_worker(worker_index, tasks, factory, task_queue,
+                         result_queue):
+    """Worker 0 pops a chunk and dies before its claim flushes; the rest
+    behave normally — so the coordinator keeps a healthy survivor while one
+    chunk is orphaned (gone from the queue, no claim on record)."""
+    import os
+
+    from repro.core.parallel import _matrix_worker
+
+    if worker_index == 0:
+        task_queue.get()
+        os._exit(41)
+    _matrix_worker(worker_index, tasks, factory, task_queue, result_queue)
+
+
+@pytest.mark.campaign
 class TestWorkerFailure:
-    def test_worker_error_is_surfaced(self):
+    def test_inprocess_worker_error_is_surfaced(self):
+        # --workers 1 runs in-process; the failure is wrapped, not swallowed.
         from repro.errors import ReproError
 
         config = _campaign_config(2, seed=0)
@@ -245,10 +289,35 @@ class TestWorkerFailure:
             run_parallel_campaign(config=config, n_workers=1,
                                   compiler_factory=_explosive_factory)
 
+    def test_pool_worker_error_is_surfaced(self):
+        from repro.errors import ReproError
+
+        config = _campaign_config(2, seed=0)
+        with pytest.raises(ReproError, match="worker"):
+            run_parallel_campaign(config=config, n_workers=2,
+                                  compiler_factory=_explosive_factory)
+
     def test_silent_worker_death_is_detected(self):
+        # os._exit in a pool worker (n_workers >= 2 so real processes are
+        # used; a single worker runs in-process and cannot die silently).
         from repro.errors import ReproError
 
         config = _campaign_config(2, seed=0)
         with pytest.raises(ReproError, match="died with exit code"):
-            run_parallel_campaign(config=config, n_workers=1,
+            run_parallel_campaign(config=config, n_workers=2,
                                   compiler_factory=_suicidal_factory)
+
+    def test_chunk_lost_with_claimless_dead_worker_terminates(self, monkeypatch):
+        """A worker that pops a chunk and dies before its claim message
+        flushes must not leave the coordinator spinning on the orphaned
+        chunk forever (the chunk is gone from the queue, unclaimed)."""
+        import repro.core.parallel as parallel_module
+        from repro.errors import ReproError
+
+        monkeypatch.setattr(parallel_module, "_matrix_worker",
+                            _claim_eating_worker)
+        monkeypatch.setattr(parallel_module, "POLL_TIMEOUT", 0.05)
+        monkeypatch.setattr(parallel_module, "ORPHAN_QUIET_POLLS", 5)
+        config = _campaign_config(2, seed=0)
+        with pytest.raises(ReproError, match="died with exit code"):
+            run_parallel_campaign(config=config, n_workers=2)

@@ -16,7 +16,7 @@ from repro.graph import (
 )
 from repro.graph.serialize import dumps, loads, model_from_dict, model_to_dict
 
-from tests.conftest import build_conv_model, build_mlp_model
+from repro.testing import build_conv_model, build_mlp_model
 
 
 class TestNode:

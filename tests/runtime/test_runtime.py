@@ -15,7 +15,7 @@ from repro.runtime import (
     random_weights,
 )
 
-from tests.conftest import build_conv_model, build_mlp_model
+from repro.testing import build_conv_model, build_mlp_model
 
 
 class TestInterpreter:

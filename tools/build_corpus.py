@@ -1,0 +1,128 @@
+"""Regenerate the regression corpus under ``tests/corpus/``.
+
+Fuzzes the fully-seeded compiler trio and, for every seeded bug id it
+manages to trigger, freezes the *first* triggering (model, inputs) pair
+into a small JSON file.  The replay test
+(``tests/core/test_corpus_replay.py``) re-runs each frozen case through
+``DifferentialTester`` and asserts the same bug id is still detected — a
+regression net over the seeded-bug trigger paths and the importer /
+optimizer code they live in.
+
+Usage::
+
+    PYTHONPATH=src python tools/build_corpus.py [max_iterations]
+
+The generator knobs are pinned small (``max_dim=8``) so the frozen weights
+stay a few kilobytes per file.  Regenerate only when trigger conditions
+legitimately change; the corpus is otherwise append-only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import numpy as np
+
+from repro.compilers.bugs import BugConfig, all_bugs, bug_spec
+from repro.core.difftest import DifferentialTester
+from repro.core.fuzzer import FuzzerConfig, generate_for_iteration
+from repro.core.parallel import default_compiler_factory
+from repro.core.generator import GeneratorConfig
+from repro.dtypes import DType
+from repro.graph.serialize import model_to_dict
+from repro.runtime.interpreter import random_inputs
+
+CORPUS_FORMAT_VERSION = 1
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "tests", "corpus")
+CAMPAIGN_SEED = 20260730
+
+
+def _encode_inputs(inputs):
+    return {
+        name: {
+            "dtype": str(DType.from_numpy(array.dtype)),
+            "shape": list(array.shape),
+            "data": array.tolist(),
+        }
+        for name, array in inputs.items()
+    }
+
+
+def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
+                 max_dim: int = 8, seed: int = CAMPAIGN_SEED) -> None:
+    bugs = BugConfig.all()
+    tester = DifferentialTester(default_compiler_factory(bugs), bugs=bugs)
+    config = FuzzerConfig(
+        generator=GeneratorConfig(n_nodes=n_nodes, max_dim=max_dim),
+        bugs=bugs,
+        seed=seed,
+    )
+    # Append-only: bugs that already have a frozen case are left untouched.
+    existing = {name[:-len(".json")] for name in
+                (os.listdir(CORPUS_DIR) if os.path.isdir(CORPUS_DIR) else [])
+                if name.endswith(".json")}
+    wanted = {spec.bug_id for spec in all_bugs()} - existing
+    found = {}
+
+    for iteration in range(1, max_iterations + 1):
+        if wanted <= set(found):
+            break
+        generated = generate_for_iteration(config, iteration)
+        if generated is None:
+            continue
+        model = generated.model
+        inputs = random_inputs(model, np.random.default_rng(iteration))
+        try:
+            case = tester.run_case(model, inputs=inputs)
+        except Exception:
+            continue
+        triggered = {}
+        for verdict in case.verdicts:
+            for bug in verdict.triggered_bugs:
+                triggered.setdefault(bug, verdict.compiler)
+        for bug in case.exporter_bugs:
+            triggered.setdefault(bug, "exporter")
+        for bug, via in triggered.items():
+            if bug in found or bug not in wanted:
+                continue
+            found[bug] = {
+                "format_version": CORPUS_FORMAT_VERSION,
+                "bug_id": bug,
+                "system": bug_spec(bug).system,
+                "phase": bug_spec(bug).phase,
+                "symptom": bug_spec(bug).symptom,
+                "detected_by": via,
+                "iteration": iteration,
+                "campaign_seed": CAMPAIGN_SEED,
+                "model": model_to_dict(model),
+                "inputs": _encode_inputs(inputs),
+            }
+            print(f"[{len(found):2d}] {bug:<40} via {via} "
+                  f"(iteration {iteration})")
+
+    os.makedirs(CORPUS_DIR, exist_ok=True)
+    for bug, entry in sorted(found.items()):
+        path = os.path.join(CORPUS_DIR, f"{bug}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+        print(f"wrote {path} ({os.path.getsize(path)} bytes)")
+
+    missing = sorted(wanted - set(found))
+    covered = existing | set(found)
+    systems_found = {bug_spec(bug).system for bug in covered}
+    print(f"\ncorpus now covers {len(covered)}/{len(all_bugs())} seeded "
+          f"bugs, systems: {sorted(systems_found)}")
+    if missing:
+        print("not triggered within budget:", missing)
+
+
+if __name__ == "__main__":
+    build_corpus(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 4000,
+        n_nodes=int(sys.argv[2]) if len(sys.argv) > 2 else 8,
+        max_dim=int(sys.argv[3]) if len(sys.argv) > 3 else 8,
+        seed=int(sys.argv[4]) if len(sys.argv) > 4 else CAMPAIGN_SEED,
+    )
