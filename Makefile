@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all smoke benchmarks
+.PHONY: test test-all smoke benchmarks table2
 
 # Default tier: everything except tests marked `slow`.
 test:
@@ -20,3 +20,9 @@ smoke:
 # Regenerate the paper's tables/figures on scaled-down budgets.
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Fuzzer-comparison summary (Table 2 analogue): one small multi-strategy
+# generator-axis matrix campaign over the registry.  The matching regression
+# test is `campaign` tier, so `make test` stays fast.
+table2:
+	$(PYTHON) -m repro.experiments.table2 36 2

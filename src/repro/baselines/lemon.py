@@ -35,10 +35,14 @@ class LemonGenerator:
 
     name = "lemon"
 
-    def __init__(self, seed: int = 0, max_pool_size: int = 32) -> None:
+    def __init__(self, seed: int = 0, max_pool_size: int = 32,
+                 pool: Optional[List[Model]] = None) -> None:
         self.rng = random.Random(seed)
         self.max_pool_size = max_pool_size
-        self._pool: List[Model] = build_seed_models()
+        #: ``pool`` lets callers (the registry's LemonStrategy) reuse an
+        #: already-built zoo instead of rebuilding the seed models per
+        #: instance; the list is adopted, not copied.
+        self._pool: List[Model] = pool if pool is not None else build_seed_models()
 
     # ------------------------------------------------------------------ #
     def next_case(self) -> Model:

@@ -14,9 +14,23 @@ Venn-style per-backend/per-opt-level analysis::
 ``--matrix`` is shorthand for "every registered compiler on its own"
 (crossed with ``--opt-levels``).
 
+Race several *generation strategies* (NNSmith vs the baselines, or the
+``targeted`` motif strategy) through the same engine with ``--generators``
+— the paper's fuzzer-comparison in one campaign, with per-generator
+provenance::
+
+    python -m repro.campaign --iterations 90 --workers 2 \\
+        --generators nnsmith,graphfuzzer,lemon
+
+``--oracle`` picks the judging oracle (``difftest`` by default; ``crash``
+skips the numeric comparison), and ``--pool-mode per-subset`` lets every
+matrix cell probe its own compiler subset's operator support instead of the
+shared union pool.
+
 Checkpointing streams *per-iteration* progress: a campaign killed mid-shard
 resumes from the exact iteration it reached, re-executing only the missing
-iterations of each matrix cell::
+iterations of each matrix cell (pure time-budget campaigns track consumed
+budget per cell and resume with the remainder)::
 
     python -m repro.campaign --iterations 200 --workers 4 \\
         --checkpoint campaign.ckpt.json
@@ -43,12 +57,14 @@ from repro.compilers.bugs import bug_spec
 from repro.core.difftest import first_line
 from repro.core.fuzzer import CampaignResult, FuzzerConfig
 from repro.core.generator import GeneratorConfig
+from repro.core.oracle import DEFAULT_ORACLE, registered_oracles
 from repro.core.parallel import (
     default_compiler_factory,
     deterministic_config,
     run_parallel_campaign,
     run_sharded_serial,
 )
+from repro.core.strategy import DEFAULT_STRATEGY, registered_strategies
 from repro.experiments.venn import campaign_cell_sets, format_venn_table
 
 
@@ -77,6 +93,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--opt-levels", default=None, metavar="N[,N...]",
                         help="optimization levels crossed with --compilers "
                              "(default 2)")
+    parser.add_argument("--generators", default=None, metavar="NAME[,NAME...]",
+                        help="generation strategies raced as a matrix axis "
+                             "(e.g. nnsmith,graphfuzzer,lemon); "
+                             f"registered: {', '.join(registered_strategies())}")
+    parser.add_argument("--oracle", default=DEFAULT_ORACLE,
+                        help="test oracle judging every case; registered: "
+                             f"{', '.join(registered_oracles())} "
+                             f"(default {DEFAULT_ORACLE})")
+    parser.add_argument("--pool-mode", default="union",
+                        choices=("union", "per-subset"),
+                        help="operator-pool probing for --compilers matrices: "
+                             "'union' bakes one shared pool into every cell "
+                             "(apples-to-apples streams); 'per-subset' lets "
+                             "each cell fuzz every operator its own subset "
+                             "supports (default union)")
     parser.add_argument("--adaptive", action="store_true",
                         help="lease cell budgets in chunks so idle workers "
                              "steal remaining iterations from slower cells")
@@ -112,10 +143,20 @@ def make_config(args: argparse.Namespace) -> FuzzerConfig:
         time_budget=args.time_budget,
         value_search_method=args.method,
         seed=args.seed,
+        oracle=getattr(args, "oracle", DEFAULT_ORACLE),
     )
     if args.deterministic:
         config = deterministic_config(config)
     return config
+
+
+def parse_generators(args: argparse.Namespace) -> Optional[List[str]]:
+    """The generator-axis strategies requested on the command line."""
+    if not args.generators:
+        return None
+    names = [name.strip() for name in args.generators.split(",")
+             if name.strip()]
+    return names or None
 
 
 def parse_compiler_sets(args: argparse.Namespace) -> Optional[List[List[str]]]:
@@ -162,6 +203,10 @@ def print_summary(result: CampaignResult) -> None:
             print()
             print(format_venn_table(by_opt,
                                     title="Seeded bugs by opt level:"))
+    if result.cells and any(cell.generator for cell in result.cells.values()):
+        print()
+        print(format_venn_table(campaign_cell_sets(result, by="generator"),
+                                title="Seeded bugs by generator:"))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -172,6 +217,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     n_workers = max(args.workers, 1)
     compiler_sets = parse_compiler_sets(args)
     opt_levels = parse_opt_levels(args)
+    generators = parse_generators(args)
     if opt_levels is not None and compiler_sets is None:
         # Factory mode fixes its own opt levels; silently ignoring the flag
         # would hand the user an O2 campaign labeled as whatever they asked.
@@ -184,9 +230,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--checkpoint requires the parallel engine; "
                          "use --workers 1 for an in-process run with "
                          "checkpoint support")
-        if compiler_sets:
-            parser.error("--compilers/--matrix require the parallel engine; "
-                         "use --workers 1 for an in-process matrix run")
+        if compiler_sets or generators:
+            parser.error("--compilers/--matrix/--generators require the "
+                         "parallel engine; use --workers 1 for an "
+                         "in-process matrix run")
         print(f"Fuzzing graphrt, deepc, turbo for {args.iterations} "
               f"iterations serially ...")
         result = run_sharded_serial(config, n_workers)
@@ -199,6 +246,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         mode = f"matrix [{columns}] x O[{levels}]"
     else:
         mode = "graphrt, deepc, turbo"
+    if generators:
+        mode += f" x gen[{','.join(generators)}]"
     how = "in-process" if n_workers == 1 else \
         f"across {n_workers} worker processes"
     print(f"Fuzzing {mode} for {args.iterations} iterations {how} ...")
@@ -214,6 +263,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         compiler_factory=default_compiler_factory,
         compiler_sets=compiler_sets,
         opt_levels=opt_levels,
+        generators=generators,
+        pool_mode=args.pool_mode,
         n_shards=args.shards,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,

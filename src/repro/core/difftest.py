@@ -115,7 +115,15 @@ class CaseResult:
 
 
 class DifferentialTester:
-    """Runs one generated model through every compiler and compares outputs."""
+    """Runs one generated model through every compiler and compares outputs.
+
+    This is the default *oracle* of the campaign engine: it satisfies the
+    contract documented in :mod:`repro.core.oracle` (``name``, ``compilers``,
+    ``evaluate``/``run_case``) and is registered there as ``"difftest"``.
+    """
+
+    #: Registry identifier (see :mod:`repro.core.oracle`).
+    name = "difftest"
 
     def __init__(self, compilers: Sequence[Compiler],
                  bugs: Optional[BugConfig] = None,
@@ -177,6 +185,13 @@ class DifferentialTester:
                 if bug not in verdict.triggered_bugs)
             result.verdicts.append(verdict)
         return result
+
+    def evaluate(self, model: Model, inputs: Dict[str, np.ndarray],
+                 numerically_valid: Optional[bool] = None
+                 ) -> List[CompilerVerdict]:
+        """Oracle-protocol view of :meth:`run_case`: just the verdicts."""
+        return self.run_case(model, inputs=inputs,
+                             numerically_valid=numerically_valid).verdicts
 
     # ------------------------------------------------------------------ #
     def _test_compiler(self, compiler: Compiler, exported: Model,

@@ -31,6 +31,9 @@ from repro.compilers.bugs import BugConfig
 from repro.core.concretize import GeneratedModel
 from repro.core.difftest import CaseResult, DifferentialTester, first_line
 from repro.core.generator import GeneratorConfig, generate_model
+from repro.core.oracle import DEFAULT_ORACLE, build_oracle
+from repro.core.strategy import (DEFAULT_STRATEGY, GenerationStrategy,
+                                 build_strategy, strategy_entropy)
 from repro.core.value_search import search_values
 from repro.errors import GenerationError, ReproError
 from repro.runtime.interpreter import random_inputs
@@ -79,7 +82,15 @@ class FuzzerConfig:
     #: Probe every compiler's operator support matrix (by asking it which of
     #: the pool's operator kinds it implements) and only generate operators
     #: every compiler supports, avoiding "Not-Implemented" noise (§4).
+    #: Only meaningful for strategies whose capabilities declare
+    #: ``supports_op_pool`` (probing is skipped otherwise).
     probe_operator_support: bool = True
+    #: Registered generation strategy producing this campaign's models
+    #: (see :mod:`repro.core.strategy`).
+    strategy: str = DEFAULT_STRATEGY
+    #: Registered oracle judging every test case
+    #: (see :mod:`repro.core.oracle`).
+    oracle: str = DEFAULT_ORACLE
 
 
 @dataclass
@@ -103,17 +114,21 @@ class CellOutcome:
     seeded_bugs_found: Set[str] = field(default_factory=set)
     #: Deduplicated report keys observed in this cell.
     report_keys: Set[str] = field(default_factory=set)
+    #: Generation strategy of this cell; None means "the campaign default"
+    #: (campaigns without a generator axis keep their PR-2 cell keys).
+    generator: Optional[str] = None
 
     def key(self) -> str:
         """Stable identifier of the matrix cell this outcome belongs to."""
         names = "+".join(self.compilers) if self.compilers else "<default>"
         opt = "O?" if self.opt_level is None else f"O{self.opt_level}"
-        return f"shard{self.shard}|{names}|{opt}"
+        base = f"shard{self.shard}|{names}|{opt}"
+        return base if self.generator is None else f"{base}|{self.generator}"
 
     def copy(self) -> "CellOutcome":
         return CellOutcome(self.shard, tuple(self.compilers), self.opt_level,
                            self.iterations, set(self.seeded_bugs_found),
-                           set(self.report_keys))
+                           set(self.report_keys), self.generator)
 
     def fold(self, other: "CellOutcome") -> None:
         """Accumulate another outcome of the *same* cell into this one."""
@@ -203,7 +218,8 @@ class CampaignResult:
 # The single-iteration step, shared by the serial and parallel engines.
 # --------------------------------------------------------------------------- #
 def iteration_seed(campaign_seed: int, generator_seed: Optional[int],
-                   iteration: int, stream: int = 0) -> int:
+                   iteration: int, stream: int = 0,
+                   strategy: Optional[str] = None) -> int:
     """Mix campaign seed, generator seed and iteration into one stream seed.
 
     Uses :class:`numpy.random.SeedSequence` so nearby campaign seeds produce
@@ -213,46 +229,77 @@ def iteration_seed(campaign_seed: int, generator_seed: Optional[int],
     by one iteration.)
 
     ``stream`` separates independent per-iteration consumers: stream 0 seeds
-    the model generator, stream 1 the value-search RNG.  Seeding *every*
-    random decision of an iteration from ``(config, iteration)`` alone makes
-    iterations order-independent, which is what lets the matrix campaign
-    engine checkpoint mid-cell and re-execute any subset of iterations on
-    any worker while still reproducing a serial run exactly.
+    the model generator, stream 1 the value-search RNG.  ``strategy`` mixes
+    the generation strategy's name into the entropy so different strategies
+    explore unrelated streams; the default (``nnsmith``) contributes *no*
+    extra entropy, keeping these seeds bit-identical to the pre-registry
+    engine (existing campaign seeds and the frozen corpus stay meaningful).
+    Seeding *every* random decision of an iteration from ``(config,
+    iteration)`` alone makes iterations order-independent, which is what
+    lets the matrix campaign engine checkpoint mid-cell and re-execute any
+    subset of iterations on any worker while still reproducing a serial run
+    exactly.
     """
-    entropy = (campaign_seed % (1 << 63), (generator_seed or 0) % (1 << 63),
-               iteration % (1 << 63), stream % (1 << 63))
-    return int(np.random.SeedSequence(entropy).generate_state(1, np.uint64)[0])
+    entropy = [campaign_seed % (1 << 63), (generator_seed or 0) % (1 << 63),
+               iteration % (1 << 63), stream % (1 << 63)]
+    extra = strategy_entropy(strategy)
+    if extra is not None:
+        entropy.append(extra)
+    return int(np.random.SeedSequence(tuple(entropy))
+               .generate_state(1, np.uint64)[0])
 
 
 def iteration_rng(config: "FuzzerConfig", iteration: int) -> np.random.Generator:
     """The value-search RNG for one iteration (stream 1 of the seed mix)."""
     return np.random.default_rng(
-        iteration_seed(config.seed, config.generator.seed, iteration, stream=1))
+        iteration_seed(config.seed, config.generator.seed, iteration, stream=1,
+                       strategy=config.strategy))
 
 
-def generate_for_iteration(config: FuzzerConfig,
-                           iteration: int) -> Optional[GeneratedModel]:
-    """Generate this iteration's model, or None when generation fails."""
-    generator = dataclasses.replace(
-        config.generator,
-        seed=iteration_seed(config.seed, config.generator.seed, iteration))
+def generate_for_iteration(config: FuzzerConfig, iteration: int,
+                           strategy: Optional[GenerationStrategy] = None
+                           ) -> Optional[GeneratedModel]:
+    """Generate this iteration's model, or None when generation fails.
+
+    ``strategy`` lets long-lived callers (the serial fuzzer, cell workers)
+    reuse one strategy instance; by default the config's named strategy is
+    built fresh — equivalent, since ``generate`` is pure in
+    ``(seed, iteration)``.
+    """
+    if strategy is None:
+        strategy = build_strategy(config.strategy, config)
+    seed = iteration_seed(config.seed, config.generator.seed, iteration,
+                          strategy=config.strategy)
     try:
-        return generate_model(generator)
+        return strategy.generate(seed, iteration)
     except (GenerationError, ReproError):
         return None
 
 
 def search_and_difftest(tester: DifferentialTester, config: FuzzerConfig,
                          generated: GeneratedModel,
-                         rng: np.random.Generator) -> Optional[CaseResult]:
-    """Value-search a generated model and differentially test it.
+                         rng: np.random.Generator,
+                         strategy: Optional[GenerationStrategy] = None
+                         ) -> Optional[CaseResult]:
+    """Value-search a generated model and test it against the oracle.
 
-    Inputs and weights are forwarded to the tester only when the search
+    Inputs and weights are forwarded to the oracle only when the search
     *succeeded*; a failed search's last-trial values are known-invalid, so
     the case is re-tested with the model's original weights on fresh random
     inputs instead, and the numeric-validity flag established by a
     successful search is recorded rather than re-derived.
+
+    Strategies that do not declare ``needs_value_search`` (the mutation
+    baselines) skip Algorithm 3 entirely and are tested on plain random
+    inputs, like the paper's head-to-head comparison.
     """
+    if strategy is not None and not strategy.capabilities.needs_value_search:
+        try:
+            return tester.run_case(generated.model,
+                                   inputs=random_inputs(generated.model, rng),
+                                   numerically_valid=None)
+        except ReproError:
+            return None
     search = search_values(generated.model,
                            method=config.value_search_method,
                            rng=rng,
@@ -272,13 +319,15 @@ def search_and_difftest(tester: DifferentialTester, config: FuzzerConfig,
 
 
 def run_campaign_iteration(tester: DifferentialTester, config: FuzzerConfig,
-                           iteration: int, rng: np.random.Generator
+                           iteration: int, rng: np.random.Generator,
+                           strategy: Optional[GenerationStrategy] = None
                            ) -> Tuple[Optional[GeneratedModel], Optional[CaseResult]]:
-    """One full generate → value-search → difftest step (pure, picklable)."""
-    generated = generate_for_iteration(config, iteration)
+    """One full generate → value-search → oracle step (pure, picklable)."""
+    generated = generate_for_iteration(config, iteration, strategy)
     if generated is None:
         return None, None
-    return generated, search_and_difftest(tester, config, generated, rng)
+    return generated, search_and_difftest(tester, config, generated, rng,
+                                          strategy)
 
 
 def fold_case(result: CampaignResult, case: CaseResult, iteration: int,
@@ -313,7 +362,8 @@ def fold_case(result: CampaignResult, case: CaseResult, iteration: int,
 
 
 def single_iteration_result(tester: DifferentialTester, config: FuzzerConfig,
-                            iteration: int, elapsed: float = 0.0
+                            iteration: int, elapsed: float = 0.0,
+                            strategy: Optional[GenerationStrategy] = None
                             ) -> CampaignResult:
     """Run one iteration and fold it into a fresh one-iteration result.
 
@@ -325,7 +375,7 @@ def single_iteration_result(tester: DifferentialTester, config: FuzzerConfig,
     """
     result = CampaignResult(iterations=1)
     generated, case = run_campaign_iteration(
-        tester, config, iteration, iteration_rng(config, iteration))
+        tester, config, iteration, iteration_rng(config, iteration), strategy)
     if generated is None:
         result.generation_failures += 1
         return result
@@ -357,14 +407,22 @@ def probe_supported_pool(compilers: Sequence[Compiler], pool):
 
 
 class Fuzzer:
-    """NNSmith's fuzzing loop over the in-repo compilers."""
+    """The serial fuzzing loop over the in-repo compilers.
+
+    Generation and judging are delegated to the registries: the config's
+    ``strategy`` name picks the generator (NNSmith by default), ``oracle``
+    picks the verdict function (differential testing by default).
+    """
 
     def __init__(self, compilers: Sequence[Compiler],
                  config: Optional[FuzzerConfig] = None) -> None:
         self.compilers = list(compilers)
         self.config = config or FuzzerConfig()
-        self.tester = DifferentialTester(self.compilers, bugs=self.config.bugs)
-        if self.config.probe_operator_support:
+        self.tester = build_oracle(self.config.oracle, self.compilers,
+                                   bugs=self.config.bugs)
+        self.strategy = build_strategy(self.config.strategy, self.config)
+        if self.config.probe_operator_support and \
+                self.strategy.capabilities.supports_op_pool:
             self.config.generator.op_pool = probe_supported_pool(
                 self.compilers, self.config.generator.op_pool)
 
@@ -381,7 +439,7 @@ class Fuzzer:
             iteration += 1
             generated, case = run_campaign_iteration(
                 self.tester, self.config, iteration,
-                iteration_rng(self.config, iteration))
+                iteration_rng(self.config, iteration), self.strategy)
             if generated is None:
                 result.generation_failures += 1
                 continue
@@ -411,9 +469,10 @@ class Fuzzer:
 
     def _generate(self, iteration: int) -> Optional[GeneratedModel]:
         """Back-compat shim over :func:`generate_for_iteration`."""
-        return generate_for_iteration(self.config, iteration)
+        return generate_for_iteration(self.config, iteration, self.strategy)
 
     def _test_one(self, generated: GeneratedModel,
                   rng: np.random.Generator) -> Optional[CaseResult]:
         """Back-compat shim over :func:`search_and_difftest`."""
-        return search_and_difftest(self.tester, self.config, generated, rng)
+        return search_and_difftest(self.tester, self.config, generated, rng,
+                                   self.strategy)

@@ -1,0 +1,178 @@
+"""Pluggable test oracles and their named registry.
+
+The campaign engine used to hardwire one oracle — the crash + numeric-diff
+:class:`~repro.core.difftest.DifferentialTester`.  This module names that
+choice: an *oracle* consumes a model plus concrete inputs and returns one
+:class:`~repro.core.difftest.CompilerVerdict` per system under test.  New
+oracles (performance regression, shape-only, autodiff gradient checking)
+register a factory and slot into the serial loop, the matrix engine and the
+CLI without touching any of them.
+
+Like compilers and generation strategies, oracles travel through worker
+processes and checkpoint fingerprints *by name* and are instantiated on
+arrival via :func:`build_oracle`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compilers.base import Compiler
+from repro.compilers.bugs import BugConfig
+from repro.core.difftest import (CaseResult, CompilerVerdict,
+                                 DifferentialTester, first_line)
+from repro.errors import CompilerError, ConversionError, ReproError
+
+#: The oracle assumed when a config predates the registry.
+DEFAULT_ORACLE = "difftest"
+
+#: A picklable-by-name factory building an oracle inside a worker.
+OracleFactory = Callable[[Sequence[Compiler], BugConfig], "Oracle"]
+
+# The Oracle contract (structural, like compilers' CompiledModel):
+#   name: str                       -- registry identifier
+#   compilers: Sequence[Compiler]   -- systems under test (for pool probing)
+#   evaluate(model, inputs, numerically_valid=None) -> List[CompilerVerdict]
+#   run_case(model, inputs=None, numerically_valid=None) -> CaseResult
+# DifferentialTester already satisfies it (difftest.py adds name/evaluate);
+# Oracle below is a convenience base class for new implementations that
+# derives run_case from evaluate.
+Oracle = DifferentialTester  # default implementation doubles as the alias
+
+
+class BaseOracle:
+    """Convenience base: implement ``evaluate``, inherit ``run_case``."""
+
+    name: str = "oracle"
+
+    def __init__(self, compilers: Sequence[Compiler],
+                 bugs: Optional[BugConfig] = None) -> None:
+        self.compilers = list(compilers)
+        self.bugs = bugs if bugs is not None else BugConfig.all()
+
+    def evaluate(self, model, inputs,
+                 numerically_valid: Optional[bool] = None
+                 ) -> List[CompilerVerdict]:
+        raise NotImplementedError
+
+    def run_case(self, model, inputs=None,
+                 numerically_valid: Optional[bool] = None) -> CaseResult:
+        from repro.runtime.interpreter import random_inputs
+
+        if inputs is None:
+            inputs = random_inputs(model, np.random.default_rng(0))
+        verdicts = self.evaluate(model, inputs, numerically_valid)
+        return CaseResult(model=model,
+                          numerically_valid=bool(numerically_valid),
+                          verdicts=verdicts)
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_ORACLE_REGISTRY: Dict[str, OracleFactory] = {}
+
+
+def register_oracle(name: str, factory: Optional[OracleFactory] = None):
+    """Register an oracle factory under ``name`` (usable as a decorator)."""
+
+    def _register(factory: OracleFactory) -> OracleFactory:
+        existing = _ORACLE_REGISTRY.get(name)
+        if existing is not None and existing is not factory:
+            raise ValueError(f"oracle name {name!r} already registered")
+        _ORACLE_REGISTRY[name] = factory
+        return factory
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def registered_oracles() -> Tuple[str, ...]:
+    """Names of every registered oracle, in deterministic order."""
+    return tuple(sorted(_ORACLE_REGISTRY))
+
+
+def build_oracle(name: str, compilers: Sequence[Compiler],
+                 bugs: Optional[BugConfig] = None):
+    """Instantiate a registered oracle over the given systems under test."""
+    try:
+        factory = _ORACLE_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown oracle {name!r}; registered: "
+                       f"{sorted(_ORACLE_REGISTRY)}") from None
+    return factory(compilers, bugs if bugs is not None else BugConfig.all())
+
+
+@register_oracle(DEFAULT_ORACLE)
+def _difftest_factory(compilers: Sequence[Compiler],
+                      bugs: BugConfig) -> DifferentialTester:
+    """The paper's oracle: crash detection + numeric differential testing."""
+    return DifferentialTester(compilers, bugs=bugs)
+
+
+# --------------------------------------------------------------------------- #
+# Crash-only oracle
+# --------------------------------------------------------------------------- #
+@register_oracle("crash")
+class CrashOnlyOracle(BaseOracle):
+    """Compile-and-run oracle that reports crashes only.
+
+    Skips the reference-interpreter run and the numeric comparison, making
+    it roughly 2x cheaper per case than ``difftest`` — useful for long
+    crash-hunting campaigns and as the registry's proof that a second
+    oracle slots in without touching the engine.  Semantic (wrong-output)
+    bugs are invisible to it by design.
+    """
+
+    name = "crash"
+
+    def __init__(self, compilers: Sequence[Compiler],
+                 bugs: Optional[BugConfig] = None) -> None:
+        super().__init__(compilers, bugs)
+
+    def evaluate(self, model, inputs,
+                 numerically_valid: Optional[bool] = None
+                 ) -> List[CompilerVerdict]:
+        from repro.core.difftest import _bugs_from_error
+        from repro.runtime.exporter import ExportReport, export_model
+
+        report = ExportReport()
+        exported = export_model(model, bugs=self.bugs, report=report)
+        verdicts: List[CompilerVerdict] = []
+        for compiler in self.compilers:
+            try:
+                compiled = compiler.compile_model(exported)
+                triggered = list(getattr(compiled, "triggered_bugs", []))
+                compiled.run(inputs)
+                verdict = CompilerVerdict(compiler.name, "ok", "", "",
+                                          triggered)
+            except ConversionError as exc:
+                verdict = CompilerVerdict(compiler.name, "crash", "conversion",
+                                          str(exc), _bugs_from_error(exc))
+            except CompilerError as exc:
+                verdict = CompilerVerdict(compiler.name, "crash",
+                                          "transformation", str(exc),
+                                          _bugs_from_error(exc))
+            except ReproError as exc:
+                verdict = CompilerVerdict(compiler.name, "crash", "execution",
+                                          str(exc), _bugs_from_error(exc))
+            verdict.triggered_bugs.extend(
+                bug for bug in report.triggered_bugs
+                if bug not in verdict.triggered_bugs)
+            verdicts.append(verdict)
+        return verdicts
+
+
+__all__ = [
+    "BaseOracle",
+    "CrashOnlyOracle",
+    "DEFAULT_ORACLE",
+    "Oracle",
+    "build_oracle",
+    "first_line",
+    "register_oracle",
+    "registered_oracles",
+]

@@ -1,0 +1,223 @@
+"""The ``targeted`` generation strategy: motif-biased model construction.
+
+Plain fuzzing reaches some seeded-bug trigger structures only with very low
+probability — the regression corpus stalled at 18/30 bugs because the
+remaining triggers need rare shapes: a channel-strided ``Slice`` directly
+after a ``Conv2d``, a ``Concat`` with more than four inputs, a ``Squeeze``
+without an ``axes`` attribute, back-to-back non-inverse ``Transpose``
+pairs, and so on (see ROADMAP).  This strategy encodes those structures as
+a library of *motifs* — small parameterized model builders — and
+round-robins through them, so a short campaign exercises every rare
+structure many times.
+
+Each motif is randomized (shapes, decoration with extra elementwise
+operators) from the iteration seed, keeping the strategy pure in
+``(seed, iteration)`` like every other registered strategy.  Motifs are
+*biased toward* their trigger conditions but go through the exact same
+export → compile → differential-test pipeline as any generated model; they
+are not oracle shortcuts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Callable, List
+
+import numpy as np
+
+from repro.core.concretize import GeneratedModel
+from repro.core.strategy import (GenerationStrategy, StrategyCapabilities,
+                                 _wrap_model, register_strategy)
+from repro.dtypes import DType
+from repro.errors import GenerationError, ReproError
+from repro.graph.builder import GraphBuilder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.fuzzer import FuzzerConfig
+
+#: Float-safe unary decorations appended to some motif outputs.
+_DECORATIONS = ("Relu", "Abs", "Neg", "Sigmoid", "Tanh")
+
+Motif = Callable[[GraphBuilder, random.Random], str]
+
+
+def _np(rng: random.Random) -> np.random.Generator:
+    return np.random.default_rng(rng.randrange(1 << 30))
+
+
+def _conv(builder: GraphBuilder, rng: random.Random, channels: int,
+          size: int, out_channels: int) -> str:
+    x = builder.input([1, channels, size, size])
+    kernel = _np(rng).normal(0, 0.3, size=(out_channels, channels, 3, 3))
+    w = builder.weight(kernel.astype(np.float32))
+    return builder.op1("Conv2d", [x, w], stride=1, padding=1)
+
+
+# --------------------------------------------------------------------------- #
+# The motif library.  Comments name the structure, not a bug id: motifs bias
+# generation toward structures, detection stays with the oracle.
+# --------------------------------------------------------------------------- #
+def motif_conv_channel_strided_slice(builder: GraphBuilder,
+                                     rng: random.Random) -> str:
+    """Conv2d whose output is sliced along channels with stride > 1."""
+    size = rng.choice([6, 8])
+    conv = _conv(builder, rng, channels=4, size=size, out_channels=8)
+    return builder.op1("Slice", [conv], starts=[0], ends=[8], axes=[1],
+                       steps=[2])
+
+
+def motif_conv_lower_rank_broadcast(builder: GraphBuilder,
+                                    rng: random.Random) -> str:
+    """Conv2d followed by a broadcasting Add with a lower-rank operand."""
+    size = rng.choice([6, 8])
+    conv = _conv(builder, rng, channels=4, size=size, out_channels=4)
+    vec = builder.weight(
+        _np(rng).uniform(1, 4, size=(size,)).astype(np.float32))
+    return builder.op1(rng.choice(["Add", "Mul"]), [conv, vec])
+
+
+def motif_many_input_concat(builder: GraphBuilder, rng: random.Random) -> str:
+    """Concat joining more than four inputs."""
+    arity = rng.choice([5, 6, 7])
+    shape = [2, rng.choice([2, 3])]
+    values = [builder.input(shape) for _ in range(arity)]
+    return builder.op1("Concat", values, axis=rng.choice([0, 1]))
+
+
+def motif_squeeze_without_axes(builder: GraphBuilder,
+                               rng: random.Random) -> str:
+    """Squeeze relying on the implicit all-unit-axes default."""
+    shape = [rng.choice([2, 3]), 1, rng.choice([3, 4])]
+    x = builder.input(shape)
+    squeezed = builder.op1("Squeeze", [x])
+    return builder.op1("Relu", [squeezed])
+
+
+def motif_conv_batchnorm(builder: GraphBuilder, rng: random.Random) -> str:
+    """Conv2d feeding straight into BatchNorm."""
+    size = rng.choice([6, 8])
+    conv = _conv(builder, rng, channels=4, size=size, out_channels=4)
+    np_rng = _np(rng)
+    scale = builder.weight(np_rng.uniform(0.5, 2, size=4).astype(np.float32))
+    bias = builder.weight(np.zeros(4, dtype=np.float32))
+    mean = builder.weight(np_rng.uniform(-1, 1, size=4).astype(np.float32))
+    var = builder.weight(np_rng.uniform(0.5, 2, size=4).astype(np.float32))
+    return builder.op1("BatchNorm", [conv, scale, bias, mean, var],
+                       epsilon=1e-5)
+
+
+def motif_matmul_scalar_addend(builder: GraphBuilder,
+                               rng: random.Random) -> str:
+    """MatMul whose Add consumer has a single-element (broadcast) addend."""
+    rows, inner, cols = rng.choice([3, 4]), rng.choice([4, 5]), rng.choice([3, 4])
+    a = builder.input([rows, inner])
+    b = builder.weight(_np(rng).normal(0, 0.4,
+                                       size=(inner, cols)).astype(np.float32))
+    product = builder.op1("MatMul", [a, b])
+    addend = builder.weight(np.float32(_np(rng).uniform(1, 3)).reshape(()))
+    return builder.op1("Add", [product, addend])
+
+
+def motif_noninverse_transpose_pair(builder: GraphBuilder,
+                                    rng: random.Random) -> str:
+    """Back-to-back Transpose nodes that do not compose to the identity."""
+    x = builder.input([2, 3, 4])
+    perm = rng.choice([[1, 2, 0], [2, 0, 1]])
+    inner = builder.op1("Transpose", [x], perm=perm)
+    return builder.op1("Transpose", [inner], perm=perm)
+
+
+def motif_constant_pow_large_exponent(builder: GraphBuilder,
+                                      rng: random.Random) -> str:
+    """Pow over two constants with a large exponent (constant-foldable)."""
+    np_rng = _np(rng)
+    base = builder.weight(
+        np_rng.uniform(1.0, 1.2, size=(2, 2)).astype(np.float32))
+    exponent = builder.weight(
+        np.full((2, 2), float(rng.choice([16, 24, 32])), dtype=np.float32))
+    powered = builder.op1("Pow", [base, exponent])
+    x = builder.input([2, 2])
+    return builder.op1("Add", [powered, x])
+
+
+def motif_adjacent_strided_slices(builder: GraphBuilder,
+                                  rng: random.Random) -> str:
+    """Two adjacent Slices on disjoint axes, one of them strided."""
+    x = builder.input([6, 6, rng.choice([4, 6])])
+    first = builder.op1("Slice", [x], starts=[0], ends=[6], axes=[0],
+                        steps=[2])
+    return builder.op1("Slice", [first], starts=[1], ends=[5], axes=[1],
+                       steps=[1])
+
+
+def motif_integer_mul_div_roundtrip(builder: GraphBuilder,
+                                    rng: random.Random) -> str:
+    """(x * c) / c over integer tensors with a shared constant."""
+    shape = [rng.choice([3, 4]), 4]
+    x = builder.input(shape, DType.int32)
+    constant = builder.weight(
+        _np(rng).integers(2, 6, size=shape).astype(np.int32))
+    product = builder.op1("Mul", [x, constant])
+    quotient = builder.op1("Div", [product, constant])
+    # The round-trip must feed a consumer: simplifiers skip graph outputs.
+    return builder.op1("Add", [quotient, x])
+
+
+def motif_large_reshape(builder: GraphBuilder, rng: random.Random) -> str:
+    """Reshape whose element count needs 64-bit index arithmetic."""
+    x = builder.input([4, 16, 16])
+    target = rng.choice([[1024], [16, 64], [32, 32]])
+    reshaped = builder.op1("Reshape", [x], shape=list(target))
+    return builder.op1("Abs", [reshaped])
+
+
+def motif_overpadded_pooling(builder: GraphBuilder,
+                             rng: random.Random) -> str:
+    """Pooling whose padding exceeds half the kernel size."""
+    x = builder.input([1, 2, 6, 6])
+    op = rng.choice(["MaxPool2d", "AvgPool2d"])
+    return builder.op1(op, [x], kh=2, kw=2, stride=1, padding=2)
+
+
+MOTIFS: List[Motif] = [
+    motif_conv_channel_strided_slice,
+    motif_conv_lower_rank_broadcast,
+    motif_many_input_concat,
+    motif_squeeze_without_axes,
+    motif_conv_batchnorm,
+    motif_matmul_scalar_addend,
+    motif_noninverse_transpose_pair,
+    motif_constant_pow_large_exponent,
+    motif_adjacent_strided_slices,
+    motif_integer_mul_div_roundtrip,
+    motif_large_reshape,
+    motif_overpadded_pooling,
+]
+
+
+@register_strategy("targeted")
+class TargetedStrategy(GenerationStrategy):
+    """Round-robin over the motif library with seeded randomization."""
+
+    name = "targeted"
+    capabilities = StrategyCapabilities()
+
+    def __init__(self, config: "FuzzerConfig") -> None:
+        del config
+
+    def generate(self, seed: int, iteration: int) -> GeneratedModel:
+        motif = MOTIFS[(iteration - 1) % len(MOTIFS)]
+        rng = random.Random(seed)
+        builder = GraphBuilder(f"targeted_{motif.__name__[6:]}")
+        try:
+            value = motif(builder, rng)
+            if builder.model.type_of(value).dtype.is_float and \
+                    rng.random() < 0.5:
+                value = builder.op1(rng.choice(_DECORATIONS), [value])
+            builder.output(value)
+            return _wrap_model(builder.build())
+        except GenerationError:
+            raise
+        except ReproError as exc:
+            raise GenerationError(f"targeted motif {motif.__name__} failed: "
+                                  f"{exc}") from exc

@@ -16,11 +16,16 @@ from repro.experiments.bug_study import (
 from repro.experiments.coverage_experiment import (
     CoverageCampaignResult,
     NNSmithCaseGenerator,
+    StrategyCaseGenerator,
     make_case_generator,
     run_coverage_campaign,
     run_fuzzer_comparison,
     run_tzer_campaign,
 )
+# NOTE: repro.experiments.table2 is intentionally NOT imported here — it is
+# a `python -m` entry point (`make table2`), and importing it from the
+# package __init__ would trigger runpy's double-import warning.  Import it
+# directly: `from repro.experiments.table2 import run_table2`.
 from repro.experiments.gradient_ablation import (
     GradientAblationResult,
     NanRateResult,
@@ -46,6 +51,7 @@ __all__ = [
     "InstanceDiversityResult",
     "NNSmithCaseGenerator",
     "NanRateResult",
+    "StrategyCaseGenerator",
     "build_model_group",
     "crash_comparison",
     "campaign_cell_sets",

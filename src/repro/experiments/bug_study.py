@@ -17,12 +17,8 @@ seeded-bug population:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
-import numpy as np
-
-from repro.baselines.graphfuzzer import GraphFuzzerGenerator
-from repro.baselines.lemon import LemonGenerator
 from repro.compilers import CompileOptions, DeepCCompiler, GraphRTCompiler, TurboCompiler
 from repro.compilers.bugs import (
     FEATURE_ATTR_DIVERSITY,
@@ -40,11 +36,8 @@ from repro.compilers.bugs import (
     all_bugs,
     bug_spec,
 )
-from repro.core.difftest import DifferentialTester, first_line
 from repro.core.fuzzer import CampaignResult, Fuzzer, FuzzerConfig
 from repro.core.generator import GeneratorConfig
-from repro.errors import ReproError
-from repro.runtime.interpreter import random_inputs
 
 #: Model features each generator design can produce (used for reachability).
 GENERATOR_FEATURES: Dict[str, FrozenSet[str]] = {
@@ -182,37 +175,54 @@ class CrashComparisonResult:
 
 
 def crash_comparison(max_iterations: int = 40, seed: int = 0,
-                     n_nodes: int = 10) -> CrashComparisonResult:
-    """Run NNSmith, GraphFuzzer and LEMON for the same iteration budget."""
+                     n_nodes: int = 10, workers: int = 1,
+                     fuzzers: Sequence[str] = ("nnsmith", "graphfuzzer",
+                                               "lemon")
+                     ) -> CrashComparisonResult:
+    """Run every fuzzer for the same iteration budget — as *one* campaign.
+
+    Instead of three bespoke serial loops, the comparison is a single
+    generator-axis matrix campaign: every strategy in ``fuzzers`` runs the
+    full budget against the factory compiler trio through the registry-
+    backed engine, and the per-cell provenance is sliced into per-fuzzer
+    unique-crash counts and seeded-bug sets.  Strategies that declare
+    ``needs_value_search`` (NNSmith) go through the full pipeline, the
+    mutation baselines are tested on plain random inputs — exactly the
+    old per-tool loops, now sharded, resumable and parallel
+    (``workers > 1`` spawns worker processes; the default runs in-process).
+
+    One deliberate semantic tightening vs the pre-registry loops:
+    ``seeded_found`` counts bugs *detected* (attached to a crash/semantic
+    verdict), matching ``CampaignResult.seeded_bugs_found`` everywhere else
+    in the engine.  The old bespoke loops also counted bugs whose buggy
+    path merely executed without a detectable symptom (e.g. on
+    numerically-invalid mutants), which inflated the baselines relative to
+    what a fuzzer user would actually observe.
+    """
+    from repro.core.parallel import run_parallel_campaign
+
     bugs = BugConfig.all()
+    config = FuzzerConfig(generator=GeneratorConfig(n_nodes=n_nodes),
+                          max_iterations=max_iterations, bugs=bugs, seed=seed)
+    campaign = run_parallel_campaign(config=config,
+                                     n_workers=max(workers, 1),
+                                     generators=list(fuzzers))
+
     result = CrashComparisonResult(iterations=max_iterations)
-
-    # NNSmith goes through the full pipeline (value search included).
-    fuzzer = Fuzzer(make_compilers(bugs), FuzzerConfig(
-        generator=GeneratorConfig(n_nodes=n_nodes),
-        max_iterations=max_iterations, bugs=bugs, seed=seed))
-    campaign = fuzzer.run()
-    result.unique_crashes["nnsmith"] = {
-        name: campaign.unique_crashes(name) for name in ("graphrt", "deepc", "turbo")}
-    result.seeded_found["nnsmith"] = set(campaign.seeded_bugs_found)
-
-    # Baselines: generate models and push them through the same tester.
-    for name, generator in (("graphfuzzer", GraphFuzzerGenerator(seed=seed, n_nodes=n_nodes)),
-                            ("lemon", LemonGenerator(seed=seed))):
-        tester = DifferentialTester(make_compilers(bugs), bugs=bugs)
-        crashes: Dict[str, Set[str]] = {"graphrt": set(), "deepc": set(), "turbo": set()}
+    compilers = ("graphrt", "deepc", "turbo")
+    for name in fuzzers:
+        crashes: Dict[str, Set[str]] = {compiler: set()
+                                        for compiler in compilers}
         found: Set[str] = set()
-        rng = np.random.default_rng(seed)
-        for _ in range(max_iterations):
-            try:
-                model = generator.next_case()
-                case = tester.run_case(model, inputs=random_inputs(model, rng))
-            except ReproError:
+        for cell in campaign.cells.values():
+            if cell.generator != name:
                 continue
-            for verdict in case.verdicts:
-                found.update(verdict.triggered_bugs)
-                if verdict.status == "crash":
-                    crashes[verdict.compiler].add(first_line(verdict.message))
-        result.unique_crashes[name] = {k: len(v) for k, v in crashes.items()}
+            found |= cell.seeded_bugs_found
+            for key in cell.report_keys:
+                compiler, status, message = key.split("|", 2)
+                if status == "crash" and compiler in crashes:
+                    crashes[compiler].add(message)
+        result.unique_crashes[name] = {compiler: len(messages)
+                                       for compiler, messages in crashes.items()}
         result.seeded_found[name] = found
     return result

@@ -1,11 +1,18 @@
 """Coverage campaigns: the machinery behind Figures 4–8.
 
-A *case generator* (NNSmith, LEMON, GraphFuzzer) produces one model per
-iteration; every model is exported, compiled by the instrumented compiler and
-executed, while the coverage tracer accumulates branch arcs.  The result is a
-coverage timeline (arcs over wall-clock time and over iterations) plus the
-final arc set, from which the figures' curves and Venn decompositions are
-derived.
+A *case generator* produces one model per iteration; every model is
+exported, compiled by the instrumented compiler and executed, while the
+coverage tracer accumulates branch arcs.  The result is a coverage timeline
+(arcs over wall-clock time and over iterations) plus the final arc set,
+from which the figures' curves and Venn decompositions are derived.
+
+Generators come from the strategy registry (:mod:`repro.core.strategy`):
+:class:`StrategyCaseGenerator` adapts any registered
+:class:`~repro.core.strategy.GenerationStrategy` to the historical
+``next_case()`` protocol, and :func:`run_fuzzer_comparison` runs every
+fuzzer's coverage campaign in parallel worker processes, each rebuilding
+its generator by name.  :func:`make_case_generator` and
+:class:`NNSmithCaseGenerator` survive as thin back-compat shims.
 
 Tzer is driven through its own entry point because it mutates DeepC's
 low-level IR directly rather than producing models.
@@ -13,19 +20,19 @@ low-level IR directly rather than producing models.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Protocol
+from typing import Dict, FrozenSet, List, Optional, Protocol, Sequence
 
 import numpy as np
 
-from repro.baselines.graphfuzzer import GraphFuzzerGenerator
-from repro.baselines.lemon import LemonGenerator
 from repro.baselines.tzer import TzerFuzzer
 from repro.compilers import CompileOptions, make_compiler
 from repro.compilers.bugs import BugConfig
 from repro.compilers.coverage import CoverageTimeline, CoverageTracer
-from repro.core.generator import GeneratorConfig, generate_model
+from repro.core.generator import GeneratorConfig
+from repro.core.strategy import build_strategy
 from repro.errors import ReproError
 from repro.graph.model import Model
 from repro.runtime.exporter import export_model
@@ -41,41 +48,60 @@ class CaseGenerator(Protocol):
         ...
 
 
-class NNSmithCaseGenerator:
-    """Adapter exposing the NNSmith generator through the CaseGenerator protocol."""
+class StrategyCaseGenerator:
+    """A registered generation strategy behind the CaseGenerator protocol.
 
-    name = "nnsmith"
+    Seeds each iteration exactly like the campaign engine
+    (:func:`repro.core.fuzzer.iteration_seed`), so a coverage experiment and
+    a bug-finding campaign with the same seed explore the same model
+    streams.
+    """
 
-    def __init__(self, seed: int = 0, n_nodes: int = 10,
+    def __init__(self, name: str, seed: int = 0, n_nodes: int = 10,
                  use_binning: bool = True) -> None:
-        self.seed = seed
-        self.n_nodes = n_nodes
-        self.use_binning = use_binning
+        from repro.core.fuzzer import FuzzerConfig
+
+        self.name = name
+        self._config = FuzzerConfig(
+            generator=GeneratorConfig(n_nodes=n_nodes,
+                                      use_binning=use_binning),
+            seed=seed, strategy=name)
+        self._strategy = build_strategy(name, self._config)
         self._iteration = 0
         #: operator-instance signatures of every generated model (Figure 9).
         self.op_instances: List[str] = []
 
     def next_case(self) -> Model:
+        from repro.core.fuzzer import iteration_seed
+
         self._iteration += 1
-        generated = generate_model(GeneratorConfig(
-            n_nodes=self.n_nodes,
-            seed=self.seed * 1_000_003 + self._iteration,
-            use_binning=self.use_binning,
-        ))
+        generated = self._strategy.generate(
+            iteration_seed(self._config.seed, self._config.generator.seed,
+                           self._iteration, strategy=self.name),
+            self._iteration)
         self.op_instances.extend(generated.op_instances)
         return generated.model
 
 
+class NNSmithCaseGenerator(StrategyCaseGenerator):
+    """Back-compat shim: the NNSmith strategy as a case generator."""
+
+    def __init__(self, seed: int = 0, n_nodes: int = 10,
+                 use_binning: bool = True) -> None:
+        super().__init__("nnsmith", seed=seed, n_nodes=n_nodes,
+                         use_binning=use_binning)
+
+
 def make_case_generator(name: str, seed: int = 0, n_nodes: int = 10,
                         use_binning: bool = True) -> CaseGenerator:
-    """Instantiate a case generator by its short name."""
-    if name == "nnsmith":
-        return NNSmithCaseGenerator(seed=seed, n_nodes=n_nodes, use_binning=use_binning)
-    if name == "graphfuzzer":
-        return GraphFuzzerGenerator(seed=seed, n_nodes=n_nodes)
-    if name == "lemon":
-        return LemonGenerator(seed=seed)
-    raise KeyError(f"unknown case generator {name!r}")
+    """Instantiate a case generator by its short name.
+
+    Deprecated alias for :class:`StrategyCaseGenerator`: any strategy in the
+    registry (including ``targeted`` and third-party registrations) is
+    accepted, not just the original three names.
+    """
+    return StrategyCaseGenerator(name, seed=seed, n_nodes=n_nodes,
+                                 use_binning=use_binning)
 
 
 @dataclass
@@ -191,15 +217,45 @@ def run_tzer_campaign(max_iterations: Optional[int] = 50,
     )
 
 
-def run_fuzzer_comparison(compiler_name: str, fuzzers=("nnsmith", "graphfuzzer", "lemon"),
+def _comparison_job(args) -> CoverageCampaignResult:
+    """One fuzzer-vs-compiler coverage campaign (module-level: picklable).
+
+    The generator is rebuilt from its registry name inside the worker, the
+    same way matrix-campaign cells rebuild strategies — instances never
+    cross the process boundary, results (frozen arc sets and timelines) do.
+    """
+    name, compiler_name, max_iterations, time_budget, seed = args
+    generator = StrategyCaseGenerator(name, seed=seed)
+    return run_coverage_campaign(generator, compiler_name,
+                                 max_iterations=max_iterations,
+                                 time_budget=time_budget, seed=seed)
+
+
+def run_fuzzer_comparison(compiler_name: str,
+                          fuzzers: Sequence[str] = ("nnsmith", "graphfuzzer",
+                                                    "lemon"),
                           max_iterations: int = 40,
                           time_budget: Optional[float] = None,
-                          seed: int = 0) -> Dict[str, CoverageCampaignResult]:
-    """Run every fuzzer against one compiler (the per-subplot data of Fig. 4-7)."""
-    results: Dict[str, CoverageCampaignResult] = {}
-    for name in fuzzers:
-        generator = make_case_generator(name, seed=seed)
-        results[name] = run_coverage_campaign(
-            generator, compiler_name,
-            max_iterations=max_iterations, time_budget=time_budget, seed=seed)
-    return results
+                          seed: int = 0,
+                          workers: Optional[int] = None
+                          ) -> Dict[str, CoverageCampaignResult]:
+    """Run every fuzzer against one compiler (the per-subplot data of Fig. 4-7).
+
+    The per-fuzzer campaigns are independent, so they run concurrently in a
+    small worker pool (one process per fuzzer by default; ``workers=1``
+    forces the serial in-process path).  Coverage arcs are traced inside
+    each worker and shipped back as frozen sets, so the merged results are
+    identical to the serial loop's.
+    """
+    jobs = [(name, compiler_name, max_iterations, time_budget, seed)
+            for name in fuzzers]
+    n_workers = len(jobs) if workers is None else workers
+    if n_workers > 1 and len(jobs) > 1:
+        try:
+            with multiprocessing.get_context().Pool(
+                    processes=min(n_workers, len(jobs))) as pool:
+                results = pool.map(_comparison_job, jobs)
+            return dict(zip(fuzzers, results))
+        except (OSError, multiprocessing.ProcessError):
+            pass  # no subprocess support here: fall back to in-process
+    return {name: _comparison_job(job) for name, job in zip(fuzzers, jobs)}

@@ -62,13 +62,15 @@ def campaign_cell_sets(result, by: str = "compiler_set",
     """Group a matrix campaign's per-cell findings into labelled sets.
 
     ``by`` selects the grouping axis: ``"compiler_set"`` (the subset names
-    joined with ``+``), ``"opt_level"`` (``O0``/``O2``/...), ``"shard"``
-    or ``"cell"`` (each cell its own set).  ``what`` selects the elements:
-    ``"bugs"`` (ground-truth seeded bug ids) or ``"reports"`` (deduplicated
-    report keys).  The result feeds straight into :func:`venn_regions` /
-    :func:`unique_counts` / :func:`format_venn_table`.
+    joined with ``+``), ``"opt_level"`` (``O0``/``O2``/...), ``"generator"``
+    (the cell's generation strategy — the paper's fuzzer-vs-fuzzer
+    comparison), ``"shard"`` or ``"cell"`` (each cell its own set).
+    ``what`` selects the elements: ``"bugs"`` (ground-truth seeded bug ids)
+    or ``"reports"`` (deduplicated report keys).  The result feeds straight
+    into :func:`venn_regions` / :func:`unique_counts` /
+    :func:`format_venn_table`.
     """
-    if by not in ("compiler_set", "opt_level", "shard", "cell"):
+    if by not in ("compiler_set", "opt_level", "generator", "shard", "cell"):
         raise ValueError(f"unknown grouping {by!r}")
     if what not in ("bugs", "reports"):
         raise ValueError(f"unknown element kind {what!r}")
@@ -80,6 +82,8 @@ def campaign_cell_sets(result, by: str = "compiler_set",
             label = "+".join(cell.compilers) if cell.compilers else "<default>"
         elif by == "opt_level":
             label = "O?" if cell.opt_level is None else f"O{cell.opt_level}"
+        elif by == "generator":
+            label = cell.generator if cell.generator else "<default>"
         else:
             label = f"shard{cell.shard}"
         elements = (cell.seeded_bugs_found if what == "bugs"

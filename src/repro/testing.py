@@ -71,3 +71,43 @@ def run_once(benchmark, func, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
                               iterations=1)
+
+
+def tiny_campaign_config(iterations=4, seed=0, n_nodes=5,
+                         strategy="nnsmith", oracle="difftest",
+                         max_steps=8):
+    """A small, fully deterministic campaign config for engine tests.
+
+    Step-bounded value search (no wall-clock dependence) over a few
+    iterations of small models — the knobs every campaign/equivalence test
+    was duplicating.
+    """
+    from repro.compilers.bugs import BugConfig
+    from repro.core.fuzzer import FuzzerConfig
+    from repro.core.generator import GeneratorConfig
+    from repro.core.parallel import deterministic_config
+
+    return deterministic_config(FuzzerConfig(
+        generator=GeneratorConfig(n_nodes=n_nodes),
+        max_iterations=iterations,
+        bugs=BugConfig.all(),
+        seed=seed,
+        strategy=strategy,
+        oracle=oracle,
+    ), max_steps=max_steps)
+
+
+def campaign_signature(result):
+    """Order-independent content of a campaign result (for equivalence
+    assertions), including per-cell provenance when present."""
+    return (result.iterations,
+            result.generated_models,
+            result.generation_failures,
+            result.numerically_valid_models,
+            frozenset(result.seeded_bugs_found),
+            frozenset(result.operator_instances),
+            frozenset(report.dedup_key() for report in result.reports),
+            frozenset(
+                (key, cell.iterations, frozenset(cell.seeded_bugs_found),
+                 frozenset(cell.report_keys))
+                for key, cell in result.cells.items()))

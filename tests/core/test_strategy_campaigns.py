@@ -1,0 +1,258 @@
+"""Engine tests for the generator axis, pool modes and time-budget resume.
+
+The acceptance-critical scenarios: per-strategy serial-vs-parallel
+equivalence, a generator-axis matrix campaign interrupted mid-cell whose
+resume reproduces the uninterrupted result exactly, opt-in per-subset
+operator pools, and mid-cell checkpoint resume for pure time-budget cells.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.parallel import (
+    MIN_RESUME_BUDGET,
+    ParallelCampaign,
+    _cell_tester,
+    build_matrix,
+    run_parallel_campaign,
+    run_sharded_serial,
+)
+from repro.errors import ReproError
+from repro.experiments.venn import campaign_cell_sets
+from repro.testing import campaign_signature, tiny_campaign_config
+
+GENERATORS = ["nnsmith", "graphfuzzer", "targeted"]
+
+
+class _InterruptAfter(ParallelCampaign):
+    """Campaign that dies (after checkpointing) at the Nth folded iteration."""
+
+    def __init__(self, interrupt_after, **kwargs):
+        super().__init__(**kwargs)
+        self._folds_left = interrupt_after
+
+    def _fold_iteration(self, states, cell_index, iteration, partial):
+        super()._fold_iteration(states, cell_index, iteration, partial)
+        self._folds_left -= 1
+        if self._folds_left <= 0:
+            raise KeyboardInterrupt("simulated mid-campaign kill")
+
+
+class _FoldCounter(ParallelCampaign):
+    """Campaign recording which iterations it actually executes."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.folds = {}
+
+    def _fold_iteration(self, states, cell_index, iteration, partial):
+        key = states[cell_index].task.cell.key
+        self.folds.setdefault(key, []).append(iteration)
+        super()._fold_iteration(states, cell_index, iteration, partial)
+
+
+class TestGeneratorAxisMatrix:
+    def test_build_matrix_crosses_generators(self):
+        tasks = build_matrix(tiny_campaign_config(iterations=8), 2,
+                             generators=GENERATORS)
+        assert len(tasks) == len(GENERATORS) * 2
+        keys = {task.cell.key for task in tasks}
+        assert "shard0|<default>|O?|targeted" in keys
+        assert "shard1|<default>|O?|nnsmith" in keys
+        # cells carry their strategy in the shard config for the workers
+        for task in tasks:
+            assert task.config.strategy == task.cell.generator
+
+    def test_no_generator_axis_keeps_pr2_cell_keys(self):
+        tasks = build_matrix(tiny_campaign_config(iterations=4), 2)
+        assert {task.cell.key for task in tasks} == \
+            {"shard0|<default>|O?", "shard1|<default>|O?"}
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(KeyError, match="csmith"):
+            build_matrix(tiny_campaign_config(), 1, generators=["csmith"])
+
+    def test_empty_generator_axis_rejected(self):
+        with pytest.raises(ValueError):
+            build_matrix(tiny_campaign_config(), 1, generators=[])
+
+
+@pytest.mark.campaign
+class TestPerStrategyEquivalence:
+    @pytest.mark.parametrize("strategy", ["graphfuzzer", "lemon", "targeted"])
+    def test_parallel_equals_sharded_serial(self, strategy):
+        config = tiny_campaign_config(iterations=6, seed=11,
+                                      strategy=strategy)
+        serial = run_sharded_serial(config, 2)
+        parallel = run_parallel_campaign(config=config, n_workers=2)
+        assert campaign_signature(parallel)[:7] == \
+            campaign_signature(serial)[:7]
+
+    def test_crash_oracle_through_both_paths(self):
+        config = tiny_campaign_config(iterations=6, seed=5,
+                                      strategy="targeted", oracle="crash")
+        serial = run_sharded_serial(config, 2)
+        parallel = run_parallel_campaign(config=config, n_workers=2)
+        assert campaign_signature(parallel)[:7] == \
+            campaign_signature(serial)[:7]
+        assert all(report.status == "crash" for report in parallel.reports)
+        assert parallel.reports  # targeted motifs do crash the trio
+
+
+@pytest.mark.campaign
+class TestGeneratorAxisCampaign:
+    def test_per_generator_budgets_and_provenance(self):
+        config = tiny_campaign_config(iterations=4, seed=9)
+        result = run_parallel_campaign(config=config, n_workers=2, n_shards=2,
+                                       generators=GENERATORS)
+        assert result.iterations == 4 * len(GENERATORS)
+        assert len(result.cells) == 2 * len(GENERATORS)
+        by_generator = campaign_cell_sets(result, by="generator")
+        assert set(by_generator) == set(GENERATORS)
+
+    def test_interrupted_generator_matrix_resumes_exactly(self, tmp_path):
+        config = tiny_campaign_config(iterations=4, seed=21)
+        matrix = dict(generators=GENERATORS, n_shards=2)
+        reference = run_parallel_campaign(config=config, n_workers=2, **matrix)
+
+        path = str(tmp_path / "gen-matrix.ckpt.json")
+        interrupted = _InterruptAfter(interrupt_after=5, config=config,
+                                      n_workers=1, checkpoint_path=path,
+                                      **matrix)
+        with pytest.raises((KeyboardInterrupt, ReproError)):
+            interrupted.run()
+
+        payload = json.loads(open(path, encoding="utf-8").read())
+        done_before = sum(
+            end - start + 1
+            for entry in payload["cells"].values()
+            for start, end in entry["completed"])
+        assert done_before == 5
+
+        resumed = _FoldCounter(config=config, n_workers=2,
+                               checkpoint_path=path, **matrix)
+        result = resumed.run()
+        executed = sum(len(iters) for iters in resumed.folds.values())
+        assert executed == 4 * len(GENERATORS) - 5
+        assert campaign_signature(result) == campaign_signature(reference)
+
+
+class TestPoolModes:
+    def test_union_mode_bakes_one_shared_pool(self):
+        campaign = ParallelCampaign(
+            config=tiny_campaign_config(iterations=4),
+            n_workers=2, compiler_sets=[["graphrt"], ["turbo"]])
+        tasks = campaign._build_tasks()
+        pools = {tuple(sorted(spec.op_kind
+                              for spec in task.config.generator.op_pool))
+                 for task in tasks}
+        assert len(pools) == 1
+        assert all(not task.config.probe_operator_support for task in tasks)
+
+    def test_per_subset_mode_probes_in_the_cell(self):
+        # deepc's kernel table is a strict subset of graphrt's, so its cells
+        # must generate from a larger pool than the union would allow.
+        campaign = ParallelCampaign(
+            config=tiny_campaign_config(iterations=4),
+            n_workers=2, compiler_sets=[["graphrt"], ["deepc"]],
+            pool_mode="per-subset")
+        tasks = campaign._build_tasks()
+        # probing is deferred to the workers ...
+        assert all(task.config.probe_operator_support for task in tasks)
+        # ... where each cell derives its own subset's pool
+        pools = {}
+        for task in tasks:
+            _tester, config, _strategy = _cell_tester(
+                task, campaign.compiler_factory)
+            pools[task.cell.compilers] = {spec.op_kind
+                                          for spec in config.generator.op_pool}
+        assert pools[("deepc",)] < pools[("graphrt",)]
+
+    def test_pool_modes_fingerprint_separately(self):
+        config = tiny_campaign_config(iterations=4)
+        union = ParallelCampaign(config=config, n_workers=2,
+                                 compiler_sets=[["turbo"]])
+        subset = ParallelCampaign(config=config, n_workers=2,
+                                  compiler_sets=[["turbo"]],
+                                  pool_mode="per-subset")
+        assert union._checkpoint_fingerprint(2) != \
+            subset._checkpoint_fingerprint(2)
+
+    def test_invalid_pool_mode_rejected(self):
+        campaign = ParallelCampaign(config=tiny_campaign_config(),
+                                    pool_mode="intersection")
+        with pytest.raises(ValueError, match="pool_mode"):
+            campaign._build_tasks()
+
+    def test_baseline_only_matrix_skips_probing(self):
+        # Mutation strategies ignore the operator pool; probing would be
+        # pure cost, so union mode skips it for them.
+        campaign = ParallelCampaign(
+            config=tiny_campaign_config(strategy="graphfuzzer"),
+            n_workers=2, compiler_sets=[["graphrt"], ["turbo"]],
+            generators=["graphfuzzer", "lemon"])
+        tasks = campaign._build_tasks()
+        assert all(task.config.probe_operator_support for task in tasks)
+
+
+@pytest.mark.campaign
+class TestTimeBudgetResume:
+    def _config(self):
+        return dataclasses.replace(tiny_campaign_config(seed=3, n_nodes=4),
+                                   max_iterations=None, time_budget=6.0)
+
+    def test_interrupted_time_budget_cell_resumes_mid_stream(self, tmp_path):
+        config = self._config()
+        path = str(tmp_path / "tb.ckpt.json")
+        interrupted = _InterruptAfter(interrupt_after=4, config=config,
+                                      n_workers=1, checkpoint_path=path)
+        with pytest.raises((KeyboardInterrupt, ReproError)):
+            interrupted.run()
+
+        cell = json.loads(open(path, encoding="utf-8").read())["cells"][
+            "shard0|<default>|O?"]
+        assert cell["completed"] == [[1, 4]]
+        assert cell["time_used"] > 0
+        assert not cell["done"]
+
+        resumed = _FoldCounter(config=config, n_workers=1,
+                               checkpoint_path=path)
+        result = resumed.run()
+        executed = resumed.folds["shard0|<default>|O?"]
+        # the resumed cell continued after iteration 4, never re-ran 1-4
+        assert min(executed) == 5
+        assert result.iterations == 4 + len(executed)
+
+        cell_after = json.loads(open(path, encoding="utf-8").read())["cells"][
+            "shard0|<default>|O?"]
+        assert cell_after["done"]
+        assert cell_after["time_used"] >= cell["time_used"]
+
+        # a third run finds the budget consumed and executes nothing
+        third = _FoldCounter(config=config, n_workers=1,
+                             checkpoint_path=path)
+        final = third.run()
+        assert third.folds == {}
+        assert final.iterations == result.iterations
+
+    def test_exhausted_budget_cell_is_done_on_load(self, tmp_path):
+        config = self._config()
+        path = str(tmp_path / "tb2.ckpt.json")
+        interrupted = _InterruptAfter(interrupt_after=2, config=config,
+                                      n_workers=1, checkpoint_path=path)
+        with pytest.raises((KeyboardInterrupt, ReproError)):
+            interrupted.run()
+        payload = json.loads(open(path, encoding="utf-8").read())
+        key = "shard0|<default>|O?"
+        # forge a checkpoint whose budget is (almost) fully consumed
+        payload["cells"][key]["time_used"] = \
+            config.time_budget - MIN_RESUME_BUDGET / 2
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        resumed = _FoldCounter(config=config, n_workers=1,
+                               checkpoint_path=path)
+        result = resumed.run()
+        assert resumed.folds == {}
+        assert result.iterations == 2

@@ -1,0 +1,56 @@
+"""The fuzzer-comparison pipeline (Table 2 analogue), end to end.
+
+Campaign tier: these run real multi-strategy generator-axis campaigns
+(scaled down), checking that the registry-backed engine reproduces the
+paper's ordering — NNSmith finds at least as much as every baseline — and
+that the ``make table2`` entry point emits the summary.
+"""
+
+import pytest
+
+from repro.experiments import run_fuzzer_comparison
+from repro.experiments.bug_study import crash_comparison
+from repro.experiments.table2 import format_fuzzer_comparison, run_table2
+
+pytestmark = pytest.mark.campaign
+
+
+class TestCrashComparisonThroughEngine:
+    def test_rankings_match_the_paper(self):
+        result = crash_comparison(max_iterations=10, seed=1, n_nodes=6)
+        assert set(result.unique_crashes) == {"nnsmith", "graphfuzzer",
+                                              "lemon"}
+        nnsmith = len(result.seeded_found["nnsmith"])
+        for baseline in ("graphfuzzer", "lemon"):
+            assert nnsmith >= len(result.seeded_found[baseline])
+        assert nnsmith > 0
+
+    def test_formatted_summary_lists_every_fuzzer(self):
+        result = crash_comparison(max_iterations=6, seed=0, n_nodes=5,
+                                  fuzzers=("nnsmith", "targeted"))
+        text = format_fuzzer_comparison(result)
+        assert "nnsmith" in text and "targeted" in text
+        assert "seeded bugs" in text
+
+
+class TestTable2EntryPoint:
+    def test_run_table2_emits_summary_and_reachability(self):
+        text = run_table2(max_iterations=8, seed=0, n_nodes=5, workers=1,
+                          fuzzers=("nnsmith", "targeted"))
+        assert "Fuzzer comparison" in text
+        assert "Design-level reachability" in text
+        assert "targeted" in text
+
+
+class TestParallelFuzzerComparison:
+    def test_parallel_equals_serial_coverage(self):
+        serial = run_fuzzer_comparison("graphrt",
+                                       fuzzers=("nnsmith", "graphfuzzer"),
+                                       max_iterations=4, seed=0, workers=1)
+        parallel = run_fuzzer_comparison("graphrt",
+                                         fuzzers=("nnsmith", "graphfuzzer"),
+                                         max_iterations=4, seed=0)
+        assert set(serial) == set(parallel) == {"nnsmith", "graphfuzzer"}
+        for name in serial:
+            assert serial[name].arcs == parallel[name].arcs
+            assert serial[name].iterations == parallel[name].iterations

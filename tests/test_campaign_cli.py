@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.campaign import build_parser, main, parse_compiler_sets, parse_opt_levels
+from repro.campaign import (
+    build_parser,
+    main,
+    parse_compiler_sets,
+    parse_generators,
+    parse_opt_levels,
+)
 
 
 def _parse(*argv):
@@ -31,6 +37,17 @@ class TestArgumentParsing:
     def test_opt_levels_parsed(self):
         assert parse_opt_levels(_parse("--opt-levels", "0,2")) == [0, 2]
 
+    def test_generators_parsed(self):
+        args = _parse("--generators", "nnsmith,graphfuzzer, lemon")
+        assert parse_generators(args) == ["nnsmith", "graphfuzzer", "lemon"]
+        assert parse_generators(_parse()) is None
+
+    def test_oracle_and_pool_mode_defaults(self):
+        args = _parse()
+        assert args.oracle == "difftest"
+        assert args.pool_mode == "union"
+        assert _parse("--pool-mode", "per-subset").pool_mode == "per-subset"
+
 
 class TestSerialModeErrorsLoudly:
     def test_serial_with_checkpoint_is_an_error(self, tmp_path, capsys):
@@ -49,6 +66,11 @@ class TestSerialModeErrorsLoudly:
     def test_serial_with_matrix_is_an_error(self):
         with pytest.raises(SystemExit):
             main(["--serial", "--iterations", "2", "--compilers", "turbo"])
+
+    def test_serial_with_generators_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["--serial", "--iterations", "2",
+                  "--generators", "nnsmith,lemon"])
 
     def test_opt_levels_without_compilers_is_an_error(self, capsys):
         # factory mode fixes its own opt levels; ignoring the flag silently
@@ -90,3 +112,17 @@ class TestCampaignRuns:
         assert "matrix [turbo | graphrt] x O[0,2]" in out
         assert "Seeded bugs by compiler subset:" in out
         assert "Seeded bugs by opt level:" in out
+
+    def test_generator_axis_cli_prints_per_generator_venn(self, capsys):
+        assert main(["--workers", "1", "--iterations", "3", "--nodes", "4",
+                     "--generators", "nnsmith,targeted",
+                     "--deterministic", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "x gen[nnsmith,targeted]" in out
+        assert "Seeded bugs by generator:" in out
+
+    def test_crash_oracle_cli_runs(self, capsys):
+        assert main(["--workers", "1", "--iterations", "2", "--nodes", "4",
+                     "--generators", "targeted", "--oracle", "crash",
+                     "--deterministic", "--quiet"]) == 0
+        assert "iterations" in capsys.readouterr().out

@@ -10,7 +10,14 @@ optimizer code they live in.
 
 Usage::
 
-    PYTHONPATH=src python tools/build_corpus.py [max_iterations]
+    PYTHONPATH=src python tools/build_corpus.py [max_iterations] \\
+        [--strategy NAME] [--nodes N] [--max-dim N] [--seed N]
+
+``--strategy`` picks any registered generation strategy
+(:mod:`repro.core.strategy`).  Plain ``nnsmith`` fuzzing stalled at 18/30
+seeded bugs — the remaining triggers need rare structures; the ``targeted``
+motif strategy reaches them within a few dozen iterations, which is how the
+corpus was extended to full coverage.
 
 The generator knobs are pinned small (``max_dim=8``) so the frozen weights
 stay a few kilobytes per file.  Regenerate only when trigger conditions
@@ -19,9 +26,9 @@ legitimately change; the corpus is otherwise append-only.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
-import sys
 
 import numpy as np
 
@@ -30,6 +37,7 @@ from repro.core.difftest import DifferentialTester
 from repro.core.fuzzer import FuzzerConfig, generate_for_iteration
 from repro.core.parallel import default_compiler_factory
 from repro.core.generator import GeneratorConfig
+from repro.core.strategy import DEFAULT_STRATEGY, registered_strategies
 from repro.dtypes import DType
 from repro.graph.serialize import model_to_dict
 from repro.runtime.interpreter import random_inputs
@@ -52,14 +60,20 @@ def _encode_inputs(inputs):
 
 
 def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
-                 max_dim: int = 8, seed: int = CAMPAIGN_SEED) -> None:
+                 max_dim: int = 8, seed: int = CAMPAIGN_SEED,
+                 strategy: str = DEFAULT_STRATEGY) -> None:
+    from repro.core.strategy import build_strategy
+
     bugs = BugConfig.all()
     tester = DifferentialTester(default_compiler_factory(bugs), bugs=bugs)
     config = FuzzerConfig(
         generator=GeneratorConfig(n_nodes=n_nodes, max_dim=max_dim),
         bugs=bugs,
         seed=seed,
+        strategy=strategy,
     )
+    # Built once and reused: lemon/tzer cache their seed zoo per instance.
+    generation_strategy = build_strategy(strategy, config)
     # Append-only: bugs that already have a frozen case are left untouched.
     existing = {name[:-len(".json")] for name in
                 (os.listdir(CORPUS_DIR) if os.path.isdir(CORPUS_DIR) else [])
@@ -70,7 +84,8 @@ def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
     for iteration in range(1, max_iterations + 1):
         if wanted <= set(found):
             break
-        generated = generate_for_iteration(config, iteration)
+        generated = generate_for_iteration(config, iteration,
+                                           generation_strategy)
         if generated is None:
             continue
         model = generated.model
@@ -96,7 +111,8 @@ def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
                 "symptom": bug_spec(bug).symptom,
                 "detected_by": via,
                 "iteration": iteration,
-                "campaign_seed": CAMPAIGN_SEED,
+                "campaign_seed": seed,
+                "strategy": strategy,
                 "model": model_to_dict(model),
                 "inputs": _encode_inputs(inputs),
             }
@@ -120,9 +136,18 @@ def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
 
 
 if __name__ == "__main__":
-    build_corpus(
-        int(sys.argv[1]) if len(sys.argv) > 1 else 4000,
-        n_nodes=int(sys.argv[2]) if len(sys.argv) > 2 else 8,
-        max_dim=int(sys.argv[3]) if len(sys.argv) > 3 else 8,
-        seed=int(sys.argv[4]) if len(sys.argv) > 4 else CAMPAIGN_SEED,
-    )
+    parser = argparse.ArgumentParser(
+        description="Freeze bug-triggering (model, inputs) pairs into "
+                    "tests/corpus/ (append-only).")
+    parser.add_argument("max_iterations", nargs="?", type=int, default=4000)
+    parser.add_argument("--strategy", default=DEFAULT_STRATEGY,
+                        choices=registered_strategies(),
+                        help="generation strategy (use 'targeted' for the "
+                             "rare-structure bugs plain fuzzing misses)")
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--max-dim", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=CAMPAIGN_SEED)
+    args = parser.parse_args()
+    build_corpus(args.max_iterations, n_nodes=args.nodes,
+                 max_dim=args.max_dim, seed=args.seed,
+                 strategy=args.strategy)
