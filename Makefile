@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all smoke benchmarks table2
+.PHONY: test test-all smoke smoke-coverage benchmarks table2
 
 # Default tier: everything except tests marked `slow`.
 test:
@@ -16,6 +16,12 @@ test-all:
 # a minute.
 smoke:
 	$(PYTHON) -m pytest -q -m smoke tests benchmarks
+
+# Coverage-feedback smoke: scheduler equivalence (static/adaptive/coverage
+# findings identical) plus the coverage-scheduling overhead benchmark.
+smoke-coverage:
+	$(PYTHON) -m pytest -q -m smoke tests/core/test_schedulers.py \
+		benchmarks/test_scheduler_overhead.py
 
 # Regenerate the paper's tables/figures on scaled-down budgets.
 benchmarks:

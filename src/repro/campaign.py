@@ -35,10 +35,17 @@ budget per cell and resume with the remainder)::
     python -m repro.campaign --iterations 200 --workers 4 \\
         --checkpoint campaign.ckpt.json
 
-``--adaptive`` splits every cell's iteration budget into chunks that workers
-lease from a shared queue, so a worker whose cell finishes early picks up
-the remaining budget of slower cells (results are unchanged — only their
-placement moves).
+``--schedule`` picks the lease scheduler (:mod:`repro.core.schedule`):
+``static`` pre-plans one lease per cell, ``adaptive`` splits budgets into
+chunks that idle workers steal from slower cells, and ``coverage`` turns
+the campaign into a coverage-guided one — workers trace compiler branch
+arcs per iteration and stream deltas to the coordinator, which leases the
+next chunk to the cell with the best recent novelty-per-second and records
+per-cell and global coverage-over-time series (the Figure 4/5-style
+curves).  Scheduling never changes *which* iterations run: for a fixed
+iteration budget the merged findings are bit-identical across all three
+(only lease order/placement moves).  ``--adaptive`` is the historical
+alias for ``--schedule adaptive``.
 
 ``--workers 1`` runs the campaign in-process — no worker processes, no
 queues — while keeping full checkpoint/resume support.  ``--workers 0`` (or
@@ -54,6 +61,7 @@ from typing import List, Optional, Sequence
 
 from repro.compilers.base import registered_compilers
 from repro.compilers.bugs import bug_spec
+from repro.compilers.coverage import is_pass_arc
 from repro.core.difftest import first_line
 from repro.core.fuzzer import CampaignResult, FuzzerConfig
 from repro.core.generator import GeneratorConfig
@@ -64,6 +72,7 @@ from repro.core.parallel import (
     run_parallel_campaign,
     run_sharded_serial,
 )
+from repro.core.schedule import DEFAULT_SCHEDULER, registered_schedulers
 from repro.core.strategy import DEFAULT_STRATEGY, registered_strategies
 from repro.experiments.venn import campaign_cell_sets, format_venn_table
 
@@ -108,9 +117,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "(apples-to-apples streams); 'per-subset' lets "
                              "each cell fuzz every operator its own subset "
                              "supports (default union)")
+    parser.add_argument("--schedule", default=DEFAULT_SCHEDULER,
+                        choices=registered_schedulers(),
+                        help="lease scheduler: 'static' pre-plans cell "
+                             "budgets, 'adaptive' lets idle workers steal "
+                             "from slower cells, 'coverage' leases by "
+                             "recent new-arc rate using per-iteration "
+                             "coverage feedback (findings are identical "
+                             "across schedulers; default "
+                             f"{DEFAULT_SCHEDULER})")
     parser.add_argument("--adaptive", action="store_true",
-                        help="lease cell budgets in chunks so idle workers "
-                             "steal remaining iterations from slower cells")
+                        help="alias for --schedule adaptive")
     parser.add_argument("--nodes", type=int, default=10,
                         help="operators per generated model (default 10)")
     parser.add_argument("--seed", type=int, default=0,
@@ -127,7 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="persist the checkpoint every N folded "
                              "iterations (default 1 = finest resume "
                              "granularity; raise for long campaigns — the "
-                             "snapshot is rewritten in full on every save)")
+                             "snapshot is rewritten in full on every save, "
+                             "and with --schedule coverage it includes "
+                             "every cell's cumulative arc set, so per-"
+                             "iteration saves grow quadratic in coverage)")
     parser.add_argument("--deterministic", action="store_true",
                         help="step-bounded value search (machine-load "
                              "independent results)")
@@ -194,6 +214,17 @@ def print_summary(result: CampaignResult) -> None:
             spec = bug_spec(bug_id)
             print(f"  {bug_id:<38} {spec.system}/{spec.phase}/{spec.symptom}")
     print("\nPer-system counts:", result.bugs_by_system())
+    if result.coverage_arcs:
+        pass_arcs = sum(1 for arc in result.coverage_arcs
+                        if is_pass_arc(arc))
+        print(f"\nCompiler coverage: {len(result.coverage_arcs)} branch "
+              f"arcs ({pass_arcs} in pass files) over "
+              f"{len(result.coverage_timeline)} sampled iterations")
+        if result.cells:
+            for key in sorted(result.cells):
+                cell = result.cells[key]
+                if cell.coverage_arcs:
+                    print(f"  [{key}] {len(cell.coverage_arcs)} arcs")
     if result.cells and any(cell.compilers for cell in result.cells.values()):
         print()
         print(format_venn_table(campaign_cell_sets(result, by="compiler_set"),
@@ -234,6 +265,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--compilers/--matrix/--generators require the "
                          "parallel engine; use --workers 1 for an "
                          "in-process matrix run")
+        if args.schedule != DEFAULT_SCHEDULER or args.adaptive:
+            # The reference path has no lease scheduler at all; silently
+            # ignoring the flag would look like coverage-guided scheduling.
+            parser.error("--schedule/--adaptive require the parallel "
+                         "engine; use --workers 1 for an in-process run")
         print(f"Fuzzing graphrt, deepc, turbo for {args.iterations} "
               f"iterations serially ...")
         result = run_sharded_serial(config, n_workers)
@@ -250,7 +286,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         mode += f" x gen[{','.join(generators)}]"
     how = "in-process" if n_workers == 1 else \
         f"across {n_workers} worker processes"
-    print(f"Fuzzing {mode} for {args.iterations} iterations {how} ...")
+    schedule = "adaptive" if (args.adaptive and
+                              args.schedule == DEFAULT_SCHEDULER) \
+        else args.schedule
+    print(f"Fuzzing {mode} for {args.iterations} iterations {how} "
+          f"({schedule} scheduling) ...")
 
     def on_event(kind, cell_key, payload):
         if kind == "progress" and not args.quiet:
@@ -268,6 +308,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         n_shards=args.shards,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
+        schedule=args.schedule,
         adaptive=args.adaptive,
         on_event=on_event,
     )

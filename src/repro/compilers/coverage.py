@@ -15,17 +15,47 @@ views:
   (``graphrt/passes/...``, ``deepc/passes/...``), mirroring the paper's
   instrumentation of ``onnxruntime/core/optimizer`` and TVM's ``transforms``
   folders.
+
+Besides the tracer itself this module provides the **feedback channel**
+primitives the campaign engine streams between workers and the coordinator:
+arcs have a compact string encoding (:func:`arc_to_str`), and
+:class:`CoverageFeedback` keys each iteration's arcs against a worker-local
+seen-set so the worker→coordinator queue carries *deltas* (the new arcs of
+one iteration), never full cumulative sets.
 """
 
 from __future__ import annotations
 
 import os
 import sys
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from dataclasses import dataclass
+from types import CodeType
+from typing import (Dict, FrozenSet, Iterable, Optional, Sequence, Set,
+                    Tuple)
 
 Arc = Tuple[str, int, int]
 
 _PACKAGE_ROOT = os.path.dirname(os.path.abspath(__file__))
+
+#: Separator of the compact arc encoding.  Safe because it cannot occur in a
+#: relative source path or a line number.
+_ARC_SEP = "|"
+
+
+def arc_to_str(arc: Arc) -> str:
+    """Compact, picklable/JSON-friendly encoding of one arc."""
+    return f"{arc[0]}{_ARC_SEP}{arc[1]}{_ARC_SEP}{arc[2]}"
+
+
+def arc_from_str(encoded: str) -> Arc:
+    """Inverse of :func:`arc_to_str`."""
+    filename, start, end = encoded.rsplit(_ARC_SEP, 2)
+    return (filename, int(start), int(end))
+
+
+def is_pass_arc(encoded: str) -> bool:
+    """Does an encoded arc belong to the pass-only scope?"""
+    return is_pass_file(encoded.rsplit(_ARC_SEP, 2)[0])
 
 
 class CoverageTracer:
@@ -38,23 +68,48 @@ class CoverageTracer:
         )
         self.arcs: Set[Arc] = set()
         self._previous_trace = None
+        #: The exact trace function object installed by :meth:`start`
+        #: (``self._trace_call`` creates a *fresh* bound method on every
+        #: attribute access, so identity checks must use this).
+        self._installed = None
         self._active = False
 
     # ------------------------------------------------------------------ #
     def start(self) -> None:
-        """Begin collecting coverage (nested starts are not supported)."""
+        """Begin collecting coverage.
+
+        Nested starts of the same tracer are a caller bug — the second
+        ``stop`` would silently disable tracing halfway through the outer
+        region — and raise instead of silently no-opping.
+        """
         if self._active:
-            return
+            raise RuntimeError(
+                "CoverageTracer.start() while already tracing; nested "
+                "starts are not supported (use a second tracer instance)")
         self._previous_trace = sys.gettrace()
-        sys.settrace(self._trace_call)
+        self._installed = self._trace_call
+        sys.settrace(self._installed)
         self._active = True
 
     def stop(self) -> None:
-        """Stop collecting coverage."""
+        """Stop collecting coverage.
+
+        Raises if another trace function was installed since :meth:`start`:
+        blindly restoring ``_previous_trace`` would silently disable that
+        other tracer, corrupting both measurements.
+        """
         if not self._active:
             return
+        current = sys.gettrace()
+        if current is not self._installed:
+            self._active = False
+            self._installed = None
+            raise RuntimeError(
+                "another trace function was installed while this "
+                "CoverageTracer was active; refusing to overwrite it")
         sys.settrace(self._previous_trace)
         self._previous_trace = None
+        self._installed = None
         self._active = False
 
     def __enter__(self) -> "CoverageTracer":
@@ -119,13 +174,40 @@ def is_pass_file(short_filename: str) -> bool:
     return "passes" in parts or "lowpasses" in parts
 
 
+def executable_line_count(source: str, filename: str = "<coverage>") -> int:
+    """Number of *executable* lines of a Python source text.
+
+    Compiles the source and walks every code object's ``co_lines`` table,
+    so the count is exactly the set of lines the interpreter can attribute
+    instructions to — docstring bodies, continuation-only lines, comments
+    and blanks are excluded.  (The previous heuristic counted every
+    non-blank, non-``#`` line, which systematically inflated the coverage
+    denominator with docstring and continuation lines.)
+    """
+    try:
+        code = compile(source, filename, "exec")
+    except SyntaxError:
+        return 0
+    lines: Set[int] = set()
+    stack = [code]
+    while stack:
+        current = stack.pop()
+        for const in current.co_consts:
+            if isinstance(const, CodeType):
+                stack.append(const)
+        for _start, _end, line in current.co_lines():
+            if line is not None and line > 0:
+                lines.add(line)
+    return len(lines)
+
+
 def estimate_total_arcs(systems: Iterable[str] = ("graphrt", "deepc"),
                         pass_only: bool = False) -> int:
     """A static proxy for the coverage denominator ("total branches").
 
-    Counts executable source lines of the instrumented modules; used only to
-    report coverage percentages comparable in spirit to the paper's
-    "11579/64854 = 17.9%" annotations.
+    Counts executable source lines (per :func:`executable_line_count`) of
+    the instrumented modules; used only to report coverage percentages
+    comparable in spirit to the paper's "11579/64854 = 17.9%" annotations.
     """
     total = 0
     for system in systems:
@@ -134,15 +216,62 @@ def estimate_total_arcs(systems: Iterable[str] = ("graphrt", "deepc"),
             for filename in filenames:
                 if not filename.endswith(".py"):
                     continue
-                short = _shorten(os.path.join(dirpath, filename))
+                path = os.path.join(dirpath, filename)
+                short = _shorten(path)
                 if pass_only and not is_pass_file(short):
                     continue
-                with open(os.path.join(dirpath, filename), "r", encoding="utf-8") as fh:
-                    for line in fh:
-                        stripped = line.strip()
-                        if stripped and not stripped.startswith("#"):
-                            total += 1
+                with open(path, "r", encoding="utf-8") as fh:
+                    total += executable_line_count(fh.read(), path)
     return total
+
+
+# --------------------------------------------------------------------------- #
+# The worker → coordinator feedback channel
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CoverageDelta:
+    """One iteration's *new* arcs, keyed against a worker-local seen-set.
+
+    Arcs are encoded strings (:func:`arc_to_str`) so deltas are picklable,
+    JSON-serializable and cheap to union on the coordinator side.  Because
+    the emitting :class:`CoverageFeedback` subtracts everything it already
+    reported, a delta carries only novelty — the queue traffic is
+    proportional to coverage *growth*, not cumulative coverage.
+    """
+
+    arcs: Tuple[str, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.arcs)
+
+    @property
+    def pass_arcs(self) -> int:
+        return sum(1 for arc in self.arcs if is_pass_arc(arc))
+
+
+class CoverageFeedback:
+    """Worker-local coverage channel for one matrix cell.
+
+    Wraps a :class:`CoverageTracer` over the cell's compiler systems plus
+    the seen-set that turns per-iteration snapshots into deltas: the engine
+    runs each oracle call under :attr:`tracer` and calls :meth:`flush`
+    after the iteration to obtain the arcs that are new *to this worker's
+    view of the cell*.  The coordinator re-deduplicates across workers (a
+    stolen chunk's worker starts with a fresh seen-set), so deltas may
+    overlap between workers but never within one.
+    """
+
+    def __init__(self, systems: Sequence[str]) -> None:
+        self.tracer = CoverageTracer(systems=tuple(systems))
+        self._seen: Set[Arc] = set()
+
+    def flush(self) -> CoverageDelta:
+        """Drain the tracer into a delta of not-yet-reported arcs."""
+        new = self.tracer.arcs - self._seen
+        self._seen |= new
+        self.tracer.reset()
+        return CoverageDelta(arcs=tuple(sorted(arc_to_str(arc)
+                                               for arc in new)))
 
 
 class CoverageTimeline:

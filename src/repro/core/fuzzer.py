@@ -22,12 +22,13 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.compilers.base import Compiler
 from repro.compilers.bugs import BugConfig
+from repro.compilers.coverage import CoverageFeedback
 from repro.core.concretize import GeneratedModel
 from repro.core.difftest import CaseResult, DifferentialTester, first_line
 from repro.core.generator import GeneratorConfig, generate_model
@@ -117,6 +118,12 @@ class CellOutcome:
     #: Generation strategy of this cell; None means "the campaign default"
     #: (campaigns without a generator axis keep their PR-2 cell keys).
     generator: Optional[str] = None
+    #: Compiler branch arcs this cell covered, as encoded strings
+    #: (:func:`repro.compilers.coverage.arc_to_str`).  Empty unless the
+    #: campaign ran with coverage feedback (``--schedule coverage``), in
+    #: which case :func:`repro.experiments.venn.campaign_cell_sets` slices
+    #: coverage along any matrix axis exactly like bugs.
+    coverage_arcs: Set[str] = field(default_factory=set)
 
     def key(self) -> str:
         """Stable identifier of the matrix cell this outcome belongs to."""
@@ -128,13 +135,15 @@ class CellOutcome:
     def copy(self) -> "CellOutcome":
         return CellOutcome(self.shard, tuple(self.compilers), self.opt_level,
                            self.iterations, set(self.seeded_bugs_found),
-                           set(self.report_keys), self.generator)
+                           set(self.report_keys), self.generator,
+                           set(self.coverage_arcs))
 
     def fold(self, other: "CellOutcome") -> None:
         """Accumulate another outcome of the *same* cell into this one."""
         self.iterations += other.iterations
         self.seeded_bugs_found |= other.seeded_bugs_found
         self.report_keys |= other.report_keys
+        self.coverage_arcs |= other.coverage_arcs
 
 
 @dataclass
@@ -154,6 +163,17 @@ class CampaignResult:
     #: Per-matrix-cell provenance, keyed by :meth:`CellOutcome.key`.  Empty
     #: for plain serial campaigns that have no cell structure.
     cells: Dict[str, CellOutcome] = field(default_factory=dict)
+    #: Union of compiler branch arcs covered (encoded strings, see
+    #: :func:`repro.compilers.coverage.arc_to_str`).  For a streamed
+    #: one-iteration partial this holds that iteration's *delta* — arcs new
+    #: to the emitting worker's view of the cell — so union-folding partials
+    #: reproduces the cumulative set.  Empty without coverage feedback.
+    coverage_arcs: Set[str] = field(default_factory=set)
+    #: Coverage-over-time samples (``cell``, ``elapsed``, ``iteration``,
+    #: ``total``, ``pass_only``, ``global_total``), appended by the
+    #: campaign coordinator per folded iteration — the data behind the
+    #: Figure 4/5-style coverage curves, per cell and global.
+    coverage_timeline: List[Dict[str, Any]] = field(default_factory=list)
 
     def unique_crashes(self, compiler: Optional[str] = None) -> int:
         keys = {first_line(report.message)
@@ -197,6 +217,14 @@ class CampaignResult:
                          key=lambda sample: sample["elapsed"])
         self.timeline = [{"elapsed": sample["elapsed"], "iteration": float(rank)}
                          for rank, sample in enumerate(samples, start=1)]
+        self.coverage_arcs |= other.coverage_arcs
+        # Coverage samples keep their per-cell identity (unlike the
+        # throughput timeline they are never renumbered); ``global_total``
+        # is stamped by the coordinator that owned the campaign-wide union,
+        # so merging keeps it meaningful only within one campaign.
+        self.coverage_timeline = sorted(
+            self.coverage_timeline + other.coverage_timeline,
+            key=lambda sample: sample["elapsed"])
         for key, cell in other.cells.items():
             mine = self.cells.get(key)
             if mine is None:
@@ -279,7 +307,8 @@ def generate_for_iteration(config: FuzzerConfig, iteration: int,
 def search_and_difftest(tester: DifferentialTester, config: FuzzerConfig,
                          generated: GeneratedModel,
                          rng: np.random.Generator,
-                         strategy: Optional[GenerationStrategy] = None
+                         strategy: Optional[GenerationStrategy] = None,
+                         coverage: Optional[CoverageFeedback] = None
                          ) -> Optional[CaseResult]:
     """Value-search a generated model and test it against the oracle.
 
@@ -292,12 +321,27 @@ def search_and_difftest(tester: DifferentialTester, config: FuzzerConfig,
     Strategies that do not declare ``needs_value_search`` (the mutation
     baselines) skip Algorithm 3 entirely and are tested on plain random
     inputs, like the paper's head-to-head comparison.
+
+    ``coverage`` is the optional per-iteration feedback channel: the oracle
+    call (compile + run, the only part that executes compiler code) runs
+    under its tracer, so every campaign iteration can report branch arcs —
+    not just the bespoke coverage-experiment loops.  Generation and value
+    search stay untraced: they never enter the compiler packages, and
+    ``sys.settrace`` overhead there would be pure cost.
     """
+
+    def judged(model, inputs, validity):
+        if coverage is None:
+            return tester.run_case(model, inputs=inputs,
+                                   numerically_valid=validity)
+        with coverage.tracer:
+            return tester.run_case(model, inputs=inputs,
+                                   numerically_valid=validity)
+
     if strategy is not None and not strategy.capabilities.needs_value_search:
         try:
-            return tester.run_case(generated.model,
-                                   inputs=random_inputs(generated.model, rng),
-                                   numerically_valid=None)
+            return judged(generated.model,
+                          random_inputs(generated.model, rng), None)
         except ReproError:
             return None
     search = search_values(generated.model,
@@ -313,21 +357,22 @@ def search_and_difftest(tester: DifferentialTester, config: FuzzerConfig,
         model = generated.model
         inputs, validity = random_inputs(model, rng), None
     try:
-        return tester.run_case(model, inputs=inputs, numerically_valid=validity)
+        return judged(model, inputs, validity)
     except ReproError:
         return None
 
 
 def run_campaign_iteration(tester: DifferentialTester, config: FuzzerConfig,
                            iteration: int, rng: np.random.Generator,
-                           strategy: Optional[GenerationStrategy] = None
+                           strategy: Optional[GenerationStrategy] = None,
+                           coverage: Optional[CoverageFeedback] = None
                            ) -> Tuple[Optional[GeneratedModel], Optional[CaseResult]]:
     """One full generate → value-search → oracle step (pure, picklable)."""
     generated = generate_for_iteration(config, iteration, strategy)
     if generated is None:
         return None, None
     return generated, search_and_difftest(tester, config, generated, rng,
-                                          strategy)
+                                          strategy, coverage)
 
 
 def fold_case(result: CampaignResult, case: CaseResult, iteration: int,
@@ -363,7 +408,8 @@ def fold_case(result: CampaignResult, case: CaseResult, iteration: int,
 
 def single_iteration_result(tester: DifferentialTester, config: FuzzerConfig,
                             iteration: int, elapsed: float = 0.0,
-                            strategy: Optional[GenerationStrategy] = None
+                            strategy: Optional[GenerationStrategy] = None,
+                            coverage: Optional[CoverageFeedback] = None
                             ) -> CampaignResult:
     """Run one iteration and fold it into a fresh one-iteration result.
 
@@ -372,10 +418,18 @@ def single_iteration_result(tester: DifferentialTester, config: FuzzerConfig,
     from ``(config, iteration)`` (see :func:`iteration_seed`), merging these
     one-iteration results — in any order, across any process boundary —
     reproduces exactly what a serial loop over the same iterations computes.
+
+    With a ``coverage`` feedback channel the oracle runs traced and the
+    returned partial's ``coverage_arcs`` holds this iteration's *delta*
+    (arcs new to the channel's seen-set) — compact novelty, not the
+    cumulative set, which is what the worker→coordinator queue carries.
     """
     result = CampaignResult(iterations=1)
     generated, case = run_campaign_iteration(
-        tester, config, iteration, iteration_rng(config, iteration), strategy)
+        tester, config, iteration, iteration_rng(config, iteration), strategy,
+        coverage)
+    if coverage is not None:
+        result.coverage_arcs = set(coverage.flush().arcs)
     if generated is None:
         result.generation_failures += 1
         return result
@@ -427,9 +481,15 @@ class Fuzzer:
                 self.compilers, self.config.generator.op_pool)
 
     # ------------------------------------------------------------------ #
-    def run(self, on_iteration: Optional[Callable[[int, CaseResult], None]] = None
-            ) -> CampaignResult:
-        """Run the campaign until the iteration or time budget is exhausted."""
+    def run(self, on_iteration: Optional[Callable[[int, CaseResult], None]] = None,
+            coverage: Optional[CoverageFeedback] = None) -> CampaignResult:
+        """Run the campaign until the iteration or time budget is exhausted.
+
+        ``coverage`` optionally traces compiler branch arcs per iteration
+        (see :func:`search_and_difftest`); the result then accumulates the
+        covered arcs in ``coverage_arcs`` — the serial loop speaks the same
+        feedback protocol as the parallel engine's workers.
+        """
         result = CampaignResult()
         seen_reports: Set[str] = set()
         start = time.monotonic()
@@ -439,7 +499,9 @@ class Fuzzer:
             iteration += 1
             generated, case = run_campaign_iteration(
                 self.tester, self.config, iteration,
-                iteration_rng(self.config, iteration), self.strategy)
+                iteration_rng(self.config, iteration), self.strategy, coverage)
+            if coverage is not None:
+                result.coverage_arcs.update(coverage.flush().arcs)
             if generated is None:
                 result.generation_failures += 1
                 continue

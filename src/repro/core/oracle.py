@@ -4,9 +4,11 @@ The campaign engine used to hardwire one oracle — the crash + numeric-diff
 :class:`~repro.core.difftest.DifferentialTester`.  This module names that
 choice: an *oracle* consumes a model plus concrete inputs and returns one
 :class:`~repro.core.difftest.CompilerVerdict` per system under test.  New
-oracles (performance regression, shape-only, autodiff gradient checking)
-register a factory and slot into the serial loop, the matrix engine and the
-CLI without touching any of them.
+oracles register a factory and slot into the serial loop, the matrix engine
+and the CLI without touching any of them — ``crash`` (compile-and-run) and
+``shape`` (shape-infer vs executed output shapes, the cheap pipeline smoke)
+are the in-repo proofs; performance-regression and autodiff gradient
+checking remain open roadmap slots.
 
 Like compilers and generation strategies, oracles travel through worker
 processes and checkpoint fingerprints *by name* and are instantiated on
@@ -114,6 +116,79 @@ def _difftest_factory(compilers: Sequence[Compiler],
 
 
 # --------------------------------------------------------------------------- #
+# Shape-only oracle
+# --------------------------------------------------------------------------- #
+@register_oracle("shape")
+class ShapeOnlyOracle(BaseOracle):
+    """Pipeline-smoke oracle comparing output *shapes* only.
+
+    The reference is the model's statically shape-inferred output types
+    (generated models are fully concretized, so every output shape is
+    known without running anything); each compiler's outputs must match
+    them in shape, values are never compared.  That makes it the cheapest
+    full-pipeline oracle — no reference-interpreter run, no numeric
+    tolerance questions — suitable for smoke campaigns and for catching
+    the large class of layout/reshape/broadcast bugs that change a result
+    tensor's shape.  Value-level semantic bugs are invisible to it by
+    design; crashes are reported exactly like ``difftest``.
+    """
+
+    name = "shape"
+
+    def evaluate(self, model, inputs,
+                 numerically_valid: Optional[bool] = None
+                 ) -> List[CompilerVerdict]:
+        from repro.runtime.exporter import ExportReport, export_model
+
+        expected = {name: tuple(model.type_of(name).shape)
+                    for name in model.outputs}
+        report = ExportReport()
+        exported = export_model(model, bugs=self.bugs, report=report)
+        verdicts: List[CompilerVerdict] = []
+        for compiler in self.compilers:
+            verdict = self._judge_compiler(compiler, exported, inputs,
+                                           expected)
+            verdict.triggered_bugs.extend(
+                bug for bug in report.triggered_bugs
+                if bug not in verdict.triggered_bugs)
+            verdicts.append(verdict)
+        return verdicts
+
+    def _judge_compiler(self, compiler, exported, inputs,
+                        expected) -> CompilerVerdict:
+        from repro.core.difftest import _bugs_from_error
+
+        try:
+            compiled = compiler.compile_model(exported)
+        except ConversionError as exc:
+            return CompilerVerdict(compiler.name, "crash", "conversion",
+                                   str(exc), _bugs_from_error(exc))
+        except CompilerError as exc:
+            return CompilerVerdict(compiler.name, "crash", "transformation",
+                                   str(exc), _bugs_from_error(exc))
+        triggered = list(getattr(compiled, "triggered_bugs", []))
+        try:
+            outputs = compiled.run(inputs)
+        except ReproError as exc:
+            return CompilerVerdict(compiler.name, "crash", "execution",
+                                   str(exc),
+                                   triggered + _bugs_from_error(exc))
+        for name, shape in expected.items():
+            if name not in outputs:
+                return CompilerVerdict(
+                    compiler.name, "semantic", "execution",
+                    f"output {name!r} missing from compiled results",
+                    triggered)
+            actual = tuple(np.asarray(outputs[name]).shape)
+            if actual != shape:
+                return CompilerVerdict(
+                    compiler.name, "semantic", "execution",
+                    f"output {name!r} shape mismatch: inferred {shape}, "
+                    f"got {actual}", triggered)
+        return CompilerVerdict(compiler.name, "ok", "", "", triggered)
+
+
+# --------------------------------------------------------------------------- #
 # Crash-only oracle
 # --------------------------------------------------------------------------- #
 @register_oracle("crash")
@@ -171,6 +246,7 @@ __all__ = [
     "CrashOnlyOracle",
     "DEFAULT_ORACLE",
     "Oracle",
+    "ShapeOnlyOracle",
     "build_oracle",
     "first_line",
     "register_oracle",

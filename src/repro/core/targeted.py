@@ -20,11 +20,19 @@ are not oracle shortcuts.
 
 from __future__ import annotations
 
+import math
 import random
-from typing import TYPE_CHECKING, Callable, List
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List
 
 import numpy as np
 
+from repro.compilers.bugs import (FEATURE_ATTR_DIVERSITY, FEATURE_BROADCAST,
+                                  FEATURE_FLOAT64, FEATURE_INT_DTYPE,
+                                  FEATURE_MULTI_INPUT, FEATURE_MULTI_OP,
+                                  FEATURE_NON_SHAPE_PRESERVING,
+                                  FEATURE_SCALAR, FEATURE_SHAPE_OPS,
+                                  FEATURE_VECTOR_MATMUL, BugSpec, all_bugs,
+                                  bug_spec)
 from repro.core.concretize import GeneratedModel
 from repro.core.strategy import (GenerationStrategy, StrategyCapabilities,
                                  _wrap_model, register_strategy)
@@ -194,19 +202,167 @@ MOTIFS: List[Motif] = [
     motif_overpadded_pooling,
 ]
 
+#: Generator features each hand-written motif exercises, against the same
+#: vocabulary as :attr:`repro.compilers.bugs.BugSpec.required_features`.
+#: This is what decides whether a bug already *has* a motif: a motif covers
+#: a bug when its feature set is a superset of the bug's requirements.
+MOTIF_FEATURES: Dict[str, FrozenSet[str]] = {
+    "motif_conv_channel_strided_slice": frozenset(
+        {FEATURE_MULTI_OP, FEATURE_ATTR_DIVERSITY,
+         FEATURE_NON_SHAPE_PRESERVING, FEATURE_SHAPE_OPS}),
+    "motif_conv_lower_rank_broadcast": frozenset(
+        {FEATURE_MULTI_OP, FEATURE_BROADCAST}),
+    "motif_many_input_concat": frozenset(
+        {FEATURE_MULTI_OP, FEATURE_MULTI_INPUT,
+         FEATURE_NON_SHAPE_PRESERVING}),
+    "motif_squeeze_without_axes": frozenset(
+        {FEATURE_MULTI_OP, FEATURE_SHAPE_OPS,
+         FEATURE_NON_SHAPE_PRESERVING}),
+    "motif_conv_batchnorm": frozenset(
+        {FEATURE_MULTI_OP, FEATURE_ATTR_DIVERSITY}),
+    "motif_matmul_scalar_addend": frozenset(
+        {FEATURE_MULTI_OP, FEATURE_SCALAR, FEATURE_BROADCAST}),
+    "motif_noninverse_transpose_pair": frozenset(
+        {FEATURE_MULTI_OP, FEATURE_NON_SHAPE_PRESERVING,
+         FEATURE_SHAPE_OPS}),
+    "motif_constant_pow_large_exponent": frozenset({FEATURE_MULTI_OP}),
+    "motif_adjacent_strided_slices": frozenset(
+        {FEATURE_MULTI_OP, FEATURE_ATTR_DIVERSITY,
+         FEATURE_NON_SHAPE_PRESERVING, FEATURE_SHAPE_OPS}),
+    "motif_integer_mul_div_roundtrip": frozenset(
+        {FEATURE_MULTI_OP, FEATURE_INT_DTYPE}),
+    "motif_large_reshape": frozenset(
+        {FEATURE_MULTI_OP, FEATURE_SHAPE_OPS,
+         FEATURE_NON_SHAPE_PRESERVING}),
+    "motif_overpadded_pooling": frozenset(
+        {FEATURE_MULTI_OP, FEATURE_ATTR_DIVERSITY,
+         FEATURE_NON_SHAPE_PRESERVING}),
+}
+
+
+# --------------------------------------------------------------------------- #
+# Feature-derived fallback motifs (ops-only).  Bugs whose required_features
+# no hand-written motif covers — newly seeded bugs, third-party registries —
+# get a motif for free: a deterministic operator pipeline assembled from the
+# feature labels themselves.  Structures stay biased-toward, detection stays
+# with the oracle, exactly like the hand-written library.
+# --------------------------------------------------------------------------- #
+def derive_motif(features: FrozenSet[str]) -> Motif:
+    """Build an ops-only motif exercising a ``required_features`` set.
+
+    The pipeline is assembled feature by feature in a fixed order (rank-1
+    MatMul operand, extra graph inputs, lower-rank broadcast, scalar
+    constants, strided/attribute-diverse Slice, Reshape) with shapes
+    randomized from the iteration seed, so derived motifs obey the same
+    purity contract as hand-written ones.
+    """
+    wanted = frozenset(features)
+
+    def motif(builder: GraphBuilder, rng: random.Random) -> str:
+        np_rng = _np(rng)
+        if FEATURE_FLOAT64 in wanted:
+            dtype, np_dtype = DType.float64, np.float64
+        elif FEATURE_INT_DTYPE in wanted:
+            dtype, np_dtype = DType.int32, np.int32
+        else:
+            dtype, np_dtype = DType.float32, np.float32
+
+        def constant(shape):
+            if np_dtype is np.int32:
+                return np_rng.integers(1, 5, size=shape).astype(np_dtype)
+            return np_rng.uniform(0.5, 2.0, size=shape).astype(np_dtype)
+
+        if FEATURE_VECTOR_MATMUL in wanted:
+            inner = rng.choice([3, 4])
+            x = builder.input([inner], dtype)  # rank-1 MatMul operand
+            w = builder.weight(constant((inner, rng.choice([3, 4]))))
+            value = builder.op1("MatMul", [x, w])
+            shape = list(builder.model.type_of(value).shape)
+        else:
+            shape = [rng.choice([2, 4]), 3, 4]
+            value = builder.input(list(shape), dtype)
+        if FEATURE_MULTI_INPUT in wanted:
+            other = builder.input(list(shape), dtype)
+            value = builder.op1("Add", [value, other])
+        if FEATURE_BROADCAST in wanted:
+            value = builder.op1("Add",
+                                [value, builder.weight(constant((shape[-1],)))])
+        if FEATURE_SCALAR in wanted:
+            scalar = builder.weight(
+                np.asarray(rng.choice([2, 3]), dtype=np_dtype).reshape(()))
+            value = builder.op1("Mul", [value, scalar])
+        if FEATURE_NON_SHAPE_PRESERVING in wanted or \
+                FEATURE_ATTR_DIVERSITY in wanted:
+            step = 2 if FEATURE_ATTR_DIVERSITY in wanted else 1
+            value = builder.op1("Slice", [value], starts=[0],
+                                ends=[shape[0]], axes=[0], steps=[step])
+            shape[0] = len(range(0, shape[0], step))
+        if FEATURE_SHAPE_OPS in wanted:
+            value = builder.op1("Reshape", [value],
+                                shape=[int(math.prod(shape))])
+        # Every derived motif is multi-op by construction; the trailing
+        # elementwise op also feeds shape/slice results into a consumer so
+        # simplifiers cannot skip them as graph outputs.
+        return builder.op1("Abs", [value])
+
+    motif.__name__ = "motif_auto_" + \
+        ("_".join(sorted(wanted)) if wanted else "plain")
+    return motif
+
+
+def motif_for_bug(bug_id: str) -> Motif:
+    """The motif biased toward one seeded bug's trigger structure.
+
+    Prefers the first hand-written motif whose declared features cover the
+    bug's ``required_features``; bugs no hand-written motif covers get a
+    feature-derived fallback.  Every registered bug therefore maps to
+    *some* motif — which is what keeps newly seeded bugs targetable
+    without writing a motif by hand.
+    """
+    spec: BugSpec = bug_spec(bug_id)
+    for motif in MOTIFS:
+        if MOTIF_FEATURES[motif.__name__] >= spec.required_features:
+            return motif
+    return derive_motif(spec.required_features)
+
+
+def fallback_motifs() -> List[Motif]:
+    """Derived motifs for every registered bug no hand-written motif covers.
+
+    Deduplicated by feature set (many bugs share requirements) and ordered
+    deterministically so the strategy's rotation — and therefore its
+    streams — is stable for a fixed bug registry.
+    """
+    uncovered: List[FrozenSet[str]] = []
+    for spec in sorted(all_bugs(), key=lambda spec: spec.bug_id):
+        if any(MOTIF_FEATURES[motif.__name__] >= spec.required_features
+               for motif in MOTIFS):
+            continue
+        if spec.required_features not in uncovered:
+            uncovered.append(spec.required_features)
+    return [derive_motif(features) for features in uncovered]
+
 
 @register_strategy("targeted")
 class TargetedStrategy(GenerationStrategy):
-    """Round-robin over the motif library with seeded randomization."""
+    """Round-robin over the motif library with seeded randomization.
+
+    The rotation is the hand-written library followed by the feature-
+    derived fallbacks (:func:`fallback_motifs`), so every registered bug's
+    trigger structure — hand-modelled or not — is exercised each cycle.
+    Hand-written motifs come first, keeping short campaigns' streams
+    anchored on the curated structures.
+    """
 
     name = "targeted"
     capabilities = StrategyCapabilities()
 
     def __init__(self, config: "FuzzerConfig") -> None:
         del config
+        self._rotation: List[Motif] = MOTIFS + fallback_motifs()
 
     def generate(self, seed: int, iteration: int) -> GeneratedModel:
-        motif = MOTIFS[(iteration - 1) % len(MOTIFS)]
+        motif = self._rotation[(iteration - 1) % len(self._rotation)]
         rng = random.Random(seed)
         builder = GraphBuilder(f"targeted_{motif.__name__[6:]}")
         try:

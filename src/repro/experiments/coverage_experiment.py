@@ -1,18 +1,23 @@
 """Coverage campaigns: the machinery behind Figures 4–8.
 
-A *case generator* produces one model per iteration; every model is
-exported, compiled by the instrumented compiler and executed, while the
-coverage tracer accumulates branch arcs.  The result is a coverage timeline
-(arcs over wall-clock time and over iterations) plus the final arc set,
-from which the figures' curves and Venn decompositions are derived.
+These experiments used to run bespoke serial loops (generate → export →
+compile → run under a tracer, one loop per fuzzer).  They now ride the
+matrix campaign engine: :func:`run_fuzzer_comparison` is **one** matrix
+campaign with a generator axis and the ``coverage`` scheduler — workers
+trace compiler branch arcs per iteration and stream deltas up the feedback
+channel, the coordinator records per-cell and global coverage-over-time
+series, and the per-fuzzer :class:`CoverageCampaignResult` views are sliced
+out of the merged result's per-cell provenance.  One engine, one
+checkpointable campaign, same figures.
 
 Generators come from the strategy registry (:mod:`repro.core.strategy`):
 :class:`StrategyCaseGenerator` adapts any registered
 :class:`~repro.core.strategy.GenerationStrategy` to the historical
-``next_case()`` protocol, and :func:`run_fuzzer_comparison` runs every
-fuzzer's coverage campaign in parallel worker processes, each rebuilding
-its generator by name.  :func:`make_case_generator` and
-:class:`NNSmithCaseGenerator` survive as thin back-compat shims.
+``next_case()`` protocol (and carries the campaign config the engine path
+reuses).  :func:`make_case_generator` and :class:`NNSmithCaseGenerator`
+survive as thin back-compat shims; third-party objects implementing the
+bare :class:`CaseGenerator` protocol still run through the legacy serial
+loop.
 
 Tzer is driven through its own entry point because it mutates DeepC's
 low-level IR directly rather than producing models.
@@ -20,6 +25,7 @@ low-level IR directly rather than producing models.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import time
 from dataclasses import dataclass, field
@@ -30,7 +36,8 @@ import numpy as np
 from repro.baselines.tzer import TzerFuzzer
 from repro.compilers import CompileOptions, make_compiler
 from repro.compilers.bugs import BugConfig
-from repro.compilers.coverage import CoverageTimeline, CoverageTracer
+from repro.compilers.coverage import (CoverageTimeline, CoverageTracer,
+                                      arc_from_str)
 from repro.core.generator import GeneratorConfig
 from repro.core.strategy import build_strategy
 from repro.errors import ReproError
@@ -137,7 +144,38 @@ def run_coverage_campaign(generator: CaseGenerator, compiler_name: str,
                           max_iterations: Optional[int] = 50,
                           time_budget: Optional[float] = None,
                           seed: int = 0) -> CoverageCampaignResult:
-    """Fuzz one compiler with one generator while tracing branch coverage."""
+    """Fuzz one compiler with one generator while tracing branch coverage.
+
+    Registry-backed generators (:class:`StrategyCaseGenerator` and its
+    shims) run as a single-cell campaign on the matrix engine with the
+    coverage feedback channel; ``seed`` is the campaign seed there (it
+    drives the per-iteration generation *and* input streams — the
+    generator's construction seed only fixes its config defaults), matching
+    every in-repo caller, which passes the same seed to both.  Bare
+    :class:`CaseGenerator` protocol objects fall back to the legacy serial
+    loop, where ``seed`` only feeds the random-input RNG.
+    """
+    if isinstance(generator, StrategyCaseGenerator):
+        config = dataclasses.replace(
+            generator._config,
+            max_iterations=max_iterations,
+            time_budget=time_budget,
+            seed=seed)
+        result = _run_coverage_matrix(config, compiler_name,
+                                      generators=None, n_workers=1)
+        return _slice_fuzzer_result(result, generator.name,
+                                    compiler_name,
+                                    match_generator=None)
+    return _legacy_coverage_loop(generator, compiler_name,
+                                 max_iterations=max_iterations,
+                                 time_budget=time_budget, seed=seed)
+
+
+def _legacy_coverage_loop(generator: CaseGenerator, compiler_name: str,
+                          max_iterations: Optional[int] = 50,
+                          time_budget: Optional[float] = None,
+                          seed: int = 0) -> CoverageCampaignResult:
+    """The historical serial loop, kept for third-party case generators."""
     compiler = make_compiler(compiler_name,
                              CompileOptions(opt_level=2, bugs=BugConfig.none()))
     tracer = CoverageTracer(systems=(compiler_name,))
@@ -217,18 +255,97 @@ def run_tzer_campaign(max_iterations: Optional[int] = 50,
     )
 
 
-def _comparison_job(args) -> CoverageCampaignResult:
-    """One fuzzer-vs-compiler coverage campaign (module-level: picklable).
+def _run_coverage_matrix(config, compiler_name: str,
+                         generators: Optional[Sequence[str]],
+                         n_workers: int):
+    """One coverage-scheduled matrix campaign over a single compiler column.
 
-    The generator is rebuilt from its registry name inside the worker, the
-    same way matrix-campaign cells rebuild strategies — instances never
-    cross the process boundary, results (frozen arc sets and timelines) do.
+    The campaign config is normalized for coverage measurement: seeded
+    bugs off (the paper traces *correct* compilers), the cheap ``crash``
+    oracle (no reference-interpreter diffing — coverage needs compile +
+    run only), no operator-support probing (the historical loops generated
+    from the full pool), and step-bounded value search so the explored
+    streams — and hence the arcs — are machine-load independent.
     """
-    name, compiler_name, max_iterations, time_budget, seed = args
-    generator = StrategyCaseGenerator(name, seed=seed)
-    return run_coverage_campaign(generator, compiler_name,
-                                 max_iterations=max_iterations,
-                                 time_budget=time_budget, seed=seed)
+    from repro.core.parallel import deterministic_config, \
+        run_parallel_campaign
+
+    config = deterministic_config(dataclasses.replace(
+        config,
+        generator=dataclasses.replace(config.generator),
+        bugs=BugConfig.none(),
+        oracle="crash",
+        probe_operator_support=False), max_steps=8)
+    return run_parallel_campaign(
+        config=config,
+        n_workers=max(1, n_workers),
+        n_shards=1,
+        compiler_sets=[[compiler_name]],
+        opt_levels=[2],
+        generators=list(generators) if generators else None,
+        schedule="coverage",
+    )
+
+
+def _slice_fuzzer_result(result, fuzzer: str, compiler_name: str,
+                         match_generator: Optional[str]
+                         ) -> CoverageCampaignResult:
+    """Project one fuzzer's :class:`CoverageCampaignResult` view out of a
+    merged campaign result, using the per-cell coverage provenance.
+
+    ``match_generator`` is the cell's ``generator`` tag to select (None
+    selects untagged cells — single-strategy campaigns without a generator
+    axis).  Arc strings are decoded back to ``(file, from, to)`` tuples so
+    the result stays set-compatible with :func:`run_tzer_campaign` and the
+    Venn tooling.  The time axis is each sample's ``cell_elapsed`` — the
+    cell's *own* cumulative compute seconds — not the campaign's shared
+    coordinator clock, which would charge a fuzzer for the gaps other
+    fuzzers' interleaved leases spent running (exactly what the replaced
+    per-fuzzer serial loops measured).  LEMON's per-iteration penalty is
+    applied on top (see ``LEMON_ITERATION_PENALTY`` — wall-clock only,
+    never coverage math).  ``crashes`` counts *deduplicated* crash
+    signatures (the engine streams deduplicated reports), not crashing
+    iterations like the legacy serial loop — a deliberate semantic change,
+    consistent with how the campaign engine counts findings everywhere.
+    """
+    cells = {key: cell for key, cell in result.cells.items()
+             if cell.generator == match_generator}
+    cell_keys = set(cells)
+    arcs = frozenset(arc_from_str(arc) for cell in cells.values()
+                     for arc in cell.coverage_arcs)
+    pass_arcs = frozenset(arc for arc in arcs if _is_pass(arc))
+    samples = sorted((s for s in result.coverage_timeline
+                      if s["cell"] in cell_keys),
+                     key=lambda s: (s["cell_elapsed"], s["iteration"]))
+    penalty = LEMON_ITERATION_PENALTY if fuzzer == "lemon" else 0.0
+    timeline = CoverageTimeline()
+    for sample in samples:
+        timeline.record(
+            elapsed=(sample["cell_elapsed"]
+                     + penalty * sample["iteration"]),
+            iteration=int(sample["iteration"]),
+            total_arcs=int(sample["total"]),
+            pass_arcs=int(sample["pass_only"]))
+    elapsed = (timeline.samples[-1]["elapsed"] if timeline.samples
+               else result.elapsed)
+    crashes = len({key for cell in cells.values()
+                   for key in cell.report_keys if "|crash|" in key})
+    return CoverageCampaignResult(
+        fuzzer=fuzzer,
+        compiler=compiler_name,
+        iterations=sum(cell.iterations for cell in cells.values()),
+        elapsed=elapsed,
+        arcs=arcs,
+        pass_arcs=pass_arcs,
+        timeline=timeline,
+        crashes=crashes,
+    )
+
+
+def _is_pass(arc) -> bool:
+    from repro.compilers.coverage import is_pass_file
+
+    return is_pass_file(arc[0])
 
 
 def run_fuzzer_comparison(compiler_name: str,
@@ -241,21 +358,36 @@ def run_fuzzer_comparison(compiler_name: str,
                           ) -> Dict[str, CoverageCampaignResult]:
     """Run every fuzzer against one compiler (the per-subplot data of Fig. 4-7).
 
-    The per-fuzzer campaigns are independent, so they run concurrently in a
-    small worker pool (one process per fuzzer by default; ``workers=1``
-    forces the serial in-process path).  Coverage arcs are traced inside
-    each worker and shipped back as frozen sets, so the merged results are
-    identical to the serial loop's.
+    This is now **one** matrix campaign with a generator axis and the
+    ``coverage`` scheduler, replacing the historical one-serial-loop-per-
+    fuzzer design: every fuzzer is a matrix cell sharing the engine's seed
+    discipline, workers ship per-iteration arc deltas up the feedback
+    channel, and the per-fuzzer results are sliced from the merged
+    per-cell coverage provenance.  ``workers=1`` runs in-process; the
+    default races one worker per fuzzer.  Streams are deterministic
+    (step-bounded value search), so worker count never changes the arcs.
     """
-    jobs = [(name, compiler_name, max_iterations, time_budget, seed)
-            for name in fuzzers]
-    n_workers = len(jobs) if workers is None else workers
-    if n_workers > 1 and len(jobs) > 1:
-        try:
-            with multiprocessing.get_context().Pool(
-                    processes=min(n_workers, len(jobs))) as pool:
-                results = pool.map(_comparison_job, jobs)
-            return dict(zip(fuzzers, results))
-        except (OSError, multiprocessing.ProcessError):
-            pass  # no subprocess support here: fall back to in-process
-    return {name: _comparison_job(job) for name, job in zip(fuzzers, jobs)}
+    from repro.core.fuzzer import FuzzerConfig
+
+    config = FuzzerConfig(
+        generator=GeneratorConfig(n_nodes=10),
+        max_iterations=max_iterations,
+        time_budget=time_budget,
+        seed=seed,
+    )
+    n_workers = len(fuzzers) if workers is None else workers
+    try:
+        result = _run_coverage_matrix(config, compiler_name,
+                                      generators=fuzzers,
+                                      n_workers=n_workers)
+    except (OSError, multiprocessing.ProcessError):
+        if n_workers <= 1:
+            raise
+        # No subprocess support here (sandboxes, restricted environments):
+        # the streams are deterministic, so the in-process path produces
+        # identical arcs — just slower.
+        result = _run_coverage_matrix(config, compiler_name,
+                                      generators=fuzzers, n_workers=1)
+    return {name: _slice_fuzzer_result(result, name, compiler_name,
+                                       match_generator=name)
+            for name in fuzzers}

@@ -65,14 +65,17 @@ def campaign_cell_sets(result, by: str = "compiler_set",
     joined with ``+``), ``"opt_level"`` (``O0``/``O2``/...), ``"generator"``
     (the cell's generation strategy — the paper's fuzzer-vs-fuzzer
     comparison), ``"shard"`` or ``"cell"`` (each cell its own set).
-    ``what`` selects the elements: ``"bugs"`` (ground-truth seeded bug ids)
-    or ``"reports"`` (deduplicated report keys).  The result feeds straight
-    into :func:`venn_regions` / :func:`unique_counts` /
-    :func:`format_venn_table`.
+    ``what`` selects the elements: ``"bugs"`` (ground-truth seeded bug ids),
+    ``"reports"`` (deduplicated report keys) or ``"coverage"`` (encoded
+    branch arcs — populated by campaigns run with coverage feedback, e.g.
+    ``--schedule coverage``, and empty otherwise; this is what turns one
+    matrix campaign into the paper's per-fuzzer coverage Venn diagrams).
+    The result feeds straight into :func:`venn_regions` /
+    :func:`unique_counts` / :func:`format_venn_table`.
     """
     if by not in ("compiler_set", "opt_level", "generator", "shard", "cell"):
         raise ValueError(f"unknown grouping {by!r}")
-    if what not in ("bugs", "reports"):
+    if what not in ("bugs", "reports", "coverage"):
         raise ValueError(f"unknown element kind {what!r}")
     groups: Dict[str, Set[str]] = {}
     for key, cell in result.cells.items():
@@ -86,8 +89,12 @@ def campaign_cell_sets(result, by: str = "compiler_set",
             label = cell.generator if cell.generator else "<default>"
         else:
             label = f"shard{cell.shard}"
-        elements = (cell.seeded_bugs_found if what == "bugs"
-                    else cell.report_keys)
+        if what == "bugs":
+            elements = cell.seeded_bugs_found
+        elif what == "reports":
+            elements = cell.report_keys
+        else:
+            elements = cell.coverage_arcs
         groups.setdefault(label, set()).update(elements)
     return groups
 

@@ -164,7 +164,7 @@ class TestPoolModes:
         # ... where each cell derives its own subset's pool
         pools = {}
         for task in tasks:
-            _tester, config, _strategy = _cell_tester(
+            _tester, config, _strategy, _coverage = _cell_tester(
                 task, campaign.compiler_factory)
             pools[task.cell.compilers] = {spec.op_kind
                                           for spec in config.generator.op_pool}

@@ -1,0 +1,102 @@
+"""Tests for feature-derived fallback motifs in the targeted strategy."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.compilers.bugs import all_bugs
+from repro.core.fuzzer import FuzzerConfig
+from repro.core.strategy import build_strategy
+from repro.core.targeted import (
+    MOTIF_FEATURES,
+    MOTIFS,
+    derive_motif,
+    fallback_motifs,
+    motif_for_bug,
+)
+from repro.graph.validate import validation_errors
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+
+def _build(motif, seed=1234):
+    import random
+
+    from repro.graph.builder import GraphBuilder
+
+    builder = GraphBuilder(f"targeted_{motif.__name__[6:]}")
+    value = motif(builder, random.Random(seed))
+    builder.output(value)
+    return builder.build()
+
+
+class TestMotifFeatureMap:
+    def test_every_hand_written_motif_declares_features(self):
+        assert set(MOTIF_FEATURES) == {motif.__name__ for motif in MOTIFS}
+
+    def test_every_corpus_bug_maps_to_some_motif(self):
+        corpus_bugs = [path.stem for path in sorted(CORPUS_DIR.glob("*.json"))]
+        assert corpus_bugs, "empty regression corpus"
+        for bug_id in corpus_bugs:
+            motif = motif_for_bug(bug_id)
+            model = _build(motif)
+            assert validation_errors(model) == [], bug_id
+
+    def test_every_registered_bug_maps_to_some_motif(self):
+        for spec in all_bugs():
+            assert motif_for_bug(spec.bug_id) is not None
+
+    def test_covered_bugs_reuse_hand_written_motifs(self):
+        # integer round-trip requirements are covered by the hand-written
+        # int motif, so no auto-derivation happens for them
+        covered = [spec for spec in all_bugs()
+                   if any(MOTIF_FEATURES[m.__name__] >= spec.required_features
+                          for m in MOTIFS)]
+        assert covered
+        for spec in covered:
+            assert not motif_for_bug(spec.bug_id).__name__.startswith(
+                "motif_auto_")
+
+
+class TestDerivedMotifs:
+    def test_fallbacks_are_deduplicated_by_feature_set(self):
+        fallbacks = fallback_motifs()
+        names = [motif.__name__ for motif in fallbacks]
+        assert len(names) == len(set(names))
+        assert all(name.startswith("motif_auto_") for name in names)
+
+    @pytest.mark.parametrize("seed", [1, 2, 99])
+    def test_derived_motifs_build_valid_models(self, seed):
+        for spec in all_bugs():
+            motif = derive_motif(spec.required_features)
+            model = _build(motif, seed=seed)
+            assert validation_errors(model) == [], spec.bug_id
+
+    def test_derived_motif_honors_dtype_features(self):
+        from repro.compilers.bugs import FEATURE_INT_DTYPE, FEATURE_MULTI_OP
+        from repro.dtypes import DType
+
+        motif = derive_motif(frozenset({FEATURE_INT_DTYPE,
+                                        FEATURE_MULTI_OP}))
+        model = _build(motif)
+        assert any(model.type_of(name).dtype == DType.int32
+                   for name in model.inputs)
+
+
+class TestStrategyRotation:
+    def test_rotation_extends_hand_written_library(self):
+        strategy = build_strategy("targeted", FuzzerConfig())
+        assert len(strategy._rotation) == len(MOTIFS) + len(fallback_motifs())
+        # hand-written motifs come first: the first len(MOTIFS) iterations
+        # keep their historical structures
+        names = {strategy.generate(1000 + i, i).model.name
+                 for i in range(1, len(MOTIFS) + 1)}
+        assert len(names) == len(MOTIFS)
+
+    def test_fallback_iterations_generate_valid_models(self):
+        strategy = build_strategy("targeted", FuzzerConfig())
+        total = len(strategy._rotation)
+        for iteration in range(len(MOTIFS) + 1, total + 1):
+            generated = strategy.generate(5000 + iteration, iteration)
+            assert generated.model.name.startswith("targeted_auto_")
+            assert validation_errors(generated.model) == []

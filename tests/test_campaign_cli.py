@@ -72,6 +72,13 @@ class TestSerialModeErrorsLoudly:
             main(["--serial", "--iterations", "2",
                   "--generators", "nnsmith,lemon"])
 
+    def test_serial_with_schedule_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["--serial", "--iterations", "2",
+                  "--schedule", "coverage"])
+        with pytest.raises(SystemExit):
+            main(["--workers", "0", "--iterations", "2", "--adaptive"])
+
     def test_opt_levels_without_compilers_is_an_error(self, capsys):
         # factory mode fixes its own opt levels; ignoring the flag silently
         # would hand the user an O2 campaign labeled as what they asked for
@@ -120,6 +127,15 @@ class TestCampaignRuns:
         out = capsys.readouterr().out
         assert "x gen[nnsmith,targeted]" in out
         assert "Seeded bugs by generator:" in out
+
+    def test_coverage_schedule_cli_prints_coverage(self, capsys):
+        assert main(["--workers", "1", "--iterations", "2", "--nodes", "4",
+                     "--schedule", "coverage",
+                     "--deterministic", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "(coverage scheduling)" in out
+        assert "Compiler coverage:" in out
+        assert "branch arcs" in out
 
     def test_crash_oracle_cli_runs(self, capsys):
         assert main(["--workers", "1", "--iterations", "2", "--nodes", "4",
