@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all smoke smoke-coverage benchmarks table2
+.PHONY: test test-all smoke smoke-coverage smoke-oracles benchmarks table2
 
 # Default tier: everything except tests marked `slow`.
 test:
@@ -22,6 +22,16 @@ smoke:
 smoke-coverage:
 	$(PYTHON) -m pytest -q -m smoke tests/core/test_schedulers.py \
 		benchmarks/test_scheduler_overhead.py
+
+# Oracle-axis smoke: a tiny difftest/perf/gradcheck matrix campaign with
+# per-oracle Venn slicing, plus the oracle + oracle-axis test suites
+# (seed 29 reliably shows the perf-only and gradcheck-only seeded bugs).
+smoke-oracles:
+	$(PYTHON) -m repro.campaign --iterations 10 --workers 2 --shards 2 \
+		--oracles difftest,perf,gradcheck --seed 29 \
+		--deterministic --quiet
+	$(PYTHON) -m pytest -q tests/core/test_perf_gradcheck_oracles.py \
+		tests/core/test_oracle_axis_campaign.py
 
 # Regenerate the paper's tables/figures on scaled-down budgets.
 benchmarks:

@@ -22,7 +22,9 @@ from repro.graph.model import Model
 def backpropagate(model: Model, values: Mapping[str, np.ndarray],
                   seed_grads: Mapping[str, np.ndarray],
                   proxy: ProxyConfig = DEFAULT_PROXY,
-                  stop_after: Optional[str] = None) -> Dict[str, np.ndarray]:
+                  stop_after: Optional[str] = None,
+                  bugs=None,
+                  triggered: Optional[list] = None) -> Dict[str, np.ndarray]:
     """Propagate gradients from ``seed_grads`` back to inputs and weights.
 
     Args:
@@ -34,6 +36,11 @@ def backpropagate(model: Model, values: Mapping[str, np.ndarray],
         stop_after: optional node name; nodes after it in topological order
             are skipped (they cannot influence the seeded values anyway when
             the seed sits on that node's input).
+        bugs: optional :class:`repro.compilers.bugs.BugConfig` activating
+            the seeded wrong-VJP bugs (``None`` — the default everywhere
+            except the ``gradcheck`` oracle — keeps every VJP correct).
+        triggered: optional list collecting seeded bug ids whose buggy
+            backward path executed.
 
     Returns:
         Gradients for every graph input and initializer (zero arrays for
@@ -56,7 +63,8 @@ def backpropagate(model: Model, values: Mapping[str, np.ndarray],
         input_arrays = [np.asarray(values[name]) for name in node.inputs]
         output_arrays = [np.asarray(values[name]) for name in node.outputs]
         input_grads = backward_node(node, input_arrays, output_arrays,
-                                    grad_outputs, proxy)
+                                    grad_outputs, proxy,
+                                    bugs=bugs, triggered=triggered)
         for name, grad in zip(node.inputs, input_grads):
             if name in grads:
                 grads[name] = grads[name] + grad

@@ -52,11 +52,29 @@ def has_vjp(name: str) -> bool:
 
 def backward_node(node: Node, inputs: Arrays, outputs: Arrays,
                   grad_outputs: Sequence[Optional[np.ndarray]],
-                  proxy: ProxyConfig = DEFAULT_PROXY) -> Grads:
-    """Compute input gradients for one node."""
+                  proxy: ProxyConfig = DEFAULT_PROXY,
+                  bugs=None, triggered: Optional[List[str]] = None) -> Grads:
+    """Compute input gradients for one node.
+
+    ``bugs`` optionally activates the *seeded* wrong-VJP bugs (a
+    :class:`repro.compilers.bugs.BugConfig`); the default ``None`` keeps
+    every VJP correct, so gradient-guided value search and the ablation
+    experiments are never perturbed — only callers that opt in (the
+    ``gradcheck`` oracle) can observe the buggy backward paths.
+    ``triggered`` collects the ids of seeded bugs whose buggy path
+    actually executed.
+    """
     func = _VJPS.get(node.op)
     if func is None:
         raise UnsupportedOperatorError(f"no VJP registered for operator {node.op!r}")
+    if bugs is not None:
+        seeded = _AUTODIFF_BUG_VJPS.get(node.op)
+        if seeded is not None:
+            bug_id, buggy = seeded
+            if bugs.enabled(bug_id):
+                func = buggy
+                if triggered is not None and bug_id not in triggered:
+                    triggered.append(bug_id)
     seeds = [
         np.zeros(out.shape, dtype=np.float64) if grad is None else np.asarray(grad, np.float64)
         for out, grad in zip(outputs, grad_outputs)
@@ -698,3 +716,28 @@ def _no_grad_reduce(node, inputs, outputs, grads, proxy):
 
 _VJPS["ArgMax"] = _no_grad_reduce
 _VJPS["ArgMin"] = _no_grad_reduce
+
+
+# --------------------------------------------------------------------------- #
+# Seeded wrong-VJP bugs (see repro.compilers.bugs, system "autodiff").
+# Forward results are untouched — these are visible only to a gradient
+# check, mirroring the class of autograd bugs differential testing of
+# forward outputs can never catch.  They activate only when a caller
+# passes a BugConfig to backward_node/backpropagate (the gradcheck
+# oracle); plain value-search backprop always uses the correct VJPs.
+# --------------------------------------------------------------------------- #
+def _tanh_vjp_buggy(node, inputs, outputs, grads, proxy):
+    (y,), (g,) = outputs, grads
+    return [g * (1.0 - y)]  # BUG: drops the square of the activation
+
+
+def _sigmoid_vjp_buggy(node, inputs, outputs, grads, proxy):
+    (y,), (g,) = outputs, grads
+    return [g * (1.0 - y)]  # BUG: forgets the leading y factor
+
+
+#: op kind -> (seeded bug id, buggy VJP replacing the correct one).
+_AUTODIFF_BUG_VJPS: Dict[str, tuple] = {
+    "Tanh": ("autodiff-tanh-grad-linear", _tanh_vjp_buggy),
+    "Sigmoid": ("autodiff-sigmoid-grad-unscaled", _sigmoid_vjp_buggy),
+}

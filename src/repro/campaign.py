@@ -27,6 +27,16 @@ skips the numeric comparison), and ``--pool-mode per-subset`` lets every
 matrix cell probe its own compiler subset's operator support instead of the
 shared union pool.
 
+``--oracles`` makes the oracle itself a matrix axis: every named oracle
+judges the *same* shard seed streams and the summary slices found bugs per
+oracle — which is how the bug classes only the ``perf``
+(optimized-vs-O0 runtime regression) and ``gradcheck`` (autodiff backprop
+vs finite differences) oracles can see show up as their exclusive Venn
+regions::
+
+    python -m repro.campaign --iterations 60 --workers 4 \\
+        --oracles difftest,perf,gradcheck
+
 Checkpointing streams *per-iteration* progress: a campaign killed mid-shard
 resumes from the exact iteration it reached, re-executing only the missing
 iterations of each matrix cell (pure time-budget campaigns track consumed
@@ -110,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="test oracle judging every case; registered: "
                              f"{', '.join(registered_oracles())} "
                              f"(default {DEFAULT_ORACLE})")
+    parser.add_argument("--oracles", default=None, metavar="NAME[,NAME...]",
+                        help="test oracles raced as a matrix axis (e.g. "
+                             "difftest,perf,gradcheck): every oracle judges "
+                             "the same shard seed streams and the summary "
+                             "slices found bugs per oracle; registered: "
+                             f"{', '.join(registered_oracles())}")
     parser.add_argument("--pool-mode", default="union",
                         choices=("union", "per-subset"),
                         help="operator-pool probing for --compilers matrices: "
@@ -179,6 +195,15 @@ def parse_generators(args: argparse.Namespace) -> Optional[List[str]]:
     return names or None
 
 
+def parse_oracles(args: argparse.Namespace) -> Optional[List[str]]:
+    """The oracle-axis oracles requested on the command line."""
+    if not getattr(args, "oracles", None):
+        return None
+    names = [name.strip() for name in args.oracles.split(",")
+             if name.strip()]
+    return names or None
+
+
 def parse_compiler_sets(args: argparse.Namespace) -> Optional[List[List[str]]]:
     """The matrix columns requested on the command line, or None (flat)."""
     sets: List[List[str]] = []
@@ -238,6 +263,10 @@ def print_summary(result: CampaignResult) -> None:
         print()
         print(format_venn_table(campaign_cell_sets(result, by="generator"),
                                 title="Seeded bugs by generator:"))
+    if result.cells and any(cell.oracle for cell in result.cells.values()):
+        print()
+        print(format_venn_table(campaign_cell_sets(result, by="oracle"),
+                                title="Seeded bugs by oracle:"))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -249,6 +278,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     compiler_sets = parse_compiler_sets(args)
     opt_levels = parse_opt_levels(args)
     generators = parse_generators(args)
+    oracles = parse_oracles(args)
     if opt_levels is not None and compiler_sets is None:
         # Factory mode fixes its own opt levels; silently ignoring the flag
         # would hand the user an O2 campaign labeled as whatever they asked.
@@ -261,10 +291,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--checkpoint requires the parallel engine; "
                          "use --workers 1 for an in-process run with "
                          "checkpoint support")
-        if compiler_sets or generators:
-            parser.error("--compilers/--matrix/--generators require the "
-                         "parallel engine; use --workers 1 for an "
-                         "in-process matrix run")
+        if compiler_sets or generators or oracles:
+            parser.error("--compilers/--matrix/--generators/--oracles "
+                         "require the parallel engine; use --workers 1 for "
+                         "an in-process matrix run")
         if args.schedule != DEFAULT_SCHEDULER or args.adaptive:
             # The reference path has no lease scheduler at all; silently
             # ignoring the flag would look like coverage-guided scheduling.
@@ -284,6 +314,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         mode = "graphrt, deepc, turbo"
     if generators:
         mode += f" x gen[{','.join(generators)}]"
+    if oracles:
+        mode += f" x oracle[{','.join(oracles)}]"
     how = "in-process" if n_workers == 1 else \
         f"across {n_workers} worker processes"
     schedule = "adaptive" if (args.adaptive and
@@ -304,6 +336,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         compiler_sets=compiler_sets,
         opt_levels=opt_levels,
         generators=generators,
+        oracles=oracles,
         pool_mode=args.pool_mode,
         n_shards=args.shards,
         checkpoint_path=args.checkpoint,

@@ -34,12 +34,19 @@ FEATURE_MULTI_INPUT = "multi_input"              # several graph inputs
 
 @dataclass(frozen=True)
 class BugSpec:
-    """A single seeded bug."""
+    """A single seeded bug.
+
+    ``symptom`` names the oracle class that can observe the bug: ``crash``
+    and ``semantic`` are visible to differential testing, ``perf``
+    (optimized build slower than O0) only to the performance-regression
+    oracle, and ``gradient`` (wrong backward pass) only to the autodiff
+    gradient-check oracle.
+    """
 
     bug_id: str
-    system: str              # "graphrt" | "deepc" | "turbo" | "exporter"
+    system: str              # "graphrt" | "deepc" | "turbo" | "exporter" | "autodiff"
     phase: str               # "transformation" | "conversion" | "unclassified"
-    symptom: str             # "crash" | "semantic"
+    symptom: str             # "crash" | "semantic" | "perf" | "gradient"
     description: str
     required_features: FrozenSet[str] = frozenset()
     fixed: bool = True       # whether the analogue real-world bug was fixed
@@ -47,7 +54,7 @@ class BugSpec:
     def __post_init__(self) -> None:
         if self.phase not in ("transformation", "conversion", "unclassified"):
             raise ValueError(f"invalid phase {self.phase!r}")
-        if self.symptom not in ("crash", "semantic"):
+        if self.symptom not in ("crash", "semantic", "perf", "gradient"):
             raise ValueError(f"invalid symptom {self.symptom!r}")
 
 
@@ -147,6 +154,13 @@ _bug("graphrt-constfold-pow-overflow", "graphrt", "unclassified", "crash",
 _bug("graphrt-slice-merge-negative-step", "graphrt", "transformation", "crash",
      "Merging adjacent Slice nodes asserts that every step is 1.",
      [FEATURE_MULTI_OP, FEATURE_NON_SHAPE_PRESERVING, FEATURE_ATTR_DIVERSITY])
+_bug("graphrt-matmul-repack-small", "graphrt", "transformation", "perf",
+     "MatMulRepackSelection rewrites MatMul/Gemm onto a 'cache-friendly' "
+     "repacked kernel, but its cost model is inverted for small operands: "
+     "the selected kernel recomputes the product once per output block, "
+     "making the optimized build far slower than O0 while producing "
+     "bit-identical results (invisible to differential testing).",
+     [FEATURE_MULTI_OP, FEATURE_NON_SHAPE_PRESERVING])
 
 # --------------------------------------------------------------------------- #
 # DeepC (TVM analogue) — conversion + graph passes + low-level passes.
@@ -254,5 +268,21 @@ _bug("exporter-pad-reflect-rank2", "exporter", "conversion", "crash",
      "pairs.",
      [FEATURE_NON_SHAPE_PRESERVING, FEATURE_ATTR_DIVERSITY])
 
+# --------------------------------------------------------------------------- #
+# Autodiff (the repo's "autograd") — wrong-VJP bugs, visible only to the
+# gradient-check oracle: forward results (and therefore differential
+# testing) are unaffected, only the backward pass is wrong.
+# --------------------------------------------------------------------------- #
+_bug("autodiff-tanh-grad-linear", "autodiff", "unclassified", "gradient",
+     "The Tanh VJP drops the square of the activation: it propagates "
+     "g * (1 - y) instead of g * (1 - y^2), overestimating gradients "
+     "everywhere except at y = 0.",
+     [FEATURE_MULTI_OP])
+_bug("autodiff-sigmoid-grad-unscaled", "autodiff", "unclassified", "gradient",
+     "The Sigmoid VJP forgets the activation factor: it propagates "
+     "g * (1 - y) instead of g * y * (1 - y), inflating gradients for "
+     "small activations.",
+     [FEATURE_MULTI_OP])
+
 #: Systems that participate in differential testing / bug counting.
-SYSTEMS = ("graphrt", "deepc", "turbo", "exporter")
+SYSTEMS = ("graphrt", "deepc", "turbo", "exporter", "autodiff")

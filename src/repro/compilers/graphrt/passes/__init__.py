@@ -66,6 +66,10 @@ def default_pipeline() -> List[GraphPass]:
         reorder.PadConvFusion(),
         fusion.MatMulScaleFusion(),
         fusion.GemmFusion(),
+        # After GemmFusion: kernel selection must see the final MatMul/Gemm
+        # population (GemmFusion replaces MatMul+Add with a fresh Gemm node,
+        # which would silently shed an earlier repack tag).
+        fusion.MatMulRepackSelection(),
         fusion.ReluClipFusion(),
         fusion.BiasSoftmaxFusion(),
         fusion.ConvBatchNormFolding(),

@@ -253,3 +253,41 @@ class ConvBatchNormFolding(GraphPass):
             model.prune_dead_nodes()
             changed = True
         return changed
+
+
+class MatMulRepackSelection(GraphPass):
+    """Select a repacked ("cache-friendly") kernel for MatMul/Gemm nodes.
+
+    The repacked kernel tiles the product into output blocks.  Seeded bug:
+    the selection cost model is inverted for small operands, so small
+    matrix products are routed onto a kernel that recomputes the product
+    once per output block — the optimized build gets dramatically *slower*
+    than O0 while producing bit-identical results.  Invisible to crash and
+    differential-testing oracles by construction; only a performance-
+    regression oracle can observe it.
+    """
+
+    #: Blocks the mis-selected kernel recomputes (the slowdown factor).
+    REPACK_BLOCKS = 256
+    #: "Small operand" bound of the inverted cost model (total elements).
+    SMALL_OPERAND_NUMEL = 4096
+
+    def run(self, model: Model, ctx: PassContext) -> bool:
+        if not ctx.bugs.enabled("graphrt-matmul-repack-small"):
+            return False
+        changed = False
+        for node in model.nodes:
+            if node.op not in ("MatMul", "Gemm"):
+                continue
+            if not model.type_of(node.outputs[0]).dtype.is_float:
+                continue
+            operand_numel = sum(model.type_of(name).numel
+                                for name in node.inputs[:2])
+            if operand_numel > self.SMALL_OPERAND_NUMEL:
+                continue
+            # BUG: small products belong on the plain kernel; the inverted
+            # cost model sends them to the per-block recompute path.
+            ctx.record_bug("graphrt-matmul-repack-small")
+            node.attrs["_graphrt_repack_blocks"] = self.REPACK_BLOCKS
+            changed = True
+        return changed

@@ -64,6 +64,13 @@ def _dispatch(node: Node, inputs: List[np.ndarray]) -> List[np.ndarray]:
     if not semantics.has_kernel(node.op):
         raise UnsupportedOperatorError(
             f"GraphRT has no kernel for operator {node.op!r}")
+    repack_blocks = int(node.attrs.get("_graphrt_repack_blocks", 0))
+    if repack_blocks > 0:
+        # The mis-selected repacked kernel (see MatMulRepackSelection):
+        # recomputes the full product once per output block.  Results are
+        # bit-identical — the bug is purely a performance regression.
+        for _ in range(repack_blocks - 1):
+            semantics.execute_node(node, inputs)
     return semantics.execute_node(node, inputs)
 
 

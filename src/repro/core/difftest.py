@@ -83,29 +83,49 @@ class CompilerVerdict:
     """Differential-testing outcome for one compiler on one test case."""
 
     compiler: str
-    status: str                      # "ok" | "crash" | "semantic"
-    phase: str = ""                  # "conversion" | "transformation" | "execution" | ""
+    status: str                      # "ok" | "crash" | "semantic" | "perf" | "gradient"
+    phase: str = ""                  # "conversion" | "transformation" | "execution" | "backward" | ""
     message: str = ""
     #: Ground-truth seeded bugs whose buggy path executed (compile + export).
     triggered_bugs: List[str] = field(default_factory=list)
 
     @property
     def found_bug(self) -> bool:
-        return self.status in ("crash", "semantic")
+        # Anything that is not a clean pass is a finding: crash, semantic
+        # mismatch, performance regression ("perf") or wrong gradient
+        # ("gradient").
+        return self.status != "ok"
 
     def dedup_key(self) -> str:
-        """Deduplication key mirroring "unique crashes by error message"."""
+        """Deduplication key mirroring "unique crashes by error message".
+
+        ``perf``/``gradient`` findings additionally key on the seeded bugs
+        whose buggy path executed: their messages embed per-case
+        measurements (ratios, max errors) that would explode the key,
+        while compiler/phase alone would collapse *distinct* seeded bugs
+        of one system into a single report.
+        """
         if self.status == "crash":
             return f"{self.compiler}|crash|{first_line(self.message)}"
+        if self.status in ("perf", "gradient"):
+            marks = "+".join(sorted(self.triggered_bugs))
+            return f"{self.compiler}|{self.status}|{self.phase}|{marks}"
         return f"{self.compiler}|{self.status}|{self.phase}"
 
 
 @dataclass
 class CaseResult:
-    """Outcome of differential testing for one generated model."""
+    """Outcome of differential testing for one generated model.
+
+    ``numerically_valid`` is tri-state: True/False when the validity of the
+    tested values is actually known (derived by the oracle or established
+    by a successful value search), ``None`` when it was never derived —
+    oracles that do not run the reference interpreter (``crash``,
+    ``shape``, ...) must not masquerade unknown validity as invalid.
+    """
 
     model: Model
-    numerically_valid: bool
+    numerically_valid: Optional[bool]
     verdicts: List[CompilerVerdict] = field(default_factory=list)
     exporter_bugs: List[str] = field(default_factory=list)
 
@@ -157,15 +177,20 @@ class DifferentialTester:
     # ------------------------------------------------------------------ #
     def run_case(self, model: Model,
                  inputs: Optional[Dict[str, np.ndarray]] = None,
-                 numerically_valid: Optional[bool] = None) -> CaseResult:
+                 numerically_valid: Optional[bool] = None,
+                 rng: Optional[np.random.Generator] = None) -> CaseResult:
         """Differentially test one model (weights are baked into the model).
 
         ``numerically_valid`` lets the caller forward an already-established
         validity verdict (e.g. from a successful value search over the same
         inputs/weights) instead of re-deriving it from the oracle run.
+        ``rng`` seeds the random inputs drawn when ``inputs`` is None; the
+        default is a fixed stream (for reproducible standalone calls), so
+        callers wanting varied inputs must pass their own generator.
         """
         if inputs is None:
-            inputs = random_inputs(model, np.random.default_rng(0))
+            rng = rng if rng is not None else np.random.default_rng(0)
+            inputs = random_inputs(model, rng)
 
         oracle = self._interpreter.run_detailed(model, inputs)
         if numerically_valid is None:
@@ -245,4 +270,6 @@ def _bugs_from_error(exc: Exception) -> List[str]:
     """Extract seeded-bug identifiers embedded in crash messages."""
     import re
 
-    return re.findall(r"\[((?:graphrt|deepc|turbo|exporter)-[a-z0-9-]+)\]", str(exc))
+    return re.findall(
+        r"\[((?:graphrt|deepc|turbo|exporter|autodiff)-[a-z0-9-]+)\]",
+        str(exc))

@@ -57,9 +57,13 @@ class BugReport:
 
     def dedup_key(self) -> str:
         """Same key as :meth:`CompilerVerdict.dedup_key` — crash messages are
-        deduplicated by first line, semantic mismatches by compiler/phase."""
+        deduplicated by first line, semantic mismatches by compiler/phase,
+        perf/gradient findings by compiler/phase + triggered seeded bugs."""
         if self.status == "crash":
             return f"{self.compiler}|crash|{first_line(self.message)}"
+        if self.status in ("perf", "gradient"):
+            marks = "+".join(sorted(self.triggered_bugs))
+            return f"{self.compiler}|{self.status}|{self.phase}|{marks}"
         return f"{self.compiler}|{self.status}|{self.phase}"
 
 
@@ -118,6 +122,9 @@ class CellOutcome:
     #: Generation strategy of this cell; None means "the campaign default"
     #: (campaigns without a generator axis keep their PR-2 cell keys).
     generator: Optional[str] = None
+    #: Test oracle of this cell; None means "the campaign config's oracle"
+    #: (campaigns without an oracle axis keep their pre-v5 cell keys).
+    oracle: Optional[str] = None
     #: Compiler branch arcs this cell covered, as encoded strings
     #: (:func:`repro.compilers.coverage.arc_to_str`).  Empty unless the
     #: campaign ran with coverage feedback (``--schedule coverage``), in
@@ -126,17 +133,26 @@ class CellOutcome:
     coverage_arcs: Set[str] = field(default_factory=set)
 
     def key(self) -> str:
-        """Stable identifier of the matrix cell this outcome belongs to."""
+        """Stable identifier of the matrix cell this outcome belongs to.
+
+        Axis components are appended only when the axis is in use, so
+        campaigns without a generator/oracle axis keep their historical
+        keys (and therefore their checkpoint cell entries) unchanged.
+        """
         names = "+".join(self.compilers) if self.compilers else "<default>"
         opt = "O?" if self.opt_level is None else f"O{self.opt_level}"
         base = f"shard{self.shard}|{names}|{opt}"
-        return base if self.generator is None else f"{base}|{self.generator}"
+        if self.generator is not None:
+            base = f"{base}|{self.generator}"
+        if self.oracle is not None:
+            base = f"{base}|oracle:{self.oracle}"
+        return base
 
     def copy(self) -> "CellOutcome":
         return CellOutcome(self.shard, tuple(self.compilers), self.opt_level,
                            self.iterations, set(self.seeded_bugs_found),
                            set(self.report_keys), self.generator,
-                           set(self.coverage_arcs))
+                           self.oracle, set(self.coverage_arcs))
 
     def fold(self, other: "CellOutcome") -> None:
         """Accumulate another outcome of the *same* cell into this one."""
@@ -375,6 +391,25 @@ def run_campaign_iteration(tester: DifferentialTester, config: FuzzerConfig,
                                           strategy, coverage)
 
 
+def _bug_observable_by(bug_id: str, status: str) -> bool:
+    """Whether a verdict of ``status`` can actually *observe* a seeded bug.
+
+    Oracle-only bugs ride along in trigger sets recorded at compile/backward
+    time — e.g. the repack pessimization tags its node during *every*
+    oracle's compile, so a difftest crash on the same model would otherwise
+    credit a ``perf``-symptom bug to difftest, corrupting the per-oracle
+    Venn.  A ``perf`` bug counts as found only through a ``perf`` verdict
+    and a ``gradient`` bug only through a ``gradient`` verdict;
+    crash/semantic bugs keep their historical any-failing-verdict credit.
+    """
+    from repro.compilers.bugs import _ALL_BUGS
+
+    spec = _ALL_BUGS.get(bug_id)
+    if spec is None or spec.symptom not in ("perf", "gradient"):
+        return True
+    return status == spec.symptom
+
+
 def fold_case(result: CampaignResult, case: CaseResult, iteration: int,
               seen_reports: Set[str]) -> List[BugReport]:
     """Fold one case's verdicts into a campaign result, deduplicating reports.
@@ -388,7 +423,9 @@ def fold_case(result: CampaignResult, case: CaseResult, iteration: int,
     for verdict in case.verdicts:
         if not verdict.found_bug:
             continue
-        result.seeded_bugs_found.update(verdict.triggered_bugs)
+        result.seeded_bugs_found.update(
+            bug for bug in verdict.triggered_bugs
+            if _bug_observable_by(bug, verdict.status))
         key = verdict.dedup_key()
         if key in seen_reports:
             continue

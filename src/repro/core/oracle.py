@@ -5,10 +5,21 @@ The campaign engine used to hardwire one oracle — the crash + numeric-diff
 choice: an *oracle* consumes a model plus concrete inputs and returns one
 :class:`~repro.core.difftest.CompilerVerdict` per system under test.  New
 oracles register a factory and slot into the serial loop, the matrix engine
-and the CLI without touching any of them — ``crash`` (compile-and-run) and
-``shape`` (shape-infer vs executed output shapes, the cheap pipeline smoke)
-are the in-repo proofs; performance-regression and autodiff gradient
-checking remain open roadmap slots.
+and the CLI without touching any of them.  Registered here:
+
+* ``difftest`` — the paper's oracle (crash + numeric differential test);
+* ``crash`` — compile-and-run, crashes only (~2x cheaper per case);
+* ``shape`` — shape-infer vs executed output shapes (pipeline smoke);
+* ``perf`` — performance regression: the cell's optimized build is timed
+  against an O0 build of the same model with a calibrated repeat/warmup
+  harness; an optimized build slower than O0 beyond a noise threshold
+  learned per worker is a ``perf`` verdict
+  (:class:`PerfRegressionOracle`);
+* ``gradcheck`` — autodiff gradient check: reverse-mode backprop through
+  :mod:`repro.autodiff` is compared against central finite differences of
+  the reference interpreter *and* of every compiled backend, reporting
+  wrong-gradient verdicts with per-output max-error provenance
+  (:class:`GradientCheckOracle`).
 
 Like compilers and generation strategies, oracles travel through worker
 processes and checkpoint fingerprints *by name* and are instantiated on
@@ -60,14 +71,27 @@ class BaseOracle:
         raise NotImplementedError
 
     def run_case(self, model, inputs=None,
-                 numerically_valid: Optional[bool] = None) -> CaseResult:
+                 numerically_valid: Optional[bool] = None,
+                 rng: Optional[np.random.Generator] = None) -> CaseResult:
+        """Evaluate one case, drawing random inputs when none are given.
+
+        ``rng`` seeds those random inputs (default: a fixed stream, for
+        reproducible standalone calls — pass a generator to vary inputs
+        across calls).  ``numerically_valid`` is forwarded *as-is*:
+        ``None`` means "validity unknown" and is preserved in the result —
+        unlike :class:`DifferentialTester`, which derives validity from
+        its reference-interpreter run, oracles built on this base never
+        ran the reference, so coercing unknown to ``False`` would record
+        every case as numerically invalid.
+        """
         from repro.runtime.interpreter import random_inputs
 
         if inputs is None:
-            inputs = random_inputs(model, np.random.default_rng(0))
+            rng = rng if rng is not None else np.random.default_rng(0)
+            inputs = random_inputs(model, rng)
         verdicts = self.evaluate(model, inputs, numerically_valid)
         return CaseResult(model=model,
-                          numerically_valid=bool(numerically_valid),
+                          numerically_valid=numerically_valid,
                           verdicts=verdicts)
 
 
@@ -241,11 +265,388 @@ class CrashOnlyOracle(BaseOracle):
         return verdicts
 
 
+# --------------------------------------------------------------------------- #
+# Performance-regression oracle
+# --------------------------------------------------------------------------- #
+@register_oracle("perf")
+class PerfRegressionOracle(BaseOracle):
+    """Optimized-vs-O0 runtime comparison (Tzer-style pass-level hunting).
+
+    For every compiler the model is compiled twice — at the compiler's own
+    optimization level and at O0 — and both executables are timed with a
+    warmup + min-of-repeats harness (the minimum is robust to additive
+    scheduler noise).  An optimized build slower than the O0 build beyond
+    a noise threshold is reported as a ``perf`` verdict: optimizations are
+    allowed to be useless, not to pessimize.
+
+    The threshold is *learned per worker*: the first case calibrates by
+    timing the same O0 executable twice and widening the floor by the
+    observed run-to-run noise, so a loaded CI machine raises the bar
+    instead of flaking.  ``timer`` / ``threshold`` are injectable for
+    deterministic tests (a fake clock makes every measurement scripted).
+
+    Crashes are reported exactly like ``difftest``; value correctness is
+    out of scope (run ``difftest`` alongside via the oracle matrix axis).
+
+    Unlike every other oracle, ``perf`` verdicts depend on real wall time,
+    so campaigns that include it are not bit-reproducible run-to-run —
+    seeded-bug attribution stays stable (triggers are recorded at compile
+    time), but borderline findings can flip.  The scheduler-equivalence
+    guarantees apply to the deterministic oracles.
+    """
+
+    name = "perf"
+
+    #: Untimed runs before measuring (caches, lazy init).
+    WARMUP = 1
+    #: Timed runs per measurement; the minimum is kept.
+    REPEATS = 3
+    #: Minimum slowdown ratio ever reported, however quiet the machine.
+    #: Generous: the tiny models campaigns generate run in microseconds,
+    #: where per-node dispatch jitter is multiplicative — real seeded
+    #: pessimizations sit orders of magnitude above this.
+    THRESHOLD_FLOOR = 4.0
+    #: How much observed calibration noise widens the threshold.
+    CALIBRATION_SLACK = 4.0
+
+    def __init__(self, compilers: Sequence[Compiler],
+                 bugs: Optional[BugConfig] = None,
+                 timer: Optional[Callable[[], float]] = None,
+                 repeats: Optional[int] = None,
+                 warmup: Optional[int] = None,
+                 threshold: Optional[float] = None) -> None:
+        import time
+
+        super().__init__(compilers, bugs)
+        self._timer = timer if timer is not None else time.perf_counter
+        self.repeats = self.REPEATS if repeats is None else max(1, repeats)
+        self.warmup = self.WARMUP if warmup is None else max(0, warmup)
+        #: Calibrated slowdown threshold; None until the per-worker
+        #: calibration run (an explicit ``threshold`` skips calibration).
+        self._threshold: Optional[float] = threshold
+
+    # ------------------------------------------------------------------ #
+    def _measure(self, compiled, inputs) -> float:
+        """Min-of-repeats wall time of one executable, in seconds."""
+        for _ in range(self.warmup):
+            compiled.run(inputs)
+        best: Optional[float] = None
+        for _ in range(self.repeats):
+            start = self._timer()
+            compiled.run(inputs)
+            elapsed = self._timer() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        return max(best if best is not None else 0.0, 1e-9)
+
+    def _calibrated_threshold(self, compiled, inputs) -> float:
+        """The per-worker noise threshold, calibrating on first use.
+
+        Two independent min-of-repeats measurements of the *same*
+        executable should agree; their ratio estimates this worker's
+        timing noise, and the reporting threshold widens accordingly.
+        """
+        if self._threshold is None:
+            first = self._measure(compiled, inputs)
+            second = self._measure(compiled, inputs)
+            noise = max(first, second) / min(first, second)
+            self._threshold = max(
+                self.THRESHOLD_FLOOR,
+                1.0 + self.CALIBRATION_SLACK * (noise - 1.0))
+        return self._threshold
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, model, inputs,
+                 numerically_valid: Optional[bool] = None
+                 ) -> List[CompilerVerdict]:
+        from repro.runtime.exporter import ExportReport, export_model
+
+        report = ExportReport()
+        exported = export_model(model, bugs=self.bugs, report=report)
+        verdicts: List[CompilerVerdict] = []
+        for compiler in self.compilers:
+            verdict = self._judge_compiler(compiler, exported, inputs)
+            verdict.triggered_bugs.extend(
+                bug for bug in report.triggered_bugs
+                if bug not in verdict.triggered_bugs)
+            verdicts.append(verdict)
+        return verdicts
+
+    def _judge_compiler(self, compiler, exported, inputs) -> CompilerVerdict:
+        from repro.compilers.base import CompileOptions
+        from repro.core.difftest import _bugs_from_error
+
+        try:
+            optimized = compiler.compile_model(exported)
+        except ConversionError as exc:
+            return CompilerVerdict(compiler.name, "crash", "conversion",
+                                   str(exc), _bugs_from_error(exc))
+        except CompilerError as exc:
+            return CompilerVerdict(compiler.name, "crash", "transformation",
+                                   str(exc), _bugs_from_error(exc))
+        triggered = list(getattr(optimized, "triggered_bugs", []))
+        try:
+            optimized.run(inputs)
+        except ReproError as exc:
+            return CompilerVerdict(compiler.name, "crash", "execution",
+                                   str(exc),
+                                   triggered + _bugs_from_error(exc))
+        opt_level = getattr(getattr(compiler, "options", None),
+                            "opt_level", None)
+        if not opt_level:
+            # Already an O0 (or unleveled) build: no optimized-vs-baseline
+            # contrast exists for this cell.
+            return CompilerVerdict(compiler.name, "ok", "", "", triggered)
+        try:
+            baseline = type(compiler)(
+                CompileOptions(opt_level=0, bugs=self.bugs)
+            ).compile_model(exported)
+            baseline.run(inputs)
+        except ReproError:
+            # The unoptimized build itself fails; crash-class oracles own
+            # that case — there is no baseline to regress against.
+            return CompilerVerdict(compiler.name, "ok", "", "", triggered)
+        threshold = self._calibrated_threshold(baseline, inputs)
+        optimized_time = self._measure(optimized, inputs)
+        baseline_time = self._measure(baseline, inputs)
+        ratio = optimized_time / baseline_time
+        if ratio <= threshold:
+            return CompilerVerdict(compiler.name, "ok", "", "", triggered)
+        message = (f"optimized (O{opt_level}) build is {ratio:.1f}x slower "
+                   f"than O0 ({optimized_time * 1e3:.3f}ms vs "
+                   f"{baseline_time * 1e3:.3f}ms; calibrated threshold "
+                   f"{threshold:.2f}x)")
+        return CompilerVerdict(compiler.name, "perf", "transformation",
+                               message, triggered)
+
+
+# --------------------------------------------------------------------------- #
+# Autodiff gradient-check oracle
+# --------------------------------------------------------------------------- #
+@register_oracle("gradcheck")
+class GradientCheckOracle(BaseOracle):
+    """Backprop through :mod:`repro.autodiff` vs central finite differences.
+
+    Whole bug classes are invisible to forward-output differential testing:
+    a wrong vector-Jacobian product produces perfectly correct forward
+    results and silently corrupts every gradient consumer.  This oracle
+    runs reverse-mode backprop over the generated model (proxy derivatives
+    *disabled* — true derivatives only, so analytic and numeric gradients
+    agree on smooth paths) and compares the analytic input gradients
+    against central finite differences of
+
+    * the reference interpreter (verdict ``"autodiff"`` — the repo's
+      autograd itself is the system under test), and
+    * every compiled backend, where supported (gradients observed through
+      each compiler's forward function must match too).
+
+    Comparisons sample a deterministic subset of elements per float graph
+    input; wrong-gradient verdicts carry per-output max-error provenance
+    (which output's gradient, against which input element, analytic vs
+    numeric value).  Cases that are numerically invalid, have no float
+    inputs/outputs, or contain operators without a registered VJP are
+    skipped (all-ok verdicts) — gradients are only comparable on smooth,
+    finite paths.
+    """
+
+    name = "gradcheck"
+
+    #: Elements checked per float graph input (deterministic, evenly
+    #: spaced over the flattened tensor).
+    SAMPLES_PER_TENSOR = 3
+    #: Central-difference step, scaled by the element's magnitude.
+    FD_STEP = 1e-3
+    #: Mismatch tolerances: a sample disagrees when the absolute error
+    #: exceeds ATOL *and* the error relative to max(1, |analytic|,
+    #: |numeric|) exceeds RTOL.  Deliberately loose (like difftest's
+    #: forward tolerances) so float32 truncation and benign kinks never
+    #: alarm.
+    RTOL = 5e-2
+    ATOL = 1e-2
+
+    def evaluate(self, model, inputs,
+                 numerically_valid: Optional[bool] = None
+                 ) -> List[CompilerVerdict]:
+        from repro.autodiff.backprop import backpropagate
+        from repro.autodiff.proxy import NO_PROXY
+        from repro.runtime.exporter import ExportReport, export_model
+        from repro.runtime.interpreter import Interpreter
+
+        interpreter = Interpreter(record_intermediates=True)
+        try:
+            run = interpreter.run_detailed(model, inputs)
+        except ReproError:
+            return self._skip_verdicts()
+        if numerically_valid is None:
+            numerically_valid = run.numerically_valid
+        float_outputs = [name for name in model.outputs
+                         if model.type_of(name).dtype.is_float]
+        targets = self._sampled_targets(model, inputs)
+        if not numerically_valid or not float_outputs or not targets:
+            return self._skip_verdicts()
+
+        triggered: List[str] = []
+        analytic: Dict[str, Dict[str, np.ndarray]] = {}
+        try:
+            for out in float_outputs:
+                seed = {out: np.ones(np.asarray(run.outputs[out]).shape,
+                                     dtype=np.float64)}
+                analytic[out] = backpropagate(model, run.values, seed,
+                                              proxy=NO_PROXY,
+                                              bugs=self.bugs,
+                                              triggered=triggered)
+        except ReproError:
+            return self._skip_verdicts()  # some operator has no VJP
+
+        try:
+            reference = self._judge_runner(
+                "autodiff",
+                lambda perturbed: Interpreter(record_intermediates=False)
+                .run_detailed(model, perturbed).outputs,
+                inputs, float_outputs, targets, analytic, triggered)
+        except ReproError:
+            # A perturbed reference run failed outright (domain edge):
+            # gradients are not comparable here.
+            reference = CompilerVerdict("autodiff", "ok", "", "",
+                                        list(triggered))
+        verdicts = [reference]
+
+        report = ExportReport()
+        exported = export_model(model, bugs=self.bugs, report=report)
+        for compiler in self.compilers:
+            verdict = self._judge_compiled(compiler, exported, inputs,
+                                           float_outputs, targets, analytic,
+                                           triggered)
+            verdict.triggered_bugs.extend(
+                bug for bug in report.triggered_bugs
+                if bug not in verdict.triggered_bugs)
+            verdicts.append(verdict)
+        return verdicts
+
+    # ------------------------------------------------------------------ #
+    def _skip_verdicts(self) -> List[CompilerVerdict]:
+        """All-ok verdicts for cases gradients cannot be checked on."""
+        return [CompilerVerdict("autodiff", "ok", "", "")] + \
+            [CompilerVerdict(compiler.name, "ok", "", "")
+             for compiler in self.compilers]
+
+    def _sampled_targets(self, model, inputs):
+        """(input name, sampled flat indices) for every float graph input.
+
+        Only graph inputs are perturbed (weights are baked into compiled
+        executables, so they cannot be finite-differenced through a
+        backend); the sampled elements are deterministic — evenly spaced
+        over the flattened tensor — so campaign iterations are pure in
+        ``(config, iteration)`` like every other engine component.
+        """
+        targets = []
+        for name in model.inputs:
+            if not model.type_of(name).dtype.is_float:
+                continue
+            size = int(np.asarray(inputs[name]).size)
+            if size == 0:
+                continue
+            count = min(self.SAMPLES_PER_TENSOR, size)
+            indices = sorted({int(round(i * (size - 1) / max(count - 1, 1)))
+                              for i in range(count)})
+            targets.append((name, indices))
+        return targets
+
+    def _judge_compiled(self, compiler, exported, inputs, float_outputs,
+                        targets, analytic, triggered) -> CompilerVerdict:
+        from repro.core.difftest import _bugs_from_error
+
+        try:
+            compiled = compiler.compile_model(exported)
+        except ConversionError as exc:
+            return CompilerVerdict(compiler.name, "crash", "conversion",
+                                   str(exc), _bugs_from_error(exc))
+        except CompilerError as exc:
+            return CompilerVerdict(compiler.name, "crash", "transformation",
+                                   str(exc), _bugs_from_error(exc))
+        compile_triggered = list(getattr(compiled, "triggered_bugs", []))
+        try:
+            verdict = self._judge_runner(compiler.name, compiled.run, inputs,
+                                         float_outputs, targets, analytic,
+                                         triggered)
+        except ReproError as exc:
+            return CompilerVerdict(compiler.name, "crash", "execution",
+                                   str(exc),
+                                   compile_triggered + _bugs_from_error(exc))
+        verdict.triggered_bugs.extend(
+            bug for bug in compile_triggered
+            if bug not in verdict.triggered_bugs)
+        return verdict
+
+    def _judge_runner(self, system, runner, inputs, float_outputs, targets,
+                      analytic, triggered) -> CompilerVerdict:
+        """Compare analytic gradients against central FD through ``runner``.
+
+        ``runner`` maps an inputs dict to an outputs dict; the scalar loss
+        per output is the sum of its elements, so one pair of perturbed
+        runs yields every output's directional derivative at once.
+        """
+        worst: Dict[str, Tuple[float, str, int, float, float]] = {}
+        mismatched = False
+        for name, indices in targets:
+            base = np.asarray(inputs[name])
+            for index in indices:
+                value = float(base.reshape(-1)[index])
+                step = self.FD_STEP * max(1.0, abs(value))
+                plus = self._perturbed(inputs, name, index, step)
+                minus = self._perturbed(inputs, name, index, -step)
+                outs_plus = runner(plus)
+                outs_minus = runner(minus)
+                for out in float_outputs:
+                    if out not in outs_plus or out not in outs_minus:
+                        continue
+                    hi = float(np.sum(np.asarray(outs_plus[out],
+                                                 dtype=np.float64)))
+                    lo = float(np.sum(np.asarray(outs_minus[out],
+                                                 dtype=np.float64)))
+                    if not (np.isfinite(hi) and np.isfinite(lo)):
+                        continue  # perturbation left the smooth domain
+                    numeric = (hi - lo) / (2.0 * step)
+                    grads = analytic[out].get(name)
+                    if grads is None:
+                        continue
+                    exact = float(np.asarray(grads).reshape(-1)[index])
+                    error = abs(exact - numeric)
+                    scale = max(1.0, abs(exact), abs(numeric))
+                    record = worst.get(out)
+                    if record is None or error > record[0]:
+                        worst[out] = (error, name, index, exact, numeric)
+                    if error > self.ATOL and error / scale > self.RTOL:
+                        mismatched = True
+        if not mismatched:
+            return CompilerVerdict(system, "ok", "", "", list(triggered))
+        provenance = "; ".join(
+            f"output {out!r}: max |analytic-numeric| {error:.4g} "
+            f"(input {name!r}[{index}], analytic {exact:.4g}, "
+            f"numeric {numeric:.4g})"
+            for out, (error, name, index, exact, numeric)
+            in sorted(worst.items()))
+        return CompilerVerdict(system, "gradient", "backward",
+                               f"wrong gradient: {provenance}",
+                               list(triggered))
+
+    @staticmethod
+    def _perturbed(inputs, name, index, delta):
+        perturbed = dict(inputs)
+        array = np.array(inputs[name], copy=True)
+        flat = array.reshape(-1)
+        flat[index] = flat[index] + delta
+        perturbed[name] = array
+        return perturbed
+
+
 __all__ = [
     "BaseOracle",
     "CrashOnlyOracle",
     "DEFAULT_ORACLE",
+    "GradientCheckOracle",
     "Oracle",
+    "PerfRegressionOracle",
     "ShapeOnlyOracle",
     "build_oracle",
     "first_line",

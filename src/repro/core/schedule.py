@@ -238,6 +238,30 @@ class CoverageScheduler(Scheduler):
                            for cell, window in self._recent.items()}}
 
     def load_state(self, payload: Dict[str, Any]) -> None:
+        from repro.errors import ReproError
+
+        window = payload.get("window")
+        if window is not None:
+            # state_dict() always records the window the samples were
+            # collected under.  Re-windowing stale samples under a
+            # different WINDOW would silently change every restored
+            # novelty-rate estimate, so a mismatch is a loud error — not
+            # a quiet re-window — and the user decides (delete the
+            # checkpoint, or resume with the engine that wrote it).
+            try:
+                window = int(window)
+            except (TypeError, ValueError):
+                raise ReproError(
+                    "coverage scheduler checkpoint is corrupt: non-integer "
+                    f"novelty window {window!r}") from None
+            if window != self.WINDOW:
+                raise ReproError(
+                    f"coverage scheduler checkpoint was written with a "
+                    f"novelty window of {window} iterations; this engine "
+                    f"uses {self.WINDOW}.  Resuming would re-window stale "
+                    "novelty samples and silently change lease decisions — "
+                    "resume with the engine version that wrote the "
+                    "checkpoint, or delete it to drop the scheduler state.")
         recent = payload.get("recent", {})
         if not isinstance(recent, dict):
             return

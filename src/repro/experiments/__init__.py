@@ -27,10 +27,12 @@ from repro.experiments.coverage_experiment import (
 # package __init__ would trigger runpy's double-import warning.  Import it
 # directly: `from repro.experiments.table2 import run_table2`.
 from repro.experiments.gradient_ablation import (
+    GradcheckComparisonResult,
     GradientAblationResult,
     NanRateResult,
     build_model_group,
     measure_nan_rate,
+    run_gradcheck_comparison,
     run_gradient_ablation,
 )
 from repro.experiments.venn import (
@@ -47,6 +49,7 @@ __all__ = [
     "BugTable",
     "CoverageCampaignResult",
     "CrashComparisonResult",
+    "GradcheckComparisonResult",
     "GradientAblationResult",
     "InstanceDiversityResult",
     "NNSmithCaseGenerator",
@@ -64,6 +67,7 @@ __all__ = [
     "run_bug_study",
     "run_coverage_campaign",
     "run_fuzzer_comparison",
+    "run_gradcheck_comparison",
     "run_gradient_ablation",
     "run_instance_diversity",
     "run_tzer_campaign",

@@ -6,41 +6,67 @@ at least one vulnerable operator are generated once; each search method
 with proxy derivatives) is then run on the *same* models with the *same*
 initial values and an increasing per-model time budget, recording the success
 rate and the average searching time.
+
+Everything routes through the registry-backed campaign engine: model groups
+are produced by a *registered generation strategy* with the engine's pure
+``(config, iteration)`` seed streams (:func:`generate_for_iteration`), the
+per-model search RNGs come from the engine's value-search stream
+(:func:`iteration_rng`), and :func:`run_gradcheck_comparison` runs the
+difftest-vs-``gradcheck`` oracle comparison as one oracle-axis matrix
+campaign sliced per oracle — the same engine that runs every other
+experiment, not a bespoke loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
-from repro.core.generator import GeneratorConfig, generate_model
+from repro.core.fuzzer import (FuzzerConfig, generate_for_iteration,
+                               iteration_rng)
+from repro.core.generator import GeneratorConfig
 from repro.core.losses import is_vulnerable
+from repro.core.strategy import DEFAULT_STRATEGY, build_strategy
 from repro.core.value_search import search_values
-from repro.errors import ReproError
 from repro.graph.model import Model
 from repro.runtime.interpreter import Interpreter, random_inputs, random_weights
 
 
+def _group_config(n_nodes: int, seed: int, strategy: str) -> FuzzerConfig:
+    """The engine config whose iteration stream a model group is drawn from."""
+    return FuzzerConfig(
+        generator=GeneratorConfig(n_nodes=n_nodes),
+        seed=seed,
+        strategy=strategy,
+        probe_operator_support=False,
+    )
+
+
 def build_model_group(n_nodes: int, count: int, seed: int = 0,
                       require_vulnerable: bool = True,
-                      max_attempts: Optional[int] = None) -> List[Model]:
+                      max_attempts: Optional[int] = None,
+                      strategy: str = DEFAULT_STRATEGY) -> List[Model]:
     """Generate ``count`` models of ``n_nodes`` operators each.
 
     When ``require_vulnerable`` is set, only models containing at least one
     vulnerable operator (restricted numerical domain) are kept, mirroring the
-    paper's Figure 11 setup.
+    paper's Figure 11 setup.  Models come from the registered ``strategy``
+    through the campaign engine's per-iteration seed streams, so a group is
+    exactly the model population a campaign with the same config would
+    explore.
     """
+    config = _group_config(n_nodes, seed, strategy)
+    generation_strategy = build_strategy(strategy, config)
     models: List[Model] = []
     attempts = 0
     budget = max_attempts if max_attempts is not None else count * 20
     while len(models) < count and attempts < budget:
         attempts += 1
-        try:
-            generated = generate_model(GeneratorConfig(
-                n_nodes=n_nodes, seed=seed * 104_729 + attempts))
-        except ReproError:
+        generated = generate_for_iteration(config, attempts,
+                                           generation_strategy)
+        if generated is None:
             continue
         if require_vulnerable and not any(
                 is_vulnerable(node.op) for node in generated.model.nodes):
@@ -82,12 +108,21 @@ def run_gradient_ablation(n_nodes: int = 10, n_models: int = 12,
     models = build_model_group(n_nodes, n_models, seed=seed)
     result = GradientAblationResult(n_nodes=n_nodes, n_models=len(models))
     for method in methods:
+        # One engine config per method: the per-model search RNGs are the
+        # campaign engine's value-search streams (stream 1 of the iteration
+        # seed mix), identical across methods so every method searches the
+        # same models from the same starting randomness.
+        config = FuzzerConfig(
+            generator=GeneratorConfig(n_nodes=n_nodes),
+            value_search_method=method,
+            seed=seed,
+        )
         curve = MethodCurve(method=method)
         for budget_ms in budgets_ms:
             successes = 0
             total_time = 0.0
             for index, model in enumerate(models):
-                rng = np.random.default_rng(seed * 31 + index)
+                rng = iteration_rng(config, index + 1)
                 search = search_values(model, method=method, rng=rng,
                                        time_budget=budget_ms / 1000.0)
                 successes += int(search.success)
@@ -98,6 +133,58 @@ def run_gradient_ablation(n_nodes: int = 10, n_models: int = 12,
                 total_time / len(models) * 1000.0 if models else 0.0)
         result.curves[method] = curve
     return result
+
+
+# --------------------------------------------------------------------------- #
+# Gradient-check comparison (oracle-axis campaign)
+# --------------------------------------------------------------------------- #
+@dataclass
+class GradcheckComparisonResult:
+    """Per-oracle seeded-bug sets from one oracle-axis matrix campaign."""
+
+    iterations: int
+    #: Oracle name -> seeded bug ids that oracle's cells found.
+    bugs_by_oracle: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def gradcheck_only(self) -> Set[str]:
+        """Bugs only the gradient check saw (invisible to every other
+        oracle in the comparison) — the wrong-VJP class."""
+        others: Set[str] = set()
+        for oracle, bugs in self.bugs_by_oracle.items():
+            if oracle != "gradcheck":
+                others |= bugs
+        return self.bugs_by_oracle.get("gradcheck", set()) - others
+
+
+def run_gradcheck_comparison(max_iterations: int = 24, n_nodes: int = 6,
+                             seed: int = 0, n_workers: int = 1,
+                             oracles: Sequence[str] = ("difftest",
+                                                       "gradcheck"),
+                             bugs=None) -> GradcheckComparisonResult:
+    """Race ``difftest`` against the ``gradcheck`` oracle on shared streams.
+
+    One registry-backed oracle-axis matrix campaign: every oracle judges
+    the identical shard seed streams, and the per-oracle Venn slice
+    (:func:`repro.experiments.venn.campaign_cell_sets`) shows which seeded
+    bugs only the gradient check can see.  This replaces any bespoke
+    gradient-experiment loop — the campaign engine owns scheduling,
+    checkpointing and provenance.
+    """
+    from repro.compilers.bugs import BugConfig
+    from repro.core.parallel import deterministic_config, run_parallel_campaign
+    from repro.experiments.venn import campaign_cell_sets
+
+    config = deterministic_config(FuzzerConfig(
+        generator=GeneratorConfig(n_nodes=n_nodes),
+        max_iterations=max_iterations,
+        bugs=bugs if bugs is not None else BugConfig.all(),
+        seed=seed,
+    ))
+    campaign = run_parallel_campaign(config=config, n_workers=n_workers,
+                                     oracles=list(oracles))
+    return GradcheckComparisonResult(
+        iterations=campaign.iterations,
+        bugs_by_oracle=campaign_cell_sets(campaign, by="oracle"))
 
 
 @dataclass

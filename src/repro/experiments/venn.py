@@ -64,7 +64,9 @@ def campaign_cell_sets(result, by: str = "compiler_set",
     ``by`` selects the grouping axis: ``"compiler_set"`` (the subset names
     joined with ``+``), ``"opt_level"`` (``O0``/``O2``/...), ``"generator"``
     (the cell's generation strategy — the paper's fuzzer-vs-fuzzer
-    comparison), ``"shard"`` or ``"cell"`` (each cell its own set).
+    comparison), ``"oracle"`` (the cell's test oracle — which bug classes
+    each oracle alone can see), ``"shard"`` or ``"cell"`` (each cell its
+    own set).
     ``what`` selects the elements: ``"bugs"`` (ground-truth seeded bug ids),
     ``"reports"`` (deduplicated report keys) or ``"coverage"`` (encoded
     branch arcs — populated by campaigns run with coverage feedback, e.g.
@@ -73,7 +75,8 @@ def campaign_cell_sets(result, by: str = "compiler_set",
     The result feeds straight into :func:`venn_regions` /
     :func:`unique_counts` / :func:`format_venn_table`.
     """
-    if by not in ("compiler_set", "opt_level", "generator", "shard", "cell"):
+    if by not in ("compiler_set", "opt_level", "generator", "oracle",
+                  "shard", "cell"):
         raise ValueError(f"unknown grouping {by!r}")
     if what not in ("bugs", "reports", "coverage"):
         raise ValueError(f"unknown element kind {what!r}")
@@ -87,6 +90,8 @@ def campaign_cell_sets(result, by: str = "compiler_set",
             label = "O?" if cell.opt_level is None else f"O{cell.opt_level}"
         elif by == "generator":
             label = cell.generator if cell.generator else "<default>"
+        elif by == "oracle":
+            label = cell.oracle if cell.oracle else "<default>"
         else:
             label = f"shard{cell.shard}"
         if what == "bugs":

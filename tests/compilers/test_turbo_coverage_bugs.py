@@ -156,9 +156,10 @@ class TestBugRegistry:
 
     def test_every_bug_well_formed(self):
         for spec in all_bugs():
-            assert spec.system in ("graphrt", "deepc", "turbo", "exporter")
+            assert spec.system in ("graphrt", "deepc", "turbo", "exporter",
+                                   "autodiff")
             assert spec.phase in ("transformation", "conversion", "unclassified")
-            assert spec.symptom in ("crash", "semantic")
+            assert spec.symptom in ("crash", "semantic", "perf", "gradient")
             assert spec.required_features
             assert spec.description
 

@@ -5,9 +5,10 @@ never changes which ``(config, iteration)`` pairs run or their seeds — so
 for a fixed-iteration matrix and fixed campaign seed the merged findings
 (bug ids + dedup keys) are bit-identical across ``static``, ``adaptive``
 and ``coverage`` scheduling; only lease order/placement (and the coverage
-telemetry itself) differ.  Plus: checkpoint v4 round-trips scheduler state
-and per-cell coverage across a mid-campaign kill, and v3 checkpoints are
-rejected loudly.
+telemetry itself) differ.  Plus: the checkpoint round-trips scheduler state
+and per-cell coverage across a mid-campaign kill, older checkpoint formats
+are rejected loudly, and a coverage-scheduler resume validates the
+checkpointed novelty window instead of silently re-windowing stale samples.
 """
 
 import json
@@ -108,6 +109,40 @@ class TestCoverageSchedulerPolicy:
     def test_default_scheduler_state_is_empty(self):
         assert Scheduler.state_dict(build_scheduler("static")) == {}
 
+    def test_load_state_rejects_window_mismatch(self, monkeypatch):
+        """Regression: load_state used to persist ``window`` but ignore it
+        on restore, silently re-windowing stale novelty samples when the
+        engine's WINDOW changed between runs."""
+        scheduler = CoverageScheduler()
+        scheduler.observe(0, new_arcs=5, duration=0.5)
+        payload = json.loads(json.dumps(scheduler.state_dict()))
+        assert payload["window"] == CoverageScheduler.WINDOW
+
+        clone = CoverageScheduler()
+        monkeypatch.setattr(CoverageScheduler, "WINDOW",
+                            CoverageScheduler.WINDOW + 3)
+        with pytest.raises(ReproError, match="novelty window"):
+            clone.load_state(payload)
+
+    def test_load_state_rejects_corrupt_window(self):
+        scheduler = CoverageScheduler()
+        with pytest.raises(ReproError, match="non-integer"):
+            scheduler.load_state({"window": "wide", "recent": {}})
+
+    def test_load_state_accepts_matching_window(self):
+        scheduler = CoverageScheduler()
+        scheduler.observe(3, new_arcs=2, duration=0.1)
+        clone = CoverageScheduler()
+        clone.load_state(json.loads(json.dumps(scheduler.state_dict())))
+        assert clone.novelty_rate(3) == scheduler.novelty_rate(3)
+
+    def test_load_state_tolerates_missing_window(self):
+        # Hand-crafted payloads without a window entry restore as before
+        # (nothing to validate against).
+        scheduler = CoverageScheduler()
+        scheduler.load_state({"recent": {"1": [[4, 0.5]]}})
+        assert scheduler.novelty_rate(1) == pytest.approx(8.0)
+
 
 @pytest.mark.smoke
 @pytest.mark.campaign
@@ -193,7 +228,7 @@ class _InterruptAfter(ParallelCampaign):
 
 
 @pytest.mark.campaign
-class TestCheckpointV4:
+class TestCheckpointPersistence:
     def test_kill_and_resume_under_coverage_scheduler(self, tmp_path):
         config = tiny_campaign_config(iterations=6, seed=29)
         reference = run_parallel_campaign(config=config, n_workers=1,
@@ -206,7 +241,7 @@ class TestCheckpointV4:
             interrupted.run()
 
         payload = json.loads(open(path, encoding="utf-8").read())
-        assert payload["format_version"] == CHECKPOINT_FORMAT_VERSION == 4
+        assert payload["format_version"] == CHECKPOINT_FORMAT_VERSION == 5
         assert payload["scheduler"]["name"] == "coverage"
         assert payload["scheduler"]["state"]["recent"]  # rates persisted
         # per-cell cumulative coverage is in the checkpoint

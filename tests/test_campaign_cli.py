@@ -10,6 +10,7 @@ from repro.campaign import (
     parse_compiler_sets,
     parse_generators,
     parse_opt_levels,
+    parse_oracles,
 )
 
 
@@ -48,6 +49,11 @@ class TestArgumentParsing:
         assert args.pool_mode == "union"
         assert _parse("--pool-mode", "per-subset").pool_mode == "per-subset"
 
+    def test_oracles_axis_parsed(self):
+        args = _parse("--oracles", "difftest,perf, gradcheck")
+        assert parse_oracles(args) == ["difftest", "perf", "gradcheck"]
+        assert parse_oracles(_parse()) is None
+
 
 class TestSerialModeErrorsLoudly:
     def test_serial_with_checkpoint_is_an_error(self, tmp_path, capsys):
@@ -71,6 +77,11 @@ class TestSerialModeErrorsLoudly:
         with pytest.raises(SystemExit):
             main(["--serial", "--iterations", "2",
                   "--generators", "nnsmith,lemon"])
+
+    def test_serial_with_oracles_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["--serial", "--iterations", "2",
+                  "--oracles", "difftest,perf"])
 
     def test_serial_with_schedule_is_an_error(self):
         with pytest.raises(SystemExit):
@@ -142,3 +153,11 @@ class TestCampaignRuns:
                      "--generators", "targeted", "--oracle", "crash",
                      "--deterministic", "--quiet"]) == 0
         assert "iterations" in capsys.readouterr().out
+
+    def test_oracle_axis_cli_prints_per_oracle_venn(self, capsys):
+        assert main(["--workers", "1", "--iterations", "2", "--nodes", "4",
+                     "--oracles", "difftest,crash",
+                     "--deterministic", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "x oracle[difftest,crash]" in out
+        assert "Seeded bugs by oracle:" in out

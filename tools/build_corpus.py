@@ -19,6 +19,14 @@ seeded bugs — the remaining triggers need rare structures; the ``targeted``
 motif strategy reaches them within a few dozen iterations, which is how the
 corpus was extended to full coverage.
 
+Bugs whose symptom only a non-default oracle can observe are harvested
+through that oracle automatically: ``perf``-symptom bugs must be *detected*
+(a ``perf`` verdict) by the performance-regression oracle and
+``gradient``-symptom bugs by the ``gradcheck`` oracle before they are
+frozen.  Their corpus entries record the detecting oracle
+(``format_version`` 2, ``"oracle"`` field) so the replay test re-runs each
+case through the oracle that can actually see its bug.
+
 The generator knobs are pinned small (``max_dim=8``) so the frozen weights
 stay a few kilobytes per file.  Regenerate only when trigger conditions
 legitimately change; the corpus is otherwise append-only.
@@ -35,6 +43,7 @@ import numpy as np
 from repro.compilers.bugs import BugConfig, all_bugs, bug_spec
 from repro.core.difftest import DifferentialTester
 from repro.core.fuzzer import FuzzerConfig, generate_for_iteration
+from repro.core.oracle import build_oracle
 from repro.core.parallel import default_compiler_factory
 from repro.core.generator import GeneratorConfig
 from repro.core.strategy import DEFAULT_STRATEGY, registered_strategies
@@ -42,7 +51,14 @@ from repro.dtypes import DType
 from repro.graph.serialize import model_to_dict
 from repro.runtime.interpreter import random_inputs
 
-CORPUS_FORMAT_VERSION = 1
+#: v2 entries carry the detecting oracle (``"oracle"``); v1 entries predate
+#: the oracle registry and implicitly mean ``difftest``.
+CORPUS_FORMAT_VERSION = 2
+
+#: Which registry oracle can observe each oracle-only bug symptom.
+_SYMPTOM_ORACLES = {"perf": "perf", "gradient": "gradcheck"}
+#: The verdict status that counts as *detection* under each extra oracle.
+_ORACLE_DETECTS = {"perf": "perf", "gradcheck": "gradient"}
 CORPUS_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
                           "tests", "corpus")
 CAMPAIGN_SEED = 20260730
@@ -80,6 +96,33 @@ def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
                 if name.endswith(".json")}
     wanted = {spec.bug_id for spec in all_bugs()} - existing
     found = {}
+    # Oracle-only bugs (perf regressions, wrong gradients) are invisible to
+    # the differential tester; build the oracle that can see them only when
+    # such bugs are still wanted.
+    extra_oracles = {}
+    for bug in wanted:
+        oracle_name = _SYMPTOM_ORACLES.get(bug_spec(bug).symptom)
+        if oracle_name and oracle_name not in extra_oracles:
+            extra_oracles[oracle_name] = build_oracle(
+                oracle_name, default_compiler_factory(bugs), bugs=bugs)
+
+    def freeze(bug, via, oracle_name, iteration, model, inputs):
+        found[bug] = {
+            "format_version": CORPUS_FORMAT_VERSION,
+            "bug_id": bug,
+            "system": bug_spec(bug).system,
+            "phase": bug_spec(bug).phase,
+            "symptom": bug_spec(bug).symptom,
+            "detected_by": via,
+            "oracle": oracle_name,
+            "iteration": iteration,
+            "campaign_seed": seed,
+            "strategy": strategy,
+            "model": model_to_dict(model),
+            "inputs": _encode_inputs(inputs),
+        }
+        print(f"[{len(found):2d}] {bug:<40} via {via}/{oracle_name} "
+              f"(iteration {iteration})")
 
     for iteration in range(1, max_iterations + 1):
         if wanted <= set(found):
@@ -103,21 +146,29 @@ def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
         for bug, via in triggered.items():
             if bug in found or bug not in wanted:
                 continue
-            found[bug] = {
-                "format_version": CORPUS_FORMAT_VERSION,
-                "bug_id": bug,
-                "system": bug_spec(bug).system,
-                "phase": bug_spec(bug).phase,
-                "symptom": bug_spec(bug).symptom,
-                "detected_by": via,
-                "iteration": iteration,
-                "campaign_seed": seed,
-                "strategy": strategy,
-                "model": model_to_dict(model),
-                "inputs": _encode_inputs(inputs),
-            }
-            print(f"[{len(found):2d}] {bug:<40} via {via} "
-                  f"(iteration {iteration})")
+            if bug_spec(bug).symptom in _SYMPTOM_ORACLES:
+                continue  # needs its own oracle to *detect*, handled below
+            freeze(bug, via, "difftest", iteration, model, inputs)
+        for oracle_name, oracle in extra_oracles.items():
+            if not any(bug not in found and
+                       _SYMPTOM_ORACLES.get(bug_spec(bug).symptom)
+                       == oracle_name for bug in wanted):
+                continue
+            try:
+                extra_case = oracle.run_case(model, inputs=inputs)
+            except Exception:
+                continue
+            for verdict in extra_case.verdicts:
+                if verdict.status != _ORACLE_DETECTS[oracle_name]:
+                    continue  # trigger without detection: keep hunting
+                for bug in verdict.triggered_bugs:
+                    if bug in found or bug not in wanted:
+                        continue
+                    if _SYMPTOM_ORACLES.get(bug_spec(bug).symptom) != \
+                            oracle_name:
+                        continue
+                    freeze(bug, verdict.compiler, oracle_name, iteration,
+                           model, inputs)
 
     os.makedirs(CORPUS_DIR, exist_ok=True)
     for bug, entry in sorted(found.items()):
