@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-all smoke smoke-coverage smoke-oracles benchmarks table2
+.PHONY: test test-all smoke smoke-coverage smoke-oracles smoke-pipelines \
+	benchmarks table2
 
 # Default tier: everything except tests marked `slow`.
 test:
@@ -32,6 +33,19 @@ smoke-oracles:
 		--deterministic --quiet
 	$(PYTHON) -m pytest -q tests/core/test_perf_gradcheck_oracles.py \
 		tests/core/test_oracle_axis_campaign.py
+
+# Pipeline-axis smoke: a tiny canonical-vs-sampled pass-pipeline matrix
+# campaign with per-pipeline Venn slicing (seed 117 reliably shows the
+# seeded ordering-only bug in the sampled cell), plus the pipeline layer,
+# pass-fixpoint, bisection and pipeline-axis test suites.
+smoke-pipelines:
+	$(PYTHON) -m repro.campaign --iterations 8 --workers 1 --shards 1 \
+		--compilers graphrt --pipelines O0,O2,rand:14682586710177421089:1 \
+		--seed 117 --nodes 8 --deterministic --quiet
+	$(PYTHON) -m pytest -q tests/compilers/test_pipeline_layer.py \
+		tests/compilers/test_pass_fixpoint.py \
+		tests/experiments/test_pass_bisect.py \
+		tests/core/test_pipeline_axis_campaign.py
 
 # Regenerate the paper's tables/figures on scaled-down budgets.
 benchmarks:

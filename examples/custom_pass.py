@@ -1,0 +1,75 @@
+"""Register a custom compiler pass and fuzz it inside sampled pipelines.
+
+The shared pipeline layer (`repro.compilers.pipeline`) treats user passes
+exactly like the builtin ones: register a `PipelinePass` subclass into a
+stage and it joins that stage's samplable pool — `random:<k>@<seed>`
+pipelines will draw it alongside (and in arbitrary order with) the stock
+passes, which is precisely how pass-ordering bugs in *your* pass get found.
+User passes never join the canonical `O<k>` specs, so default compilations
+are unaffected.
+
+Run::
+
+    PYTHONPATH=src python examples/custom_pass.py
+"""
+
+from repro.compilers.base import CompileOptions
+from repro.compilers.bugs import BugConfig
+from repro.compilers.graphrt.compiler import GraphRTCompiler
+from repro.compilers.pipeline import (PipelinePass, PipelineSpec,
+                                      register_pass, sample_spec)
+from repro.graph.builder import GraphBuilder
+
+
+class StripIdentityChains(PipelinePass):
+    """Rewrite Identity(Identity(x)) chains down to a single Identity."""
+
+    def run(self, model, ctx):
+        changed = False
+        producers = {out: node for node in model.nodes for out in node.outputs}
+        for node in model.nodes:
+            if node.op != "Identity":
+                continue
+            producer = producers.get(node.inputs[0])
+            if producer is not None and producer.op == "Identity":
+                node.inputs[0] = producer.inputs[0]
+                changed = True
+        if changed:
+            model.prune_dead_nodes()
+        return changed
+
+
+register_pass("graphrt", StripIdentityChains)
+
+
+def _chain_model():
+    builder = GraphBuilder("chains")
+    x = builder.input([2, 4])
+    value = builder.op1("Identity", [x])
+    value = builder.op1("Identity", [value])
+    value = builder.op1("Relu", [value])
+    builder.output(value)
+    return builder.build()
+
+
+def main():
+    # 1. Run the pass explicitly in a hand-written pipeline.
+    spec = PipelineSpec.from_stage_map(
+        "strip+dce", {"graphrt": ["StripIdentityChains",
+                                  "DeadCodeElimination"]})
+    compiler = GraphRTCompiler(CompileOptions(bugs=BugConfig.none(),
+                                              pipeline=spec))
+    compiled = compiler.compile_model(_chain_model())
+    print("applied:", compiled.applied_passes)
+    print("modified by:", compiled.modified_by)
+
+    # 2. Sampled pipelines draw user passes too: count how often ours
+    #    appears (and where) across a few deterministic draws.
+    draws = [sample_spec(7, index).passes("graphrt") for index in range(8)]
+    hits = [d.index("StripIdentityChains") for d in draws
+            if "StripIdentityChains" in d]
+    print(f"sampled into {len(hits)}/8 pipelines at positions {hits}")
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,23 @@ regions::
     python -m repro.campaign --iterations 60 --workers 4 \\
         --oracles difftest,perf,gradcheck
 
+``--pipelines`` makes the *pass pipeline* a matrix axis: each token is
+either a canonical opt-level pipeline (``O0``/``O1``/``O2``) or a sampler
+``random:<k>@<seed>`` that expands to ``k`` deterministic random pass
+subsequences/orderings (pure function of the campaign seed and sampler
+seed, so every worker and every resume sees the same pipelines).  Sampled
+cells run equivalence-modulo-passes differential testing — the same model
+population compiled under a shuffled pass sequence versus the canonical
+one — which is how ordering-dependent compiler bugs that no canonical
+``-O<k>`` level can trigger become visible, each attributable to a minimal
+pass subsequence via :mod:`repro.experiments.pass_bisect`::
+
+    python -m repro.campaign --iterations 60 --workers 4 \\
+        --compilers graphrt --pipelines O2,random:4@11
+
+``--list-passes`` dumps the registered pass pipelines per backend stage
+and exits.
+
 Checkpointing streams *per-iteration* progress: a campaign killed mid-shard
 resumes from the exact iteration it reached, re-executing only the missing
 iterations of each matrix cell (pure time-budget campaigns track consumed
@@ -126,6 +143,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "the same shard seed streams and the summary "
                              "slices found bugs per oracle; registered: "
                              f"{', '.join(registered_oracles())}")
+    parser.add_argument("--pipelines", default=None, metavar="TOK[,TOK...]",
+                        help="pass pipelines raced as a matrix axis: 'O0'/"
+                             "'O1'/'O2' name the canonical opt-level "
+                             "pipelines, 'random:<k>@<seed>' expands to k "
+                             "deterministic sampled pass subsequences/"
+                             "orderings (e.g. --pipelines O2,random:4@11); "
+                             "sampled cells difftest equivalence-modulo-"
+                             "passes against the canonical pipeline")
+    parser.add_argument("--list-passes", action="store_true",
+                        help="print the registered pass registry (per "
+                             "backend stage, canonical order) and exit")
     parser.add_argument("--pool-mode", default="union",
                         choices=("union", "per-subset"),
                         help="operator-pool probing for --compilers matrices: "
@@ -204,6 +232,15 @@ def parse_oracles(args: argparse.Namespace) -> Optional[List[str]]:
     return names or None
 
 
+def parse_pipelines(args: argparse.Namespace) -> Optional[List[str]]:
+    """The pipeline-axis tokens requested on the command line."""
+    if not getattr(args, "pipelines", None):
+        return None
+    names = [name.strip() for name in args.pipelines.split(",")
+             if name.strip()]
+    return names or None
+
+
 def parse_compiler_sets(args: argparse.Namespace) -> Optional[List[List[str]]]:
     """The matrix columns requested on the command line, or None (flat)."""
     sets: List[List[str]] = []
@@ -267,11 +304,19 @@ def print_summary(result: CampaignResult) -> None:
         print()
         print(format_venn_table(campaign_cell_sets(result, by="oracle"),
                                 title="Seeded bugs by oracle:"))
+    if result.cells and any(cell.pipeline for cell in result.cells.values()):
+        print()
+        print(format_venn_table(campaign_cell_sets(result, by="pipeline"),
+                                title="Seeded bugs by pipeline:"))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.list_passes:
+        from repro.compilers.pipeline import describe_pass_registry
+        print(describe_pass_registry())
+        return 0
     config = make_config(args)
     serial = args.serial or args.workers == 0
     n_workers = max(args.workers, 1)
@@ -279,6 +324,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     opt_levels = parse_opt_levels(args)
     generators = parse_generators(args)
     oracles = parse_oracles(args)
+    pipelines = parse_pipelines(args)
     if opt_levels is not None and compiler_sets is None:
         # Factory mode fixes its own opt levels; silently ignoring the flag
         # would hand the user an O2 campaign labeled as whatever they asked.
@@ -291,10 +337,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error("--checkpoint requires the parallel engine; "
                          "use --workers 1 for an in-process run with "
                          "checkpoint support")
-        if compiler_sets or generators or oracles:
-            parser.error("--compilers/--matrix/--generators/--oracles "
-                         "require the parallel engine; use --workers 1 for "
-                         "an in-process matrix run")
+        if compiler_sets or generators or oracles or pipelines:
+            parser.error("--compilers/--matrix/--generators/--oracles/"
+                         "--pipelines require the parallel engine; use "
+                         "--workers 1 for an in-process matrix run")
         if args.schedule != DEFAULT_SCHEDULER or args.adaptive:
             # The reference path has no lease scheduler at all; silently
             # ignoring the flag would look like coverage-guided scheduling.
@@ -316,6 +362,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         mode += f" x gen[{','.join(generators)}]"
     if oracles:
         mode += f" x oracle[{','.join(oracles)}]"
+    if pipelines:
+        mode += f" x pipe[{','.join(pipelines)}]"
     how = "in-process" if n_workers == 1 else \
         f"across {n_workers} worker processes"
     schedule = "adaptive" if (args.adaptive and
@@ -337,6 +385,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         opt_levels=opt_levels,
         generators=generators,
         oracles=oracles,
+        pipelines=pipelines,
         pool_mode=args.pool_mode,
         n_shards=args.shards,
         checkpoint_path=args.checkpoint,

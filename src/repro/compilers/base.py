@@ -18,12 +18,16 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type
+from typing import (TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Type)
 
 import numpy as np
 
 from repro.compilers.bugs import BugConfig
 from repro.graph.model import Model
+
+if TYPE_CHECKING:
+    from repro.compilers.pipeline import PipelineSpec
 
 
 @dataclass
@@ -32,14 +36,22 @@ class CompileOptions:
 
     opt_level: int = 2          # 0 disables every optimization pass
     bugs: BugConfig = field(default_factory=BugConfig.all)
+    #: Explicit pass sequence overriding the canonical pipeline of
+    #: ``opt_level`` (see :mod:`repro.compilers.pipeline`).  ``None`` means
+    #: "the canonical spec of opt_level" — the historical behavior.
+    pipeline: Optional["PipelineSpec"] = None
 
 
 class CompiledModel(abc.ABC):
     """An executable produced by a compiler."""
 
-    def __init__(self, model: Model, applied_passes: Sequence[str]) -> None:
+    def __init__(self, model: Model, applied_passes: Sequence[str],
+                 modified_by: Sequence[str] = ()) -> None:
         self.model = model
         self.applied_passes = list(applied_passes)
+        #: Pass provenance: which of the applied passes actually rewrote the
+        #: IR.  Threaded into verdicts and bug reports by the oracles.
+        self.modified_by = list(modified_by)
 
     @abc.abstractmethod
     def run(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
@@ -133,13 +145,20 @@ def create_compiler(name: str, options: Optional[CompileOptions] = None) -> "Com
 
 
 def build_compiler_set(names: Sequence[str], opt_level: int = 2,
-                       bugs: Optional[BugConfig] = None) -> List["Compiler"]:
+                       bugs: Optional[BugConfig] = None,
+                       pipeline: Optional["PipelineSpec"] = None
+                       ) -> List["Compiler"]:
     """Instantiate one compiler per name, all at the same optimization level.
 
     This is the per-cell factory of the matrix campaign engine: a
     ``(shard, compiler_subset, opt_level)`` cell materializes its systems
-    under test through this function inside the worker process.
+    under test through this function inside the worker process.  An explicit
+    ``pipeline`` spec (the pipeline matrix axis) overrides the canonical
+    pass sequence of ``opt_level`` for every backend that has pipeline
+    stages; backends without any (e.g. Turbo) ignore it.
     """
     bugs = bugs if bugs is not None else BugConfig.all()
-    return [create_compiler(name, CompileOptions(opt_level=opt_level, bugs=bugs))
+    return [create_compiler(name, CompileOptions(opt_level=opt_level,
+                                                 bugs=bugs,
+                                                 pipeline=pipeline))
             for name in names]

@@ -154,6 +154,14 @@ _bug("graphrt-constfold-pow-overflow", "graphrt", "unclassified", "crash",
 _bug("graphrt-slice-merge-negative-step", "graphrt", "transformation", "crash",
      "Merging adjacent Slice nodes asserts that every step is 1.",
      [FEATURE_MULTI_OP, FEATURE_NON_SHAPE_PRESERVING, FEATURE_ATTR_DIVERSITY])
+_bug("graphrt-constfold-internal-biassoftmax", "graphrt", "transformation",
+     "crash",
+     "ConstantFolding assumes it runs on importer-produced graphs and "
+     "crashes on the internal BiasSoftmax node that BiasSoftmaxFusion "
+     "introduces.  The canonical pipeline folds constants long before the "
+     "fusion pass, so the crash only surfaces under a non-canonical pass "
+     "ordering that runs BiasSoftmaxFusion before ConstantFolding.",
+     [FEATURE_MULTI_OP])
 _bug("graphrt-matmul-repack-small", "graphrt", "transformation", "perf",
      "MatMulRepackSelection rewrites MatMul/Gemm onto a 'cache-friendly' "
      "repacked kernel, but its cost model is inverted for small operands: "

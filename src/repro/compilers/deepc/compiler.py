@@ -11,8 +11,9 @@ from repro.compilers.base import (CompiledModel, Compiler, CompileOptions,
 from repro.compilers.deepc import codegen, converter
 from repro.compilers.deepc.lowering import lower_graph
 from repro.compilers.deepc.lowir import LowModule
-from repro.compilers.deepc.lowpasses import LowPassContext, run_low_pipeline
-from repro.compilers.deepc.passes import DeepCPassContext, run_pipeline
+from repro.compilers.deepc.lowpasses import LowPassContext
+from repro.compilers.deepc.passes import DeepCPassContext
+from repro.compilers.pipeline import canonical_spec, run_pass_pipeline
 from repro.errors import ExecutionError, ReproError
 from repro.graph.model import Model
 
@@ -22,8 +23,9 @@ class DeepCExecutable(CompiledModel):
 
     def __init__(self, model: Model, module: LowModule,
                  applied_passes: Sequence[str],
-                 triggered_bugs: Sequence[str] = ()) -> None:
-        super().__init__(model, applied_passes)
+                 triggered_bugs: Sequence[str] = (),
+                 modified_by: Sequence[str] = ()) -> None:
+        super().__init__(model, applied_passes, modified_by)
         self.module = module
         self.triggered_bugs = list(triggered_bugs)
 
@@ -48,6 +50,7 @@ class DeepCCompiler(Compiler):
 
     def compile_model(self, model: Model) -> DeepCExecutable:
         triggered: List[str] = []
+        spec = self.options.pipeline or canonical_spec(self.options.opt_level)
 
         # Conversion phase.
         graph, conversion_bugs = converter.convert_model(model, self.options.bugs)
@@ -57,8 +60,8 @@ class DeepCCompiler(Compiler):
         applied: List[str] = []
         graph_ctx = DeepCPassContext(bugs=self.options.bugs,
                                      opt_level=self.options.opt_level)
-        if self.options.opt_level > 0:
-            applied.extend(run_pipeline(graph, graph_ctx))
+        applied.extend(run_pass_pipeline("deepc-graph", graph, graph_ctx,
+                                         spec.passes("deepc-graph")))
         triggered.extend(graph_ctx.triggered_bugs)
 
         # Lowering to the loop-level IR.
@@ -68,11 +71,12 @@ class DeepCCompiler(Compiler):
         # Low-level transformation phase.
         low_ctx = LowPassContext(bugs=self.options.bugs,
                                  opt_level=self.options.opt_level)
-        if self.options.opt_level > 0:
-            applied.extend(run_low_pipeline(module, low_ctx))
+        applied.extend(run_pass_pipeline("deepc-low", module, low_ctx,
+                                         spec.passes("deepc-low")))
         triggered.extend(low_ctx.triggered_bugs)
 
-        return DeepCExecutable(model, module, applied, triggered)
+        return DeepCExecutable(model, module, applied, triggered,
+                               graph_ctx.modified_by + low_ctx.modified_by)
 
     def supported_ops(self, candidate_ops: Sequence[str]) -> List[str]:
         available = set(converter.supported_operators())

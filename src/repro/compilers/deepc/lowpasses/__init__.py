@@ -4,40 +4,26 @@ These are the analogue of TVM's TIR-level transformations: they run after
 lowering and manipulate loop-level metadata (extents, vector widths, fused
 loop nests) on :class:`~repro.compilers.deepc.lowir.LowModule`.  The Tzer
 baseline fuzzer drives exactly this layer.
+
+The pass machinery lives in the shared :mod:`repro.compilers.pipeline`
+layer; this package contributes the ``"deepc-low"`` stage's passes.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
 from typing import List
 
-from repro.compilers.bugs import BugConfig
 from repro.compilers.deepc.lowir import LowModule
+from repro.compilers.pipeline import (PipelineContext, PipelinePass,
+                                      run_pass_pipeline)
+
+#: Historical name: state shared by low-level passes of one compilation.
+LowPassContext = PipelineContext
 
 
-@dataclass
-class LowPassContext:
-    """State shared by low-level passes of one compilation."""
-
-    bugs: BugConfig = field(default_factory=BugConfig.none)
-    opt_level: int = 2
-    triggered_bugs: List[str] = field(default_factory=list)
-    modified_by: List[str] = field(default_factory=list)
-
-    def record_bug(self, bug_id: str) -> None:
-        if bug_id not in self.triggered_bugs:
-            self.triggered_bugs.append(bug_id)
-
-
-class LowPass(abc.ABC):
+class LowPass(PipelinePass):
     """One low-level transformation."""
-
-    min_opt_level: int = 1
-
-    @property
-    def name(self) -> str:
-        return type(self).__name__
 
     @abc.abstractmethod
     def run(self, module: LowModule, ctx: LowPassContext) -> bool:
@@ -57,13 +43,5 @@ def default_low_pipeline() -> List[LowPass]:
 
 
 def run_low_pipeline(module: LowModule, ctx: LowPassContext) -> List[str]:
-    """Run every applicable low-level pass once."""
-    applied: List[str] = []
-    for low_pass in default_low_pipeline():
-        if ctx.opt_level < low_pass.min_opt_level:
-            continue
-        changed = low_pass.run(module, ctx)
-        applied.append(low_pass.name)
-        if changed:
-            ctx.modified_by.append(low_pass.name)
-    return applied
+    """Run the canonical low-level pipeline of ``ctx.opt_level`` once."""
+    return run_pass_pipeline("deepc-low", module, ctx)

@@ -32,6 +32,8 @@ class VectorizeInnerLoop(LowPass):
                     continue
                 if instr.loop_extent < _VECTOR_WIDTH:
                     continue
+                if instr.vector_width == _VECTOR_WIDTH:
+                    continue
                 instr.vector_width = _VECTOR_WIDTH
                 remainder = instr.loop_extent % _VECTOR_WIDTH
                 if remainder and ctx.bugs.enabled("deepc-lowlevel-vectorize-remainder"):

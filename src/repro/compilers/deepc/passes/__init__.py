@@ -5,40 +5,26 @@ Unlike GraphRT's pattern-specific rewrites, DeepC's graph passes are mostly
 complex) rather than concrete operator kinds, mirroring the design difference
 between TVM and ONNXRuntime the paper uses to explain their differing
 coverage sensitivity (§5.2).
+
+The pass machinery lives in the shared :mod:`repro.compilers.pipeline`
+layer; this package contributes the ``"deepc-graph"`` stage's passes.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
 from typing import List
 
-from repro.compilers.bugs import BugConfig
 from repro.compilers.deepc.ir import DGraph
+from repro.compilers.pipeline import (PipelineContext, PipelinePass,
+                                      run_pass_pipeline)
+
+#: Historical name: state shared by the graph passes of one compilation.
+DeepCPassContext = PipelineContext
 
 
-@dataclass
-class DeepCPassContext:
-    """State shared by the graph passes of one DeepC compilation."""
-
-    bugs: BugConfig = field(default_factory=BugConfig.none)
-    opt_level: int = 2
-    triggered_bugs: List[str] = field(default_factory=list)
-    modified_by: List[str] = field(default_factory=list)
-
-    def record_bug(self, bug_id: str) -> None:
-        if bug_id not in self.triggered_bugs:
-            self.triggered_bugs.append(bug_id)
-
-
-class DeepCPass(abc.ABC):
+class DeepCPass(PipelinePass):
     """One DeepC graph-level transformation."""
-
-    min_opt_level: int = 1
-
-    @property
-    def name(self) -> str:
-        return type(self).__name__
 
     @abc.abstractmethod
     def run(self, graph: DGraph, ctx: DeepCPassContext) -> bool:
@@ -61,13 +47,5 @@ def default_pipeline() -> List[DeepCPass]:
 
 
 def run_pipeline(graph: DGraph, ctx: DeepCPassContext) -> List[str]:
-    """Run every applicable pass once, returning the applied pass names."""
-    applied: List[str] = []
-    for graph_pass in default_pipeline():
-        if ctx.opt_level < graph_pass.min_opt_level:
-            continue
-        changed = graph_pass.run(graph, ctx)
-        applied.append(graph_pass.name)
-        if changed:
-            ctx.modified_by.append(graph_pass.name)
-    return applied
+    """Run the canonical graph pipeline of ``ctx.opt_level`` once."""
+    return run_pass_pipeline("deepc-graph", graph, ctx)

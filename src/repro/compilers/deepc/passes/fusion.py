@@ -57,10 +57,11 @@ class FuseOps(DeepCPass):
                 groups.append([node.name])
                 group_of[node.name] = len(groups) - 1
 
+        changed = groups != graph.fusion_groups
         graph.fusion_groups = groups
         for node in order:
             graph.annotate(node, fusion_group=group_of[node.name])
-        return bool(groups)
+        return changed
 
     def _joinable_group(self, graph: DGraph, node: Node, group_of: Dict[str, int],
                         groups: List[List[str]], consumer_map, ctx: DeepCPassContext):

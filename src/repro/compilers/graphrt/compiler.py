@@ -9,7 +9,8 @@ import numpy as np
 from repro.compilers.base import (CompiledModel, Compiler, CompileOptions,
                                   register_compiler)
 from repro.compilers.graphrt import runtime
-from repro.compilers.graphrt.passes import PassContext, run_pipeline
+from repro.compilers.graphrt.passes import PassContext
+from repro.compilers.pipeline import canonical_spec, run_pass_pipeline
 from repro.errors import ConversionError, ExecutionError, ReproError
 from repro.graph.model import Model
 from repro.graph.validate import validation_errors
@@ -20,8 +21,9 @@ class GraphRTExecutable(CompiledModel):
     """A graph optimized by GraphRT, executed by kernel dispatch."""
 
     def __init__(self, model: Model, applied_passes: Sequence[str],
-                 triggered_bugs: Sequence[str] = ()) -> None:
-        super().__init__(model, applied_passes)
+                 triggered_bugs: Sequence[str] = (),
+                 modified_by: Sequence[str] = ()) -> None:
+        super().__init__(model, applied_passes, modified_by)
         self.triggered_bugs = list(triggered_bugs)
 
     def run(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
@@ -46,11 +48,12 @@ class GraphRTCompiler(Compiler):
     # ------------------------------------------------------------------ #
     def compile_model(self, model: Model) -> GraphRTExecutable:
         imported = self._import(model)
+        spec = self.options.pipeline or canonical_spec(self.options.opt_level)
         ctx = PassContext(bugs=self.options.bugs, opt_level=self.options.opt_level)
-        applied: List[str] = []
-        if self.options.opt_level > 0:
-            applied = run_pipeline(imported, ctx)
-        return GraphRTExecutable(imported, applied, ctx.triggered_bugs)
+        applied: List[str] = run_pass_pipeline("graphrt", imported, ctx,
+                                               spec.passes("graphrt"))
+        return GraphRTExecutable(imported, applied, ctx.triggered_bugs,
+                                 ctx.modified_by)
 
     # ------------------------------------------------------------------ #
     def _import(self, model: Model) -> Model:

@@ -4,46 +4,30 @@ GraphRT mirrors ONNXRuntime's architecture: a large collection of
 *pattern-specific* graph rewrites (fusions, eliminations, foldings) applied
 to the imported graph, after which the optimized graph is executed by a
 kernel-dispatch runtime (no code generation).
+
+The pass machinery itself (context, base class, runner, registry) lives in
+the shared :mod:`repro.compilers.pipeline` layer; this package contributes
+the ``"graphrt"`` stage's passes and keeps the historical names importable.
 """
 
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
 from typing import List
 
-from repro.compilers.bugs import BugConfig
+from repro.compilers.pipeline import (PipelineContext, PipelinePass,
+                                      run_pass_pipeline)
 from repro.graph.model import Model
 
-
-@dataclass
-class PassContext:
-    """State shared by the passes of one compilation."""
-
-    bugs: BugConfig = field(default_factory=BugConfig.none)
-    opt_level: int = 2
-    #: Seeded bugs whose buggy path actually executed during this compilation.
-    triggered_bugs: List[str] = field(default_factory=list)
-    #: Names of passes that modified the graph.
-    modified_by: List[str] = field(default_factory=list)
-
-    def record_bug(self, bug_id: str) -> None:
-        if bug_id not in self.triggered_bugs:
-            self.triggered_bugs.append(bug_id)
+#: Historical name: state shared by the passes of one compilation.
+PassContext = PipelineContext
 
 
-class GraphPass(abc.ABC):
+class GraphPass(PipelinePass):
     """One graph-rewriting pass.
 
     Passes mutate the model in place and return True when they changed it.
     """
-
-    #: Minimum optimization level at which this pass runs.
-    min_opt_level: int = 1
-
-    @property
-    def name(self) -> str:
-        return type(self).__name__
 
     @abc.abstractmethod
     def run(self, model: Model, ctx: PassContext) -> bool:
@@ -79,13 +63,9 @@ def default_pipeline() -> List[GraphPass]:
 
 
 def run_pipeline(model: Model, ctx: PassContext) -> List[str]:
-    """Run every applicable pass once; returns the names of applied passes."""
-    applied: List[str] = []
-    for graph_pass in default_pipeline():
-        if ctx.opt_level < graph_pass.min_opt_level:
-            continue
-        changed = graph_pass.run(model, ctx)
-        applied.append(graph_pass.name)
-        if changed:
-            ctx.modified_by.append(graph_pass.name)
-    return applied
+    """Run the canonical pipeline of ``ctx.opt_level`` once.
+
+    Kept for back compatibility; the shared runner with an explicit pass
+    sequence is :func:`repro.compilers.pipeline.run_pass_pipeline`.
+    """
+    return run_pass_pipeline("graphrt", model, ctx)

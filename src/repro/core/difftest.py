@@ -88,6 +88,9 @@ class CompilerVerdict:
     message: str = ""
     #: Ground-truth seeded bugs whose buggy path executed (compile + export).
     triggered_bugs: List[str] = field(default_factory=list)
+    #: Pass provenance: the passes that rewrote the IR during compilation
+    #: (empty when compilation itself crashed before finishing).
+    modified_by: List[str] = field(default_factory=list)
 
     @property
     def found_bug(self) -> bool:
@@ -233,23 +236,30 @@ class DifferentialTester:
                                    _bugs_from_error(exc))
 
         triggered = list(getattr(compiled, "triggered_bugs", []))
+        modified = list(getattr(compiled, "modified_by", []))
         try:
             outputs = compiled.run(inputs)
         except ReproError as exc:
             return CompilerVerdict(compiler.name, "crash", "execution", str(exc),
-                                   triggered + _bugs_from_error(exc))
+                                   triggered + _bugs_from_error(exc), modified)
 
         if not numerically_valid:
             # NaN/Inf reached some operator: results are not comparable
             # (§2.3, challenge #3) — never raise a semantic alarm here.
-            return CompilerVerdict(compiler.name, "ok", "", "", triggered)
+            return CompilerVerdict(compiler.name, "ok", "", "", triggered,
+                                   modified)
 
         mismatch = compare_outputs(oracle_outputs, outputs, self.rtol, self.atol)
         if mismatch is None:
-            return CompilerVerdict(compiler.name, "ok", "", "", triggered)
+            return CompilerVerdict(compiler.name, "ok", "", "", triggered,
+                                   modified)
 
         phase = self._localize_fault(compiler, exported, inputs, oracle_outputs)
-        return CompilerVerdict(compiler.name, "semantic", phase, mismatch, triggered)
+        if getattr(compiler.options, "pipeline", None) is not None:
+            mismatch += self._canonical_pipeline_note(compiler, exported,
+                                                      inputs, oracle_outputs)
+        return CompilerVerdict(compiler.name, "semantic", phase, mismatch,
+                               triggered, modified)
 
     def _localize_fault(self, compiler: Compiler, exported: Model,
                         inputs: Dict[str, np.ndarray],
@@ -264,6 +274,31 @@ class DifferentialTester:
         if compare_outputs(oracle_outputs, outputs, self.rtol, self.atol) is None:
             return "transformation"
         return "conversion"
+
+    def _canonical_pipeline_note(self, compiler: Compiler, exported: Model,
+                                 inputs: Dict[str, np.ndarray],
+                                 oracle_outputs: Dict[str, np.ndarray]) -> str:
+        """Equivalence-modulo-passes, second reference point.
+
+        A compiler carrying an explicit (sampled) pipeline spec is judged
+        against O0 by :meth:`_localize_fault` *and* against the canonical
+        pipeline of its opt level here: if the canonical build agrees with
+        the oracle, the mismatch depends on the pass sequence itself.  The
+        note lands in the (semantic) message, which is not part of the
+        dedup key.
+        """
+        token = compiler.options.pipeline.name
+        canonical = type(compiler)(CompileOptions(
+            opt_level=compiler.options.opt_level, bugs=self.bugs))
+        try:
+            outputs = canonical.compile_model(exported).run(inputs)
+        except ReproError as exc:
+            return (f" [pipeline {token}: canonical pipeline also fails: "
+                    f"{first_line(str(exc))}]")
+        if compare_outputs(oracle_outputs, outputs, self.rtol, self.atol) is None:
+            return (f" [pipeline {token}: canonical pipeline agrees with the "
+                    f"oracle — pass-sequence-dependent miscompilation]")
+        return f" [pipeline {token}: canonical pipeline disagrees too]"
 
 
 def _bugs_from_error(exc: Exception) -> List[str]:

@@ -50,6 +50,9 @@ class BugReport:
     message: str
     triggered_bugs: List[str]
     iteration: int
+    #: Pass provenance: the passes that rewrote the IR in the compilation
+    #: this finding came from (not part of the dedup key).
+    modified_by: List[str] = field(default_factory=list)
 
     @property
     def seeded_ids(self) -> List[str]:
@@ -96,6 +99,11 @@ class FuzzerConfig:
     #: Registered oracle judging every test case
     #: (see :mod:`repro.core.oracle`).
     oracle: str = DEFAULT_ORACLE
+    #: Pipeline token of this campaign/cell (``"O<k>"`` or
+    #: ``"rand:<seed>:<index>"``, see :mod:`repro.compilers.pipeline`);
+    #: None means "the canonical pipeline of each compiler's opt level" —
+    #: the historical behavior.
+    pipeline: Optional[str] = None
 
 
 @dataclass
@@ -131,13 +139,18 @@ class CellOutcome:
     #: which case :func:`repro.experiments.venn.campaign_cell_sets` slices
     #: coverage along any matrix axis exactly like bugs.
     coverage_arcs: Set[str] = field(default_factory=set)
+    #: Pipeline token of this cell; None means "the canonical pipeline of
+    #: the cell's opt level" (campaigns without a pipeline axis keep their
+    #: pre-v6 cell keys).
+    pipeline: Optional[str] = None
 
     def key(self) -> str:
         """Stable identifier of the matrix cell this outcome belongs to.
 
         Axis components are appended only when the axis is in use, so
-        campaigns without a generator/oracle axis keep their historical
-        keys (and therefore their checkpoint cell entries) unchanged.
+        campaigns without a generator/oracle/pipeline axis keep their
+        historical keys (and therefore their checkpoint cell entries)
+        unchanged.
         """
         names = "+".join(self.compilers) if self.compilers else "<default>"
         opt = "O?" if self.opt_level is None else f"O{self.opt_level}"
@@ -146,13 +159,16 @@ class CellOutcome:
             base = f"{base}|{self.generator}"
         if self.oracle is not None:
             base = f"{base}|oracle:{self.oracle}"
+        if self.pipeline is not None:
+            base = f"{base}|pipe:{self.pipeline}"
         return base
 
     def copy(self) -> "CellOutcome":
         return CellOutcome(self.shard, tuple(self.compilers), self.opt_level,
                            self.iterations, set(self.seeded_bugs_found),
                            set(self.report_keys), self.generator,
-                           self.oracle, set(self.coverage_arcs))
+                           self.oracle, set(self.coverage_arcs),
+                           self.pipeline)
 
     def fold(self, other: "CellOutcome") -> None:
         """Accumulate another outcome of the *same* cell into this one."""
@@ -437,6 +453,7 @@ def fold_case(result: CampaignResult, case: CaseResult, iteration: int,
             message=verdict.message,
             triggered_bugs=list(verdict.triggered_bugs),
             iteration=iteration,
+            modified_by=list(getattr(verdict, "modified_by", [])),
         )
         result.reports.append(report)
         fresh.append(report)

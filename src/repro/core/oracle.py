@@ -191,25 +191,28 @@ class ShapeOnlyOracle(BaseOracle):
             return CompilerVerdict(compiler.name, "crash", "transformation",
                                    str(exc), _bugs_from_error(exc))
         triggered = list(getattr(compiled, "triggered_bugs", []))
+        modified = list(getattr(compiled, "modified_by", []))
         try:
             outputs = compiled.run(inputs)
         except ReproError as exc:
             return CompilerVerdict(compiler.name, "crash", "execution",
                                    str(exc),
-                                   triggered + _bugs_from_error(exc))
+                                   triggered + _bugs_from_error(exc),
+                                   modified)
         for name, shape in expected.items():
             if name not in outputs:
                 return CompilerVerdict(
                     compiler.name, "semantic", "execution",
                     f"output {name!r} missing from compiled results",
-                    triggered)
+                    triggered, modified)
             actual = tuple(np.asarray(outputs[name]).shape)
             if actual != shape:
                 return CompilerVerdict(
                     compiler.name, "semantic", "execution",
                     f"output {name!r} shape mismatch: inferred {shape}, "
-                    f"got {actual}", triggered)
-        return CompilerVerdict(compiler.name, "ok", "", "", triggered)
+                    f"got {actual}", triggered, modified)
+        return CompilerVerdict(compiler.name, "ok", "", "", triggered,
+                               modified)
 
 
 # --------------------------------------------------------------------------- #
@@ -242,12 +245,14 @@ class CrashOnlyOracle(BaseOracle):
         exported = export_model(model, bugs=self.bugs, report=report)
         verdicts: List[CompilerVerdict] = []
         for compiler in self.compilers:
+            modified: List[str] = []
             try:
                 compiled = compiler.compile_model(exported)
                 triggered = list(getattr(compiled, "triggered_bugs", []))
+                modified = list(getattr(compiled, "modified_by", []))
                 compiled.run(inputs)
                 verdict = CompilerVerdict(compiler.name, "ok", "", "",
-                                          triggered)
+                                          triggered, modified)
             except ConversionError as exc:
                 verdict = CompilerVerdict(compiler.name, "crash", "conversion",
                                           str(exc), _bugs_from_error(exc))
@@ -257,7 +262,8 @@ class CrashOnlyOracle(BaseOracle):
                                           _bugs_from_error(exc))
             except ReproError as exc:
                 verdict = CompilerVerdict(compiler.name, "crash", "execution",
-                                          str(exc), _bugs_from_error(exc))
+                                          str(exc), _bugs_from_error(exc),
+                                          modified)
             verdict.triggered_bugs.extend(
                 bug for bug in report.triggered_bugs
                 if bug not in verdict.triggered_bugs)
@@ -385,18 +391,21 @@ class PerfRegressionOracle(BaseOracle):
             return CompilerVerdict(compiler.name, "crash", "transformation",
                                    str(exc), _bugs_from_error(exc))
         triggered = list(getattr(optimized, "triggered_bugs", []))
+        modified = list(getattr(optimized, "modified_by", []))
         try:
             optimized.run(inputs)
         except ReproError as exc:
             return CompilerVerdict(compiler.name, "crash", "execution",
                                    str(exc),
-                                   triggered + _bugs_from_error(exc))
+                                   triggered + _bugs_from_error(exc),
+                                   modified)
         opt_level = getattr(getattr(compiler, "options", None),
                             "opt_level", None)
         if not opt_level:
             # Already an O0 (or unleveled) build: no optimized-vs-baseline
             # contrast exists for this cell.
-            return CompilerVerdict(compiler.name, "ok", "", "", triggered)
+            return CompilerVerdict(compiler.name, "ok", "", "", triggered,
+                                   modified)
         try:
             baseline = type(compiler)(
                 CompileOptions(opt_level=0, bugs=self.bugs)
@@ -405,19 +414,21 @@ class PerfRegressionOracle(BaseOracle):
         except ReproError:
             # The unoptimized build itself fails; crash-class oracles own
             # that case — there is no baseline to regress against.
-            return CompilerVerdict(compiler.name, "ok", "", "", triggered)
+            return CompilerVerdict(compiler.name, "ok", "", "", triggered,
+                                   modified)
         threshold = self._calibrated_threshold(baseline, inputs)
         optimized_time = self._measure(optimized, inputs)
         baseline_time = self._measure(baseline, inputs)
         ratio = optimized_time / baseline_time
         if ratio <= threshold:
-            return CompilerVerdict(compiler.name, "ok", "", "", triggered)
+            return CompilerVerdict(compiler.name, "ok", "", "", triggered,
+                                   modified)
         message = (f"optimized (O{opt_level}) build is {ratio:.1f}x slower "
                    f"than O0 ({optimized_time * 1e3:.3f}ms vs "
                    f"{baseline_time * 1e3:.3f}ms; calibrated threshold "
                    f"{threshold:.2f}x)")
         return CompilerVerdict(compiler.name, "perf", "transformation",
-                               message, triggered)
+                               message, triggered, modified)
 
 
 # --------------------------------------------------------------------------- #
@@ -565,6 +576,7 @@ class GradientCheckOracle(BaseOracle):
             return CompilerVerdict(compiler.name, "crash", "transformation",
                                    str(exc), _bugs_from_error(exc))
         compile_triggered = list(getattr(compiled, "triggered_bugs", []))
+        modified = list(getattr(compiled, "modified_by", []))
         try:
             verdict = self._judge_runner(compiler.name, compiled.run, inputs,
                                          float_outputs, targets, analytic,
@@ -572,10 +584,12 @@ class GradientCheckOracle(BaseOracle):
         except ReproError as exc:
             return CompilerVerdict(compiler.name, "crash", "execution",
                                    str(exc),
-                                   compile_triggered + _bugs_from_error(exc))
+                                   compile_triggered + _bugs_from_error(exc),
+                                   modified)
         verdict.triggered_bugs.extend(
             bug for bug in compile_triggered
             if bug not in verdict.triggered_bugs)
+        verdict.modified_by = modified
         return verdict
 
     def _judge_runner(self, system, runner, inputs, float_outputs, targets,

@@ -1,0 +1,204 @@
+"""Pass-sequence bisection: shrink a pipeline-axis finding to a minimal
+pass subsequence.
+
+A finding from a ``--pipelines random:<k>@<seed>`` campaign cell says "this
+model fails under *this sampled pass sequence*" — typically dozens of
+passes, of which one or two actually interact.  This module runs
+deterministic delta debugging (ddmin) over the flattened pass sequence of
+the failing pipeline: it repeatedly compiles the model under candidate
+subsequences (relative pass order preserved — ordering is usually the whole
+point) and keeps the smallest subsequence that still reproduces the same
+failure.
+
+The result is the pipeline-axis analogue of test-case reduction: instead
+of shrinking the *model*, it shrinks the *pass schedule*, attributing the
+finding to e.g. ``[BiasSoftmaxFusion, ConstantFolding]`` — "the fusion
+introduces an internal operator the folder cannot evaluate when it runs
+afterwards" — which no per-pass unit test and no canonical ``-O<k>``
+pipeline (where the folder runs first) would surface.
+
+Typical use, straight from a campaign finding::
+
+    from repro.compilers.pipeline import resolve_pipeline
+    from repro.experiments.pass_bisect import bisect_finding
+
+    result = bisect_finding(model, "graphrt", "rand:12345:0")
+    print(result.minimal)   # (("graphrt", "BiasSoftmaxFusion"),
+                            #  ("graphrt", "ConstantFolding"))
+
+Everything is deterministic: ddmin's probe order is a pure function of the
+input sequence, and each probe compiles with the same model/inputs, so the
+attribution is stable across reruns and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compilers.base import build_compiler_set
+from repro.compilers.bugs import BugConfig
+from repro.compilers.pipeline import PipelineSpec, resolve_pipeline
+from repro.core.difftest import (
+    ABSOLUTE_TOLERANCE,
+    RELATIVE_TOLERANCE,
+    _bugs_from_error,
+    compare_outputs,
+    first_line,
+)
+from repro.errors import ReproError
+from repro.graph.model import Model
+from repro.runtime.exporter import export_model
+from repro.runtime.interpreter import Interpreter, random_inputs
+
+#: A pass in a flattened pipeline: ``(stage, pass name)``.
+PassRef = Tuple[str, str]
+
+
+@dataclass
+class Failure:
+    """The observable signature of one failing compile/run probe."""
+
+    #: ``"crash"`` or ``"semantic"``.
+    status: str
+    #: Seeded-bug ids recovered from the crash message (may be empty).
+    bug_ids: Tuple[str, ...]
+    #: First line of the crash/mismatch message (diagnostic only).
+    message: str
+
+    def matches(self, other: "Failure") -> bool:
+        """Same failure for bisection purposes?
+
+        Two crashes match when they share a seeded-bug id (or neither
+        carries one — real-world crashes have no ground-truth labels);
+        semantic mismatches match by status alone, since the numeric
+        detail varies with which passes ran.
+        """
+        if self.status != other.status:
+            return False
+        if self.bug_ids and other.bug_ids:
+            return bool(set(self.bug_ids) & set(other.bug_ids))
+        return True
+
+
+@dataclass
+class BisectResult:
+    """Outcome of a pass-sequence bisection."""
+
+    #: Minimal failing subsequence, in pipeline order.
+    minimal: Tuple[PassRef, ...]
+    #: The minimal subsequence as a runnable spec (same failure guaranteed).
+    spec: PipelineSpec
+    #: The failure signature the minimal subsequence reproduces.
+    failure: Optional[Failure]
+    #: Whether the full input pipeline reproduced a failure at all.
+    reproduced: bool
+    #: Number of candidate pipelines compiled during the search.
+    probes: int = 0
+
+
+def flatten_spec(spec: PipelineSpec) -> Tuple[PassRef, ...]:
+    """The spec's passes as one ordered ``(stage, name)`` sequence."""
+    return tuple((stage, name) for stage, names in spec.stages
+                 for name in names)
+
+
+def spec_from_passes(name: str, passes: Sequence[PassRef]) -> PipelineSpec:
+    """Rebuild a spec from a flattened subsequence (stage order preserved)."""
+    stages: Dict[str, List[str]] = {}
+    for stage, pass_name in passes:
+        stages.setdefault(stage, []).append(pass_name)
+    return PipelineSpec.from_stage_map(name, stages)
+
+
+def minimize_passes(reproduces: Callable[[Sequence[PassRef]], bool],
+                    passes: Sequence[PassRef]) -> Tuple[Tuple[PassRef, ...], int]:
+    """Deterministic ddmin over an ordered pass sequence.
+
+    ``reproduces(subsequence)`` must return True when the failure still
+    shows under exactly that subsequence.  Returns the 1-minimal
+    subsequence (removing any single remaining chunk un-reproduces) and
+    the number of probes spent.  Probe order is a pure function of the
+    input, so attribution is bit-stable.
+    """
+    current = list(passes)
+    probes = 0
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            probes += 1
+            if reproduces(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Re-scan from the front: removals can enable each other.
+                start = 0
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return tuple(current), probes
+
+
+def bisect_finding(model: Model, compiler_name: str,
+                   pipeline, *,
+                   opt_level: int = 2,
+                   bugs: Optional[BugConfig] = None,
+                   inputs: Optional[Dict[str, np.ndarray]] = None,
+                   rtol: float = RELATIVE_TOLERANCE,
+                   atol: float = ABSOLUTE_TOLERANCE) -> BisectResult:
+    """Shrink a pipeline-axis finding to its minimal pass subsequence.
+
+    ``pipeline`` is the failing cell's pipeline token (``"rand:<s>:<i>"``)
+    or an already-resolved :class:`PipelineSpec`.  The model is compiled
+    under the full pipeline first to capture the failure signature
+    (crash with seeded-bug ids, or semantic mismatch versus the reference
+    interpreter), then ddmin probes subsequences until 1-minimal.
+    """
+    bugs = bugs if bugs is not None else BugConfig.all()
+    spec = pipeline if isinstance(pipeline, PipelineSpec) \
+        else resolve_pipeline(pipeline)
+    if inputs is None:
+        inputs = random_inputs(model, np.random.default_rng(0))
+    oracle = Interpreter(record_intermediates=False).run_detailed(model, inputs)
+    exported = export_model(model, bugs=bugs)
+
+    def probe(candidate: Sequence[PassRef]) -> Optional[Failure]:
+        candidate_spec = spec_from_passes(f"{spec.name}|bisect", candidate)
+        compiler = build_compiler_set([compiler_name], opt_level=opt_level,
+                                      bugs=bugs, pipeline=candidate_spec)[0]
+        try:
+            compiled = compiler.compile_model(exported)
+            outputs = compiled.run(inputs)
+        except ReproError as exc:
+            return Failure("crash", tuple(_bugs_from_error(exc)),
+                           first_line(str(exc)))
+        if not oracle.numerically_valid:
+            return None
+        mismatch = compare_outputs(oracle.outputs, outputs, rtol, atol)
+        if mismatch is None:
+            return None
+        return Failure("semantic", (), first_line(mismatch))
+
+    full = flatten_spec(spec)
+    baseline = probe(full)
+    if baseline is None:
+        return BisectResult(minimal=full, spec=spec, failure=None,
+                            reproduced=False, probes=1)
+
+    def reproduces(candidate: Sequence[PassRef]) -> bool:
+        failure = probe(candidate)
+        return failure is not None and failure.matches(baseline)
+
+    minimal, probes = minimize_passes(reproduces, full)
+    return BisectResult(minimal=minimal,
+                        spec=spec_from_passes(f"{spec.name}|min", minimal),
+                        failure=baseline, reproduced=True, probes=probes + 1)

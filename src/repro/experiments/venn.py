@@ -65,8 +65,9 @@ def campaign_cell_sets(result, by: str = "compiler_set",
     joined with ``+``), ``"opt_level"`` (``O0``/``O2``/...), ``"generator"``
     (the cell's generation strategy — the paper's fuzzer-vs-fuzzer
     comparison), ``"oracle"`` (the cell's test oracle — which bug classes
-    each oracle alone can see), ``"shard"`` or ``"cell"`` (each cell its
-    own set).
+    each oracle alone can see), ``"pipeline"`` (the cell's pass-pipeline
+    token — which findings only a non-canonical pass ordering exposes),
+    ``"shard"`` or ``"cell"`` (each cell its own set).
     ``what`` selects the elements: ``"bugs"`` (ground-truth seeded bug ids),
     ``"reports"`` (deduplicated report keys) or ``"coverage"`` (encoded
     branch arcs — populated by campaigns run with coverage feedback, e.g.
@@ -76,7 +77,7 @@ def campaign_cell_sets(result, by: str = "compiler_set",
     :func:`unique_counts` / :func:`format_venn_table`.
     """
     if by not in ("compiler_set", "opt_level", "generator", "oracle",
-                  "shard", "cell"):
+                  "pipeline", "shard", "cell"):
         raise ValueError(f"unknown grouping {by!r}")
     if what not in ("bugs", "reports", "coverage"):
         raise ValueError(f"unknown element kind {what!r}")
@@ -92,6 +93,8 @@ def campaign_cell_sets(result, by: str = "compiler_set",
             label = cell.generator if cell.generator else "<default>"
         elif by == "oracle":
             label = cell.oracle if cell.oracle else "<default>"
+        elif by == "pipeline":
+            label = cell.pipeline if cell.pipeline else "<default>"
         else:
             label = f"shard{cell.shard}"
         if what == "bugs":

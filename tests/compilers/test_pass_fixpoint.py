@@ -1,0 +1,97 @@
+"""Fixpoint/idempotence property of every registered pipeline pass.
+
+Running any pass twice in a row must report no modification the second
+time: graph rewrites in this codebase are expected to reach a fixpoint in
+one application (they loop internally until done).  A pass that keeps
+reporting changes on its own output would make ``modified_by`` provenance
+meaningless and could loop forever in a future fixpoint driver.
+
+The property is checked over the regression-corpus models (every frozen
+bug-triggering graph, the most pass-exercising population we have) plus
+the hand-built test models, with seeded bugs disabled — the property under
+test is the passes' contract, not the seeded deviations from it.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.compilers.base import CompileOptions
+from repro.compilers.bugs import BugConfig
+from repro.compilers.deepc import converter
+from repro.compilers.deepc.lowering import lower_graph
+from repro.compilers.graphrt.compiler import GraphRTCompiler
+from repro.compilers.pipeline import (
+    STAGES,
+    PipelineContext,
+    create_pass,
+    registered_passes,
+)
+from repro.errors import ReproError
+from repro.graph.serialize import model_from_dict
+from repro.testing import build_conv_model, build_mlp_model
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+
+def _source_models():
+    models = [build_mlp_model(), build_conv_model()]
+    for path in sorted(CORPUS_DIR.glob("*.json")):
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        models.append(model_from_dict(entry["model"]))
+    return models
+
+
+@pytest.fixture(scope="module")
+def stage_irs():
+    """Per-stage IR populations derived from the source models.
+
+    Models a backend cannot convert are skipped for that backend's stages
+    (the corpus spans all systems; e.g. deepc rejects some operators) —
+    the remaining population still covers every pass.
+    """
+    bugs = BugConfig.none()
+    irs = {stage: [] for stage in STAGES}
+    importer = GraphRTCompiler(CompileOptions(opt_level=0, bugs=bugs))
+    for model in _source_models():
+        try:
+            irs["graphrt"].append(importer._import(model))
+        except ReproError:
+            pass
+        try:
+            graph, _ = converter.convert_model(model, bugs)
+        except ReproError:
+            continue
+        irs["deepc-graph"].append(graph)
+        try:
+            module, _ = lower_graph(graph, bugs)
+        except ReproError:
+            continue
+        irs["deepc-low"].append(module)
+    assert all(irs[stage] for stage in STAGES)
+    return irs
+
+
+def _stage_pass_ids():
+    return [(stage, name) for stage in STAGES
+            for name in registered_passes(stage)]
+
+
+@pytest.mark.parametrize("stage,pass_name", _stage_pass_ids(),
+                         ids=[f"{s}:{n}" for s, n in _stage_pass_ids()])
+def test_pass_is_idempotent(stage, pass_name, stage_irs):
+    bugs = BugConfig.none()
+    exercised = 0
+    for ir in stage_irs[stage]:
+        work = ir.clone()
+        pipeline_pass = create_pass(stage, pass_name)
+        pipeline_pass.run(work, PipelineContext(bugs=bugs, opt_level=2))
+        second = PipelineContext(bugs=bugs, opt_level=2)
+        changed_again = pipeline_pass.run(work, second)
+        assert not changed_again, \
+            (f"{stage}:{pass_name} reported a modification on its own "
+             f"output (model {ir.name!r})")
+        assert not second.modified_by
+        exercised += 1
+    assert exercised > 0

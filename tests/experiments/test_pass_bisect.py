@@ -1,0 +1,131 @@
+"""Pass-sequence bisection: ddmin minimality, determinism, attribution."""
+
+import numpy as np
+import pytest
+
+from repro.compilers.pipeline import PipelineSpec, canonical_spec
+from repro.experiments.pass_bisect import (
+    BisectResult,
+    Failure,
+    bisect_finding,
+    flatten_spec,
+    minimize_passes,
+    spec_from_passes,
+)
+from repro.graph.builder import GraphBuilder
+
+
+def _ordering_model():
+    """Add feeding a single Softmax consumer: the BiasSoftmaxFusion motif."""
+    builder = GraphBuilder("biasmax")
+    x = builder.input([2, 6])
+    bias = builder.weight(np.linspace(-1, 1, 6, dtype=np.float32))
+    hidden = builder.op1("Add", [x, bias])
+    out = builder.op1("Softmax", [hidden], axis=1)
+    builder.output(out)
+    return builder.build()
+
+
+#: A sampled pipeline that runs BiasSoftmaxFusion before ConstantFolding.
+ORDERING_SPEC = PipelineSpec.from_stage_map("ordertest", {
+    "graphrt": ["EliminateIdentity", "BiasSoftmaxFusion", "ReshapeMerge",
+                "ConstantFolding", "DeadCodeElimination"]})
+
+
+class TestMinimizePasses:
+    def test_shrinks_to_the_interacting_pair_preserving_order(self):
+        passes = [("s", name) for name in "ABCDEFGH"]
+
+        def reproduces(candidate):
+            names = [name for _, name in candidate]
+            return "B" in names and "F" in names and \
+                names.index("B") < names.index("F")
+
+        minimal, probes = minimize_passes(reproduces, passes)
+        assert minimal == (("s", "B"), ("s", "F"))
+        assert probes > 0
+
+    def test_single_culprit(self):
+        passes = [("s", name) for name in "ABCD"]
+        minimal, _ = minimize_passes(
+            lambda cand: any(name == "C" for _, name in cand), passes)
+        assert minimal == (("s", "C"),)
+
+    def test_is_deterministic(self):
+        passes = [("s", name) for name in "ABCDEFGH"]
+
+        def reproduces(candidate):
+            names = [name for _, name in candidate]
+            return {"A", "D", "G"} <= set(names)
+
+        first = minimize_passes(reproduces, passes)
+        assert first == minimize_passes(reproduces, passes)
+        assert first[0] == (("s", "A"), ("s", "D"), ("s", "G"))
+
+    def test_irreducible_sequence_returned_whole(self):
+        passes = [("s", "A"), ("s", "B")]
+        minimal, _ = minimize_passes(lambda cand: len(cand) == 2, passes)
+        assert minimal == tuple(passes)
+
+
+class TestSpecHelpers:
+    def test_flatten_round_trips_through_spec(self):
+        spec = canonical_spec(2)
+        flat = flatten_spec(spec)
+        rebuilt = spec_from_passes("rebuilt", flat)
+        for stage, names in spec.stages:
+            assert rebuilt.passes(stage) == names
+
+    def test_flatten_preserves_stage_order(self):
+        flat = flatten_spec(ORDERING_SPEC)
+        assert flat[0] == ("graphrt", "EliminateIdentity")
+        assert flat.index(("graphrt", "BiasSoftmaxFusion")) < \
+            flat.index(("graphrt", "ConstantFolding"))
+
+
+class TestBisectFinding:
+    def test_attributes_ordering_bug_to_two_passes(self):
+        result = bisect_finding(_ordering_model(), "graphrt", ORDERING_SPEC)
+        assert isinstance(result, BisectResult)
+        assert result.reproduced
+        assert result.minimal == (("graphrt", "BiasSoftmaxFusion"),
+                                  ("graphrt", "ConstantFolding"))
+        assert result.failure.status == "crash"
+        assert "graphrt-constfold-internal-biassoftmax" in \
+            result.failure.bug_ids
+        # the minimal spec is runnable and reproduces on its own
+        rerun = bisect_finding(_ordering_model(), "graphrt", result.spec)
+        assert rerun.reproduced and rerun.minimal == result.minimal
+
+    def test_is_deterministic(self):
+        first = bisect_finding(_ordering_model(), "graphrt", ORDERING_SPEC)
+        again = bisect_finding(_ordering_model(), "graphrt", ORDERING_SPEC)
+        assert (first.minimal, first.probes) == (again.minimal, again.probes)
+
+    def test_accepts_pipeline_tokens(self):
+        result = bisect_finding(_ordering_model(), "graphrt",
+                                "rand:14682586710177421089:1")
+        assert result.reproduced
+        assert result.minimal == (("graphrt", "BiasSoftmaxFusion"),
+                                  ("graphrt", "ConstantFolding"))
+
+    def test_non_reproducing_pipeline_reports_it(self):
+        # canonical O2 runs folding before fusion: nothing to bisect
+        result = bisect_finding(_ordering_model(), "graphrt",
+                                canonical_spec(2))
+        assert not result.reproduced
+        assert result.failure is None
+        assert result.probes == 1
+
+
+class TestFailureMatching:
+    def test_crash_matches_by_shared_bug_id(self):
+        a = Failure("crash", ("bug-x",), "m1")
+        b = Failure("crash", ("bug-x", "bug-y"), "m2")
+        assert a.matches(b)
+        assert not a.matches(Failure("crash", ("bug-z",), "m3"))
+
+    def test_unlabeled_crashes_match_by_status(self):
+        assert Failure("crash", (), "a").matches(Failure("crash", (), "b"))
+        assert not Failure("crash", (), "a").matches(
+            Failure("semantic", (), "b"))

@@ -27,6 +27,16 @@ frozen.  Their corpus entries record the detecting oracle
 (``format_version`` 2, ``"oracle"`` field) so the replay test re-runs each
 case through the oracle that can actually see its bug.
 
+Bugs that only a *non-canonical pass ordering* can trigger (no ``-O<k>``
+pipeline ever runs the interacting passes in the failing order) are
+harvested with ``--pipelines``: every listed token (``rand:<seed>:<index>``
+or ``random:<k>@<seed>``, see :mod:`repro.compilers.pipeline`) adds a
+differential tester whose compilers run that sampled pass sequence.  A bug
+frozen this way gets a ``format_version`` 3 entry recording the
+``"pipeline"`` token and the ``"minimal_passes"`` attribution computed by
+:mod:`repro.experiments.pass_bisect` — the replay test re-runs the case
+under the recorded pipeline *and* re-derives the attribution.
+
 The generator knobs are pinned small (``max_dim=8``) so the frozen weights
 stay a few kilobytes per file.  Regenerate only when trigger conditions
 legitimately change; the corpus is otherwise append-only.
@@ -40,7 +50,9 @@ import os
 
 import numpy as np
 
+from repro.compilers.base import build_compiler_set, registered_compilers
 from repro.compilers.bugs import BugConfig, all_bugs, bug_spec
+from repro.compilers.pipeline import expand_pipeline_tokens, resolve_pipeline
 from repro.core.difftest import DifferentialTester
 from repro.core.fuzzer import FuzzerConfig, generate_for_iteration
 from repro.core.oracle import build_oracle
@@ -52,8 +64,10 @@ from repro.graph.serialize import model_to_dict
 from repro.runtime.interpreter import random_inputs
 
 #: v2 entries carry the detecting oracle (``"oracle"``); v1 entries predate
-#: the oracle registry and implicitly mean ``difftest``.
-CORPUS_FORMAT_VERSION = 2
+#: the oracle registry and implicitly mean ``difftest``.  v3 entries may
+#: additionally carry the triggering ``"pipeline"`` token and its
+#: ``"minimal_passes"`` bisection attribution.
+CORPUS_FORMAT_VERSION = 3
 
 #: Which registry oracle can observe each oracle-only bug symptom.
 _SYMPTOM_ORACLES = {"perf": "perf", "gradient": "gradcheck"}
@@ -77,7 +91,8 @@ def _encode_inputs(inputs):
 
 def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
                  max_dim: int = 8, seed: int = CAMPAIGN_SEED,
-                 strategy: str = DEFAULT_STRATEGY) -> None:
+                 strategy: str = DEFAULT_STRATEGY,
+                 pipelines=None) -> None:
     from repro.core.strategy import build_strategy
 
     bugs = BugConfig.all()
@@ -105,8 +120,17 @@ def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
         if oracle_name and oracle_name not in extra_oracles:
             extra_oracles[oracle_name] = build_oracle(
                 oracle_name, default_compiler_factory(bugs), bugs=bugs)
+    # Ordering-dependent bugs: one extra differential tester per sampled
+    # pipeline, its compilers locked to that pass sequence.
+    pipeline_testers = {}
+    for token in expand_pipeline_tokens(pipelines or [], seed):
+        spec = resolve_pipeline(token)
+        pipeline_testers[token] = DifferentialTester(
+            build_compiler_set(registered_compilers(), bugs=bugs,
+                               pipeline=spec), bugs=bugs)
 
-    def freeze(bug, via, oracle_name, iteration, model, inputs):
+    def freeze(bug, via, oracle_name, iteration, model, inputs,
+               pipeline=None, minimal_passes=None):
         found[bug] = {
             "format_version": CORPUS_FORMAT_VERSION,
             "bug_id": bug,
@@ -121,8 +145,12 @@ def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
             "model": model_to_dict(model),
             "inputs": _encode_inputs(inputs),
         }
+        if pipeline is not None:
+            found[bug]["pipeline"] = pipeline
+            found[bug]["minimal_passes"] = minimal_passes
         print(f"[{len(found):2d}] {bug:<40} via {via}/{oracle_name} "
-              f"(iteration {iteration})")
+              f"(iteration {iteration}"
+              + (f", pipeline {pipeline}" if pipeline else "") + ")")
 
     for iteration in range(1, max_iterations + 1):
         if wanted <= set(found):
@@ -169,6 +197,28 @@ def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
                         continue
                     freeze(bug, verdict.compiler, oracle_name, iteration,
                            model, inputs)
+        for token, pipe_tester in pipeline_testers.items():
+            if wanted <= set(found):
+                break
+            try:
+                pipe_case = pipe_tester.run_case(model, inputs=inputs)
+            except Exception:
+                continue
+            for verdict in pipe_case.verdicts:
+                for bug in verdict.triggered_bugs:
+                    if bug in found or bug not in wanted:
+                        continue
+                    if bug_spec(bug).symptom in _SYMPTOM_ORACLES:
+                        continue
+                    from repro.experiments.pass_bisect import bisect_finding
+
+                    result = bisect_finding(model, verdict.compiler, token,
+                                            bugs=bugs, inputs=inputs)
+                    minimal = [list(ref) for ref in result.minimal] \
+                        if result.reproduced else None
+                    freeze(bug, verdict.compiler, "difftest", iteration,
+                           model, inputs, pipeline=token,
+                           minimal_passes=minimal)
 
     os.makedirs(CORPUS_DIR, exist_ok=True)
     for bug, entry in sorted(found.items()):
@@ -198,7 +248,13 @@ if __name__ == "__main__":
     parser.add_argument("--nodes", type=int, default=8)
     parser.add_argument("--max-dim", type=int, default=8)
     parser.add_argument("--seed", type=int, default=CAMPAIGN_SEED)
+    parser.add_argument("--pipelines", action="append", default=None,
+                        metavar="TOKEN",
+                        help="additionally difftest every model under this "
+                             "pipeline token ('rand:<seed>:<index>' or "
+                             "'random:<k>@<seed>'); repeatable — harvests "
+                             "ordering-dependent bugs into v3 entries")
     args = parser.parse_args()
     build_corpus(args.max_iterations, n_nodes=args.nodes,
                  max_dim=args.max_dim, seed=args.seed,
-                 strategy=args.strategy)
+                 strategy=args.strategy, pipelines=args.pipelines)
