@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-all smoke smoke-coverage smoke-oracles smoke-pipelines \
-	benchmarks table2
+	benchmarks table2 bench
 
 # Default tier: everything except tests marked `slow`.
 test:
@@ -46,6 +46,14 @@ smoke-pipelines:
 		tests/compilers/test_pass_fixpoint.py \
 		tests/experiments/test_pass_bisect.py \
 		tests/core/test_pipeline_axis_campaign.py
+
+# Hot-path perf trajectory: time generate/search/compile/oracle on a pinned
+# small workload and write the per-stage iterations/sec point for this PR.
+# CI never thresholds these numbers (tests/test_bench_hot_path.py validates
+# only the schema); the JSON is the trajectory future PRs append to.
+bench:
+	$(PYTHON) tools/bench_hot_path.py --iterations 40 \
+		--output benchmarks/BENCH_7.json
 
 # Regenerate the paper's tables/figures on scaled-down budgets.
 benchmarks:

@@ -197,6 +197,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "independent results)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress streamed per-finding progress")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the hot-path caches (repro.core.cache); "
+                             "findings are bit-identical either way — this "
+                             "only benchmarks the cold path")
     return parser
 
 
@@ -208,6 +212,7 @@ def make_config(args: argparse.Namespace) -> FuzzerConfig:
         value_search_method=args.method,
         seed=args.seed,
         oracle=getattr(args, "oracle", DEFAULT_ORACLE),
+        enable_cache=not getattr(args, "no_cache", False),
     )
     if args.deterministic:
         config = deterministic_config(config)
@@ -276,6 +281,16 @@ def print_summary(result: CampaignResult) -> None:
             spec = bug_spec(bug_id)
             print(f"  {bug_id:<38} {spec.system}/{spec.phase}/{spec.symptom}")
     print("\nPer-system counts:", result.bugs_by_system())
+    if result.cache_stats:
+        parts = []
+        for stage in ("artifact", "shape_infer", "exec_plan"):
+            counters = result.cache_stats.get(stage)
+            if not counters:
+                continue
+            total = counters["hits"] + counters["misses"]
+            parts.append(f"{stage} {counters['hits']}/{total} hits")
+        if parts:
+            print("Hot-path cache:", ", ".join(parts))
     if result.coverage_arcs:
         pass_arcs = sum(1 for arc in result.coverage_arcs
                         if is_pass_arc(arc))

@@ -1,0 +1,422 @@
+"""Content-addressed caches for the campaign iteration hot path.
+
+Every campaign iteration used to recompile both backends from scratch and
+re-dispatch every interpreter node through :func:`execute_node`, even though
+the thousands of graphs a fuzzing campaign generates overlap heavily in
+structure.  This module is the LUT-specialization move (pLUTo / PALUTE in
+PAPERS.md): precompute the expensive per-node / per-graph work once, then
+serve repeated queries from tables.  Three cache layers:
+
+``artifact``
+    Compiled backends, keyed by a canonical *graph fingerprint* (structure +
+    initializer digests) plus everything that can change what a compiler
+    produces: compiler name, opt level, explicit pass pipeline (full content,
+    not just its display name), and the seeded-bug configuration.  A
+    seeded-bug compile can therefore never hit a clean-build entry, and two
+    pipelines that share a name but differ in passes never collide.
+    Deterministic compile *failures* (``ReproError``) are cached and
+    re-raised too, so error-path campaigns stay bit-identical.
+
+``shape_infer``
+    Memoized :func:`repro.ops.shape_infer.infer_output_types`, keyed by
+    ``(op_type, attrs, input_types)``.  Successes only — error messages may
+    embed node-specific text, and errors are the rare path.
+
+``exec_plan``
+    A per-model interpreter *execution plan*: topological order with each
+    node's kernel pre-resolved and per-value consumer refcounts precomputed,
+    so :meth:`Interpreter.run_detailed` skips registry dispatch and
+    ``topological_order()`` on every run.  Keyed weakly by the live
+    :class:`~repro.graph.model.Model` object and validated against its
+    ``structure_version`` counter, so mutation through the Model API
+    invalidates the plan.
+
+Invisibility contract
+---------------------
+Caching must be *provably invisible*: a campaign with caches on is
+bit-identical to caches off (findings, checkpoints, Venn sets) — enforced by
+``tests/core/test_hot_path_cache.py``.  Two consequences baked in here:
+
+* Cache state never feeds checkpoints: :mod:`repro.core.parallel` strips
+  ``cache_stats`` before persisting, and the checkpoint fingerprint ignores
+  the cache knob, so resuming a run across cache settings is legal (stats
+  restart at zero after a resume — they are telemetry, not findings).
+* Coverage-traced campaigns disable the *artifact* layer only (a cache hit
+  would skip the traced compile arcs); the shape-infer memo and execution
+  plans stay on because the tracer's scope excludes ``repro/ops`` and
+  ``repro/runtime``.
+
+Cache hits and misses are counted per stage and surface as
+``CampaignResult.cache_stats`` via the worker → coordinator telemetry
+stream; ``tools/bench_hot_path.py`` reports the same counters per benchmark
+stage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graph.model import Model
+from repro.graph.node import Node
+from repro.ops import semantics, shape_infer
+
+__all__ = [
+    "STAGES",
+    "ExecutionPlan",
+    "HotPathCache",
+    "artifact_cache_key",
+    "build_execution_plan",
+    "compile_with_cache",
+    "configure",
+    "execution_plan",
+    "get_cache",
+    "graph_fingerprint",
+    "reset",
+    "stats_delta",
+    "stats_snapshot",
+]
+
+#: Telemetry stages, in display order.
+STAGES = ("artifact", "shape_infer", "exec_plan")
+
+#: Artifact entries kept before LRU eviction.  Generous for the tiny models
+#: campaigns generate; bounds memory on long runs.
+ARTIFACT_CAPACITY = 512
+
+#: Shape-infer memo entries kept before the table is cleared wholesale
+#: (entries are tiny; wholesale clearing keeps the bookkeeping trivial).
+SHAPE_MEMO_CAPACITY = 65536
+
+
+# ---------------------------------------------------------------------------
+# Graph fingerprint
+
+
+def _encode_attr(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return [_encode_attr(item) for item in value]
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return [type(value).__name__, value]
+    return ["repr", repr(value)]
+
+
+def graph_fingerprint(model: Model) -> str:
+    """Canonical content hash of a model: structure + initializer digests.
+
+    Two models with identical structure, attrs and initializer bytes get the
+    same fingerprint regardless of object identity; any semantic difference
+    (shape, dtype, attr value, weight bytes, value names) changes it.
+    """
+    structure = {
+        "name": model.name,
+        "inputs": list(model.inputs),
+        "outputs": list(model.outputs),
+        "values": {
+            name: [list(vtype.shape), str(vtype.dtype)]
+            for name, vtype in sorted(model.value_types.items())
+        },
+        "nodes": [
+            [node.op, node.name, list(node.inputs), list(node.outputs),
+             sorted((key, _encode_attr(val)) for key, val in node.attrs.items())]
+            for node in model.nodes
+        ],
+    }
+    digest = hashlib.sha256()
+    digest.update(json.dumps(structure, sort_keys=True).encode("utf-8"))
+    for name in sorted(model.initializers):
+        array = np.ascontiguousarray(model.initializers[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(repr(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def artifact_cache_key(compiler: Any, model: Model) -> Tuple:
+    """Everything that can change what ``compiler.compile_model`` produces."""
+    options = getattr(compiler, "options", None)
+    pipeline = getattr(options, "pipeline", None)
+    bugs = getattr(options, "bugs", None)
+    return (
+        graph_fingerprint(model),
+        getattr(compiler, "name", type(compiler).__name__),
+        getattr(options, "opt_level", None),
+        # Key on full pipeline *content*: specs built outside the registry
+        # (e.g. pass bisection) may reuse a display name for different
+        # pass sequences.
+        None if pipeline is None else (pipeline.name, pipeline.stages),
+        None if bugs is None else tuple(sorted(bugs.enabled_ids())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Execution plans
+
+
+@dataclass
+class ExecutionPlan:
+    """Pre-resolved per-model interpreter schedule.
+
+    ``steps`` holds, per node in topological order, the resolved kernel (or
+    ``None`` — raised as :class:`UnsupportedOperatorError` *when reached*,
+    matching ``execute_node``), the node itself, and the first statically
+    unavailable input name (or ``None``) so the legacy ``GraphError`` fires
+    at the same point in the run.  ``consumers`` counts remaining reads per
+    value name (duplicate inputs count twice) for eager dead-value dropping;
+    ``protected`` is the graph-output set that must survive to the end.
+    """
+
+    steps: List[Tuple[Optional[Any], Node, Optional[str]]]
+    consumers: Dict[str, int]
+    protected: frozenset
+    n_nodes: int
+
+
+def build_execution_plan(model: Model) -> ExecutionPlan:
+    available = set(model.inputs) | set(model.initializers)
+    consumers: Dict[str, int] = {}
+    steps: List[Tuple[Optional[Any], Node, Optional[str]]] = []
+    for node in model.topological_order():
+        bad_input = None
+        for input_name in node.inputs:
+            if input_name not in available:
+                bad_input = input_name
+                break
+            consumers[input_name] = consumers.get(input_name, 0) + 1
+        steps.append((semantics.kernel_for(node.op), node, bad_input))
+        if bad_input is not None:
+            # Later steps never execute; stop mirroring the legacy walk here.
+            break
+        available.update(node.outputs)
+    return ExecutionPlan(
+        steps=steps,
+        consumers=consumers,
+        protected=frozenset(model.outputs),
+        n_nodes=len(model.nodes),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shape-infer memo keys
+
+
+def _freeze_attr(value: Any) -> Any:
+    """Hashable, type-discriminating view of an attr value.
+
+    Scalars are tagged with their type name so ``True`` and ``1`` (equal and
+    hash-equal in Python) cannot share a memo entry.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_attr(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted(
+            (key, _freeze_attr(val)) for key, val in value.items()))
+    return (type(value).__name__, value)
+
+
+# ---------------------------------------------------------------------------
+# The cache singleton
+
+
+class HotPathCache:
+    """Process-wide cache state.  One instance per process (:func:`get_cache`).
+
+    ``enabled`` gates every layer; ``artifact_enabled`` additionally gates
+    the artifact layer alone (turned off under coverage tracing, where a
+    cache hit would skip traced compile arcs).
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.artifact_enabled = True
+        self._artifacts: "OrderedDict[Tuple, Tuple[bool, Any]]" = OrderedDict()
+        self._shape_memo: Dict[Tuple, Tuple] = {}
+        self._plans: "weakref.WeakKeyDictionary[Model, Tuple[int, ExecutionPlan]]" = (
+            weakref.WeakKeyDictionary())
+        self._hits = {stage: 0 for stage in STAGES}
+        self._misses = {stage: 0 for stage in STAGES}
+
+    # -- telemetry ---------------------------------------------------------
+
+    def record_hit(self, stage: str) -> None:
+        self._hits[stage] += 1
+
+    def record_miss(self, stage: str) -> None:
+        self._misses[stage] += 1
+
+    def stats_snapshot(self) -> Dict[str, Dict[str, int]]:
+        return {
+            stage: {"hits": self._hits[stage], "misses": self._misses[stage]}
+            for stage in STAGES
+        }
+
+    def stats_delta(self, before: Dict[str, Dict[str, int]]) -> Dict[str, Dict[str, int]]:
+        """Per-stage counter growth since ``before``; silent stages omitted."""
+        delta: Dict[str, Dict[str, int]] = {}
+        for stage in STAGES:
+            prior = before.get(stage, {})
+            hits = self._hits[stage] - prior.get("hits", 0)
+            misses = self._misses[stage] - prior.get("misses", 0)
+            if hits or misses:
+                delta[stage] = {"hits": hits, "misses": misses}
+        return delta
+
+    # -- configuration -----------------------------------------------------
+
+    def configure(self, enabled: Optional[bool] = None,
+                  artifact: Optional[bool] = None) -> None:
+        if enabled is not None:
+            self.enabled = enabled
+        if artifact is not None:
+            self.artifact_enabled = artifact
+
+    def reset(self, stats_only: bool = False) -> None:
+        self._hits = {stage: 0 for stage in STAGES}
+        self._misses = {stage: 0 for stage in STAGES}
+        if not stats_only:
+            self._artifacts.clear()
+            self._shape_memo.clear()
+            self._plans = weakref.WeakKeyDictionary()
+
+    # -- artifact layer ----------------------------------------------------
+
+    def artifact_get(self, key: Tuple) -> Optional[Tuple[bool, Any]]:
+        entry = self._artifacts.get(key)
+        if entry is not None:
+            self._artifacts.move_to_end(key)
+        return entry
+
+    def artifact_put(self, key: Tuple, entry: Tuple[bool, Any]) -> None:
+        self._artifacts[key] = entry
+        self._artifacts.move_to_end(key)
+        while len(self._artifacts) > ARTIFACT_CAPACITY:
+            self._artifacts.popitem(last=False)
+
+    # -- shape-infer layer -------------------------------------------------
+
+    def shape_key(self, node: Node,
+                  input_types: Sequence[Any]) -> Optional[Tuple]:
+        if not self.enabled:
+            return None
+        try:
+            return (node.op, _freeze_attr(node.attrs), tuple(input_types))
+        except TypeError:
+            return None  # unhashable attr — bypass the memo
+
+    def shape_get(self, key: Tuple) -> Optional[Tuple]:
+        cached = self._shape_memo.get(key)
+        if cached is not None:
+            self.record_hit("shape_infer")
+        else:
+            self.record_miss("shape_infer")
+        return cached
+
+    def shape_put(self, key: Tuple, output_types: Tuple) -> None:
+        if len(self._shape_memo) >= SHAPE_MEMO_CAPACITY:
+            self._shape_memo.clear()
+        self._shape_memo[key] = output_types
+
+    # -- execution-plan layer ----------------------------------------------
+
+    def plan_for(self, model: Model) -> ExecutionPlan:
+        if not self.enabled:
+            return build_execution_plan(model)
+        version = getattr(model, "structure_version", None)
+        entry = self._plans.get(model)
+        if (entry is not None and entry[0] == version
+                and entry[1].n_nodes == len(model.nodes)):
+            self.record_hit("exec_plan")
+            return entry[1]
+        self.record_miss("exec_plan")
+        plan = build_execution_plan(model)
+        self._plans[model] = (version, plan)
+        return plan
+
+
+_CACHE = HotPathCache()
+
+
+def get_cache() -> HotPathCache:
+    return _CACHE
+
+
+def configure(enabled: Optional[bool] = None,
+              artifact: Optional[bool] = None) -> None:
+    """Process-wide cache switches (see :class:`HotPathCache.configure`)."""
+    _CACHE.configure(enabled=enabled, artifact=artifact)
+
+
+def reset(stats_only: bool = False) -> None:
+    _CACHE.reset(stats_only=stats_only)
+
+
+def stats_snapshot() -> Dict[str, Dict[str, int]]:
+    return _CACHE.stats_snapshot()
+
+
+def stats_delta(before: Dict[str, Dict[str, int]]) -> Dict[str, Dict[str, int]]:
+    return _CACHE.stats_delta(before)
+
+
+def execution_plan(model: Model) -> ExecutionPlan:
+    """The (possibly cached) execution plan of ``model``."""
+    return _CACHE.plan_for(model)
+
+
+def compile_with_cache(compiler: Any, model: Model) -> Any:
+    """``compiler.compile_model(model)`` through the artifact cache.
+
+    Deterministic compile failures (:class:`ReproError` subclasses) are
+    cached and re-raised so the error path is as hot as the success path.
+    Unknown compiler/model shapes (duck-typed test doubles) silently bypass
+    the cache rather than fail.
+    """
+    if not (_CACHE.enabled and _CACHE.artifact_enabled):
+        return compiler.compile_model(model)
+    try:
+        key = artifact_cache_key(compiler, model)
+    except (AttributeError, TypeError):
+        return compiler.compile_model(model)
+    entry = _CACHE.artifact_get(key)
+    if entry is not None:
+        _CACHE.record_hit("artifact")
+        ok, value = entry
+        if ok:
+            return value
+        raise value
+    _CACHE.record_miss("artifact")
+    try:
+        compiled = compiler.compile_model(model)
+    except ReproError as exc:
+        _CACHE.artifact_put(key, (False, exc))
+        raise
+    _CACHE.artifact_put(key, (True, compiled))
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# Shape-infer memo installation (import side effect, kept explicit)
+
+
+class _ShapeInferMemo:
+    """Adapter :mod:`repro.ops.shape_infer` calls into (successes only)."""
+
+    def key_for(self, node: Node, input_types: Sequence[Any]) -> Optional[Tuple]:
+        return _CACHE.shape_key(node, input_types)
+
+    def get(self, key: Tuple) -> Optional[Tuple]:
+        return _CACHE.shape_get(key)
+
+    def put(self, key: Tuple, output_types: Tuple) -> None:
+        _CACHE.shape_put(key, output_types)
+
+
+shape_infer.install_memo(_ShapeInferMemo())

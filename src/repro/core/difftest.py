@@ -21,6 +21,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.compilers.base import CompileOptions, Compiler
+from repro.core.cache import compile_with_cache
 from repro.compilers.bugs import BugConfig
 from repro.errors import CompilerError, ConversionError, ExecutionError, ReproError
 from repro.graph.model import Model
@@ -227,7 +228,7 @@ class DifferentialTester:
                        oracle_outputs: Dict[str, np.ndarray],
                        numerically_valid: bool) -> CompilerVerdict:
         try:
-            compiled = compiler.compile_model(exported)
+            compiled = compile_with_cache(compiler, exported)
         except ConversionError as exc:
             return CompilerVerdict(compiler.name, "crash", "conversion", str(exc),
                                    _bugs_from_error(exc))
@@ -267,7 +268,7 @@ class DifferentialTester:
         """Recompile at O0: if it agrees with the oracle the optimizer is wrong."""
         unoptimized = type(compiler)(CompileOptions(opt_level=0, bugs=self.bugs))
         try:
-            compiled = unoptimized.compile_model(exported)
+            compiled = compile_with_cache(unoptimized, exported)
             outputs = compiled.run(inputs)
         except ReproError:
             return "conversion"
@@ -291,7 +292,7 @@ class DifferentialTester:
         canonical = type(compiler)(CompileOptions(
             opt_level=compiler.options.opt_level, bugs=self.bugs))
         try:
-            outputs = canonical.compile_model(exported).run(inputs)
+            outputs = compile_with_cache(canonical, exported).run(inputs)
         except ReproError as exc:
             return (f" [pipeline {token}: canonical pipeline also fails: "
                     f"{first_line(str(exc))}]")

@@ -104,6 +104,12 @@ class FuzzerConfig:
     #: None means "the canonical pipeline of each compiler's opt level" —
     #: the historical behavior.
     pipeline: Optional[str] = None
+    #: Hot-path caching (:mod:`repro.core.cache`): compiled-artifact reuse,
+    #: shape-infer memoization and interpreter execution plans.  Provably
+    #: invisible to findings — a campaign with caches on is bit-identical
+    #: to caches off (enforced by ``tests/core/test_hot_path_cache.py``) —
+    #: so the only reason to turn this off is benchmarking the cold path.
+    enable_cache: bool = True
 
 
 @dataclass
@@ -206,6 +212,11 @@ class CampaignResult:
     #: campaign coordinator per folded iteration — the data behind the
     #: Figure 4/5-style coverage curves, per cell and global.
     coverage_timeline: List[Dict[str, Any]] = field(default_factory=list)
+    #: Per-stage cache telemetry (``{stage: {"hits": n, "misses": m}}``,
+    #: stages from :data:`repro.core.cache.STAGES`).  Pure telemetry:
+    #: excluded from checkpoints and from every equivalence signature, and
+    #: reset to zero on a checkpoint resume.
+    cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def unique_crashes(self, compiler: Optional[str] = None) -> int:
         keys = {first_line(report.message)
@@ -250,6 +261,10 @@ class CampaignResult:
         self.timeline = [{"elapsed": sample["elapsed"], "iteration": float(rank)}
                          for rank, sample in enumerate(samples, start=1)]
         self.coverage_arcs |= other.coverage_arcs
+        for stage, counters in other.cache_stats.items():
+            mine = self.cache_stats.setdefault(stage, {"hits": 0, "misses": 0})
+            mine["hits"] += counters.get("hits", 0)
+            mine["misses"] += counters.get("misses", 0)
         # Coverage samples keep their per-cell identity (unlike the
         # throughput timeline they are never renumbered); ``global_total``
         # is stamped by the coordinator that owned the campaign-wide union,
@@ -478,10 +493,14 @@ def single_iteration_result(tester: DifferentialTester, config: FuzzerConfig,
     (arcs new to the channel's seen-set) — compact novelty, not the
     cumulative set, which is what the worker→coordinator queue carries.
     """
+    from repro.core.cache import get_cache
+
     result = CampaignResult(iterations=1)
+    stats_before = get_cache().stats_snapshot()
     generated, case = run_campaign_iteration(
         tester, config, iteration, iteration_rng(config, iteration), strategy,
         coverage)
+    result.cache_stats = get_cache().stats_delta(stats_before)
     if coverage is not None:
         result.coverage_arcs = set(coverage.flush().arcs)
     if generated is None:
@@ -544,6 +563,15 @@ class Fuzzer:
         covered arcs in ``coverage_arcs`` — the serial loop speaks the same
         feedback protocol as the parallel engine's workers.
         """
+        from repro.core.cache import get_cache
+
+        # Coverage tracing must see every compile: artifact-cache hits would
+        # skip the traced arcs (shape-infer/plan caches are outside the
+        # tracer's scope and stay on).
+        get_cache().configure(
+            enabled=self.config.enable_cache,
+            artifact=self.config.enable_cache and coverage is None)
+        stats_before = get_cache().stats_snapshot()
         result = CampaignResult()
         seen_reports: Set[str] = set()
         start = time.monotonic()
@@ -571,6 +599,7 @@ class Fuzzer:
 
         result.iterations = iteration
         result.elapsed = time.monotonic() - start
+        result.cache_stats = get_cache().stats_delta(stats_before)
         return result
 
     # ------------------------------------------------------------------ #

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.compilers.base import Compiler
+from repro.core.cache import compile_with_cache
 from repro.compilers.bugs import BugConfig
 from repro.core.difftest import (CaseResult, CompilerVerdict,
                                  DifferentialTester, first_line)
@@ -183,7 +184,7 @@ class ShapeOnlyOracle(BaseOracle):
         from repro.core.difftest import _bugs_from_error
 
         try:
-            compiled = compiler.compile_model(exported)
+            compiled = compile_with_cache(compiler, exported)
         except ConversionError as exc:
             return CompilerVerdict(compiler.name, "crash", "conversion",
                                    str(exc), _bugs_from_error(exc))
@@ -247,7 +248,7 @@ class CrashOnlyOracle(BaseOracle):
         for compiler in self.compilers:
             modified: List[str] = []
             try:
-                compiled = compiler.compile_model(exported)
+                compiled = compile_with_cache(compiler, exported)
                 triggered = list(getattr(compiled, "triggered_bugs", []))
                 modified = list(getattr(compiled, "modified_by", []))
                 compiled.run(inputs)
@@ -383,7 +384,7 @@ class PerfRegressionOracle(BaseOracle):
         from repro.core.difftest import _bugs_from_error
 
         try:
-            optimized = compiler.compile_model(exported)
+            optimized = compile_with_cache(compiler, exported)
         except ConversionError as exc:
             return CompilerVerdict(compiler.name, "crash", "conversion",
                                    str(exc), _bugs_from_error(exc))
@@ -407,9 +408,9 @@ class PerfRegressionOracle(BaseOracle):
             return CompilerVerdict(compiler.name, "ok", "", "", triggered,
                                    modified)
         try:
-            baseline = type(compiler)(
-                CompileOptions(opt_level=0, bugs=self.bugs)
-            ).compile_model(exported)
+            baseline = compile_with_cache(
+                type(compiler)(CompileOptions(opt_level=0, bugs=self.bugs)),
+                exported)
             baseline.run(inputs)
         except ReproError:
             # The unoptimized build itself fails; crash-class oracles own
@@ -568,7 +569,7 @@ class GradientCheckOracle(BaseOracle):
         from repro.core.difftest import _bugs_from_error
 
         try:
-            compiled = compiler.compile_model(exported)
+            compiled = compile_with_cache(compiler, exported)
         except ConversionError as exc:
             return CompilerVerdict(compiler.name, "crash", "conversion",
                                    str(exc), _bugs_from_error(exc))

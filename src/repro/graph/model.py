@@ -32,6 +32,12 @@ class Model:
         self.inputs: List[str] = []
         self.outputs: List[str] = []
         self.initializers: Dict[str, np.ndarray] = {}
+        #: Bumped by every structural mutation through the Model API; cached
+        #: per-model execution plans (:mod:`repro.core.cache`) validate
+        #: against it.  Replacing an *initializer value* under an existing
+        #: name is not structural; rewiring nodes directly without the Model
+        #: helpers bypasses the counter (don't).
+        self.structure_version = 0
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -42,6 +48,7 @@ class Model:
         if name in self.inputs:
             raise GraphError(f"duplicate graph input {name!r}")
         self.inputs.append(name)
+        self.structure_version += 1
         return name
 
     def add_initializer(self, name: str, data: np.ndarray) -> str:
@@ -52,6 +59,7 @@ class Model:
         ttype = TensorType(array.shape, DType.from_numpy(array.dtype))
         self._declare_value(name, ttype)
         self.initializers[name] = array
+        self.structure_version += 1
         return name
 
     def add_node(self, node: Node, output_types: Sequence[TensorType]) -> Node:
@@ -72,6 +80,7 @@ class Model:
         for output_name, ttype in zip(node.outputs, output_types):
             self._declare_value(output_name, ttype)
         self.nodes.append(node)
+        self.structure_version += 1
         return node
 
     def mark_output(self, name: str) -> None:
@@ -80,6 +89,7 @@ class Model:
             raise GraphError(f"cannot mark unknown value {name!r} as output")
         if name not in self.outputs:
             self.outputs.append(name)
+            self.structure_version += 1
 
     def _declare_value(self, name: str, ttype: TensorType) -> None:
         if name in self.value_types:
@@ -225,12 +235,14 @@ class Model:
             if output in self.outputs or output in consumed:
                 continue
             self.value_types.pop(output, None)
+        self.structure_version += 1
 
     def replace_uses(self, old: str, new: str) -> None:
         """Rewire every consumer (and graph output) of ``old`` to use ``new``."""
         for node in self.nodes:
             node.inputs = [new if name == old else name for name in node.inputs]
         self.outputs = [new if name == old else name for name in self.outputs]
+        self.structure_version += 1
 
     def prune_dead_nodes(self) -> int:
         """Remove nodes whose outputs are never used.  Returns removal count."""

@@ -40,6 +40,12 @@ def has_kernel(name: str) -> bool:
     return name in _KERNELS
 
 
+def kernel_for(name: str):
+    """The registered kernel for ``name``, or ``None`` (used by execution
+    plans to resolve dispatch once per model instead of once per run)."""
+    return _KERNELS.get(name)
+
+
 def execute_node(node: Node, inputs: Sequence[np.ndarray]) -> List[np.ndarray]:
     """Execute one node on concrete input arrays."""
     func = _KERNELS.get(node.op)

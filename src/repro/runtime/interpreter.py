@@ -6,6 +6,20 @@ operator whose output contains a floating-point exceptional value.  The
 differential-testing harness uses it as the trusted baseline (§4 motivates
 why the paper uses PyTorch the same way), and the gradient-guided value
 search uses the recorded intermediates and NaN/Inf positions.
+
+Execution runs over a cached per-model *execution plan*
+(:mod:`repro.core.cache`): topological order with each node's kernel
+pre-resolved once per model instead of re-dispatched per run.  Two
+correctness properties of the run loop:
+
+* Initializers enter the value environment as **read-only views** — a
+  mutating kernel or a caller poking at ``RunResult.values`` can no longer
+  silently corrupt the model's weights for later iterations (a hard
+  precondition for sharing cached compiled artifacts across iterations).
+* With ``record_intermediates=False``, dead intermediates are dropped
+  eagerly (refcounted by remaining consumers from the plan) instead of
+  being retained until function exit; ``RunResult.peak_live_values``
+  reports the high-water mark.
 """
 
 from __future__ import annotations
@@ -15,9 +29,25 @@ from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
-from repro.errors import ExecutionError, GraphError
+from repro.errors import ExecutionError, GraphError, UnsupportedOperatorError
 from repro.graph.model import Model
-from repro.ops.semantics import execute_node
+
+_cache_module = None
+
+
+def _hot_cache():
+    """Lazy import of :mod:`repro.core.cache`.
+
+    ``repro.core.__init__`` imports the whole core package (including the
+    cache module, which imports ``repro.ops``); importing it at this
+    module's import time would create a cycle for anyone importing the
+    runtime package first.
+    """
+    global _cache_module
+    if _cache_module is None:
+        from repro.core import cache
+        _cache_module = cache
+    return _cache_module
 
 
 @dataclass
@@ -31,6 +61,11 @@ class RunResult:
     first_exceptional_node: Optional[str] = None
     #: Names of every node that produced a NaN/Inf output.
     exceptional_nodes: List[str] = field(default_factory=list)
+    #: High-water mark of simultaneously live values during the run (inputs,
+    #: weights and intermediates).  With ``record_intermediates=True`` this
+    #: equals the total value count; with ``False`` it shows how much the
+    #: eager dead-value dropping actually saved.
+    peak_live_values: int = 0
 
     @property
     def numerically_valid(self) -> bool:
@@ -51,6 +86,8 @@ class Interpreter:
     def run_detailed(self, model: Model,
                      inputs: Mapping[str, np.ndarray]) -> RunResult:
         """Execute the model, recording intermediates and NaN/Inf producers."""
+        plan = _hot_cache().execution_plan(model)
+
         values: Dict[str, np.ndarray] = {}
         for name in model.inputs:
             if name not in inputs:
@@ -62,31 +99,59 @@ class Interpreter:
                     f"input {name!r} has shape {array.shape}, expected {expected.shape}")
             values[name] = array
         for name, array in model.initializers.items():
-            values[name] = np.asarray(array)
+            # Read-only view: shares the weight's buffer without letting a
+            # kernel (or a RunResult.values consumer) write through to it.
+            view = np.asarray(array).view()
+            view.setflags(write=False)
+            values[name] = view
 
+        record = self.record_intermediates
+        remaining = None if record else dict(plan.consumers)
+        protected = plan.protected
         first_exceptional: Optional[str] = None
         exceptional: List[str] = []
-        for node in model.topological_order():
-            node_inputs = []
-            for input_name in node.inputs:
-                if input_name not in values:
-                    raise GraphError(
-                        f"node {node.name} consumes unavailable value {input_name!r}")
-                node_inputs.append(values[input_name])
-            results = execute_node(node, node_inputs)
+        peak = len(values)
+        for kernel_func, node, bad_input in plan.steps:
+            if bad_input is not None:
+                raise GraphError(
+                    f"node {node.name} consumes unavailable value {bad_input!r}")
+            node_inputs = [np.asarray(values[name]) for name in node.inputs]
+            if kernel_func is None:
+                raise UnsupportedOperatorError(
+                    f"no kernel for operator {node.op!r}")
+            try:
+                results = kernel_func(node.attrs, node_inputs)
+            except (ValueError, IndexError, ZeroDivisionError) as exc:
+                raise ExecutionError(f"kernel {node.op} failed: {exc}") from exc
             for output_name, array in zip(node.outputs, results):
                 values[output_name] = array
             if _has_exceptional(results):
                 exceptional.append(node.name)
                 if first_exceptional is None:
                     first_exceptional = node.name
+            if len(values) > peak:
+                peak = len(values)
+            if remaining is not None:
+                for input_name in node.inputs:
+                    count = remaining.get(input_name)
+                    if count is None:
+                        continue
+                    count -= 1
+                    remaining[input_name] = count
+                    if count == 0 and input_name not in protected:
+                        values.pop(input_name, None)
+                for output_name in node.outputs:
+                    if (output_name not in protected
+                            and remaining.get(output_name, 0) == 0):
+                        values.pop(output_name, None)
 
         outputs = {name: values[name] for name in model.outputs}
         return RunResult(
             outputs=outputs,
-            values=values if self.record_intermediates else {},
+            values=values if record else {},
             first_exceptional_node=first_exceptional,
             exceptional_nodes=exceptional,
+            peak_live_values=peak,
         )
 
 
@@ -97,12 +162,50 @@ def _has_exceptional(arrays: List[np.ndarray]) -> bool:
     return False
 
 
+def _integer_draw(rng: np.random.Generator, low: float, high: float,
+                  size, int_bounds: str) -> np.ndarray:
+    """Integer sampling for :func:`random_inputs`/:func:`random_weights`.
+
+    ``int_bounds`` picks between two distributions:
+
+    ``"legacy"`` (default)
+        ``rng.integers(int(low), max(int(high), int(low) + 1))`` — the
+        historical stream.  The high bound is *exclusive*, so the documented
+        ``[low, high)`` float range becomes ``[int(low), int(high))`` over
+        ints: with the default 1.0/9.0 range, 9 is never sampled, and when
+        ``int(high) == int(low)`` the draw degenerates to the single value
+        ``int(low)``.  This off-by-one is kept as the default on purpose —
+        every pinned campaign seed (the ``make smoke-oracles`` seed 29,
+        ``make smoke-pipelines`` seed 117, the frozen regression corpus)
+        reproduces bit-identically only on this stream.
+
+    ``"inclusive"``
+        The intended distribution: uniform over the closed range
+        ``[int(low), int(high)]``, every integer reachable, never
+        degenerate.  Opt in via the knob; flipping the default is a
+        seed-stream break and must come with regenerated corpus entries and
+        smoke seeds.
+    """
+    if int_bounds == "legacy":
+        return rng.integers(int(low), max(int(high), int(low) + 1), size=size)
+    if int_bounds == "inclusive":
+        lo, hi = int(low), int(high)
+        if hi < lo:
+            lo, hi = hi, lo
+        return rng.integers(lo, hi + 1, size=size)
+    raise ValueError(f"unknown int_bounds mode {int_bounds!r}; "
+                     f"expected 'legacy' or 'inclusive'")
+
+
 def random_inputs(model: Model, rng: Optional[np.random.Generator] = None,
-                  low: float = 1.0, high: float = 9.0) -> Dict[str, np.ndarray]:
+                  low: float = 1.0, high: float = 9.0,
+                  int_bounds: str = "legacy") -> Dict[str, np.ndarray]:
     """Sample random graph inputs (the paper's "Sampling" baseline range).
 
-    Floats are drawn uniformly from ``[low, high)``, integers from the same
-    range rounded down, and booleans as fair coin flips.
+    Floats are drawn uniformly from ``[low, high)`` and booleans as fair
+    coin flips.  Integer draws follow ``int_bounds`` — see
+    :func:`_integer_draw` for the legacy-vs-inclusive distinction and why
+    ``"legacy"`` stays the default.
     """
     rng = rng or np.random.default_rng()
     result: Dict[str, np.ndarray] = {}
@@ -111,7 +214,7 @@ def random_inputs(model: Model, rng: Optional[np.random.Generator] = None,
         if ttype.dtype.is_float:
             data = rng.uniform(low, high, size=ttype.shape)
         elif ttype.dtype.is_int:
-            data = rng.integers(int(low), max(int(high), int(low) + 1), size=ttype.shape)
+            data = _integer_draw(rng, low, high, ttype.shape, int_bounds)
         else:
             data = rng.integers(0, 2, size=ttype.shape).astype(bool)
         result[name] = np.asarray(data, dtype=ttype.dtype.numpy)
@@ -119,15 +222,20 @@ def random_inputs(model: Model, rng: Optional[np.random.Generator] = None,
 
 
 def random_weights(model: Model, rng: Optional[np.random.Generator] = None,
-                   low: float = 1.0, high: float = 9.0) -> Dict[str, np.ndarray]:
-    """Sample replacement values for the model's initializers."""
+                   low: float = 1.0, high: float = 9.0,
+                   int_bounds: str = "legacy") -> Dict[str, np.ndarray]:
+    """Sample replacement values for the model's initializers.
+
+    Same distribution rules as :func:`random_inputs`, including the
+    ``int_bounds`` knob.
+    """
     rng = rng or np.random.default_rng()
     result: Dict[str, np.ndarray] = {}
     for name, array in model.initializers.items():
         if array.dtype.kind == "f":
             data = rng.uniform(low, high, size=array.shape)
         elif array.dtype.kind in "iu":
-            data = rng.integers(int(low), max(int(high), int(low) + 1), size=array.shape)
+            data = _integer_draw(rng, low, high, array.shape, int_bounds)
         else:
             data = rng.integers(0, 2, size=array.shape).astype(bool)
         result[name] = np.asarray(data, dtype=array.dtype)

@@ -1,0 +1,403 @@
+"""Cache-equivalence suite: the hot-path caches must be provably invisible.
+
+Findings, checkpoints and Venn slices of a campaign with caching enabled
+must be bit-identical to the same campaign with caching disabled, across
+worker counts and through a kill/resume — while the artifact cache shows a
+non-zero hit rate on a repeated-graph workload.  Plus unit coverage of the
+cache keys themselves: pipeline tokens and ``BugConfig`` discriminate, a
+seeded-bug compile never hits a clean-build entry.
+"""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro.compilers.base import CompileOptions, Compiler, create_compiler
+from repro.compilers.bugs import BugConfig
+from repro.compilers.pipeline import PipelineSpec, canonical_spec
+from repro.core import cache
+from repro.core.fuzzer import Fuzzer
+from repro.core.parallel import ParallelCampaign, default_compiler_factory
+from repro.errors import CompilerError
+from repro.ops.shape_infer import infer_output_types
+from repro.graph.node import Node
+from repro.graph.tensor_type import TensorType
+from repro.dtypes import DType
+from repro.runtime.exporter import export_model
+from repro.runtime.interpreter import Interpreter
+from repro.testing import (build_mlp_model, campaign_signature,
+                           tiny_campaign_config)
+
+pytestmark = pytest.mark.campaign
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    """Each test starts cold and leaves the process-default switches on."""
+    cache.reset()
+    cache.configure(enabled=True, artifact=True)
+    yield
+    cache.reset()
+    cache.configure(enabled=True, artifact=True)
+
+
+def _config(enabled, **kwargs):
+    import dataclasses
+
+    return dataclasses.replace(tiny_campaign_config(**kwargs),
+                               enable_cache=enabled)
+
+
+# --------------------------------------------------------------------------- #
+# Fingerprint / key discrimination
+# --------------------------------------------------------------------------- #
+class TestGraphFingerprint:
+    def test_clone_shares_fingerprint(self):
+        model = build_mlp_model()
+        assert cache.graph_fingerprint(model) == \
+            cache.graph_fingerprint(model.clone())
+
+    def test_weight_bytes_change_fingerprint(self):
+        model = build_mlp_model()
+        other = model.clone()
+        name = next(iter(other.initializers))
+        other.initializers[name] = other.initializers[name] + 1
+        assert cache.graph_fingerprint(model) != cache.graph_fingerprint(other)
+
+    def test_attr_change_fingerprint(self):
+        model = build_mlp_model()
+        other = model.clone()
+        for node in other.nodes:
+            if node.attrs:
+                key = next(iter(node.attrs))
+                node.attrs[key] = node.attrs[key]
+                node.attrs["__probe__"] = 1
+                break
+        assert cache.graph_fingerprint(model) != cache.graph_fingerprint(other)
+
+
+class TestArtifactKey:
+    def test_pipeline_content_discriminates_shared_names(self):
+        # Two specs with the *same* display name but different pass content
+        # (the pass-bisection pattern) must never share a cache entry.
+        full = canonical_spec(2)
+        trimmed = PipelineSpec(name=full.name, stages=tuple(
+            (stage, names[:1]) for stage, names in full.stages))
+        model = export_model(build_mlp_model())
+        with_full = create_compiler("graphrt",
+                                    CompileOptions(opt_level=2, pipeline=full))
+        with_trimmed = create_compiler(
+            "graphrt", CompileOptions(opt_level=2, pipeline=trimmed))
+        assert cache.artifact_cache_key(with_full, model) != \
+            cache.artifact_cache_key(with_trimmed, model)
+
+    def test_bug_config_discriminates(self):
+        model = export_model(build_mlp_model())
+        seeded = create_compiler("graphrt",
+                                 CompileOptions(bugs=BugConfig.all()))
+        clean = create_compiler("graphrt",
+                                CompileOptions(bugs=BugConfig.none()))
+        assert cache.artifact_cache_key(seeded, model) != \
+            cache.artifact_cache_key(clean, model)
+
+    def test_seeded_compile_never_hits_clean_entry(self):
+        model = export_model(build_mlp_model())
+        clean = create_compiler("graphrt",
+                                CompileOptions(bugs=BugConfig.none()))
+        cache.compile_with_cache(clean, model)
+        before = cache.stats_snapshot()
+        seeded = create_compiler("graphrt",
+                                 CompileOptions(bugs=BugConfig.all()))
+        cache.compile_with_cache(seeded, model)
+        delta = cache.stats_delta(before)
+        assert delta["artifact"] == {"hits": 0, "misses": 1}
+
+    def test_opt_level_and_compiler_discriminate(self):
+        model = export_model(build_mlp_model())
+        keys = {
+            cache.artifact_cache_key(
+                create_compiler(name, CompileOptions(opt_level=level)), model)
+            for name in ("graphrt", "deepc")
+            for level in (0, 2)
+        }
+        assert len(keys) == 4
+
+
+class _CountingCompiler(Compiler):
+    name = "counting"
+
+    def __init__(self, options=None, fail=False):
+        super().__init__(options or CompileOptions())
+        self.calls = 0
+        self.fail = fail
+
+    def compile_model(self, model):
+        self.calls += 1
+        if self.fail:
+            raise CompilerError("deterministic failure [graphrt-probe-bug]")
+        return object.__new__(_FakeCompiled)
+
+
+class _FakeCompiled:
+    pass
+
+
+class TestCompileWithCache:
+    def test_hit_returns_same_artifact_without_recompiling(self):
+        model = export_model(build_mlp_model())
+        compiler = _CountingCompiler()
+        first = cache.compile_with_cache(compiler, model)
+        second = cache.compile_with_cache(compiler, model)
+        assert first is second
+        assert compiler.calls == 1
+        assert cache.stats_snapshot()["artifact"] == {"hits": 1, "misses": 1}
+
+    def test_deterministic_failures_are_cached_and_reraised(self):
+        model = export_model(build_mlp_model())
+        compiler = _CountingCompiler(fail=True)
+        with pytest.raises(CompilerError) as first:
+            cache.compile_with_cache(compiler, model)
+        with pytest.raises(CompilerError) as second:
+            cache.compile_with_cache(compiler, model)
+        assert compiler.calls == 1
+        assert str(first.value) == str(second.value)
+
+    def test_disabled_cache_always_recompiles(self):
+        cache.configure(artifact=False)
+        model = export_model(build_mlp_model())
+        compiler = _CountingCompiler()
+        cache.compile_with_cache(compiler, model)
+        cache.compile_with_cache(compiler, model)
+        assert compiler.calls == 2
+
+
+# --------------------------------------------------------------------------- #
+# Shape-infer memo and execution plans
+# --------------------------------------------------------------------------- #
+class TestShapeInferMemo:
+    def test_memoized_result_equals_fresh(self):
+        node = Node("Relu", "r", ["x"], ["y"])
+        types = [TensorType((3, 4), DType.float32)]
+        first = infer_output_types(node, types)
+        before = cache.stats_snapshot()
+        second = infer_output_types(node, types)
+        assert first == second
+        assert cache.stats_delta(before)["shape_infer"]["hits"] == 1
+
+    def test_bool_and_int_attrs_do_not_collide(self):
+        # True == 1 and hash(True) == hash(1); the memo key must still keep
+        # them apart (a rule could isinstance-dispatch on the attr).
+        node_bool = Node("Relu", "r", ["x"], ["y"], attrs={"flag": True})
+        node_int = Node("Relu", "r", ["x"], ["y"], attrs={"flag": 1})
+        types = [TensorType((2,), DType.float32)]
+        infer_output_types(node_bool, types)
+        before = cache.stats_snapshot()
+        infer_output_types(node_int, types)
+        assert cache.stats_delta(before)["shape_infer"]["misses"] == 1
+
+    def test_hits_return_fresh_lists(self):
+        node = Node("Relu", "r", ["x"], ["y"])
+        types = [TensorType((3,), DType.float32)]
+        first = infer_output_types(node, types)
+        second = infer_output_types(node, types)
+        assert first is not second
+        first.append("sentinel")
+        assert infer_output_types(node, types) == second
+
+
+class TestExecutionPlanStaleness:
+    def test_structural_mutation_invalidates_plan(self):
+        from repro.graph.model import Model
+
+        model = Model("grow")
+        model.add_input("x", TensorType((4,), DType.float32))
+        model.add_node(Node("Relu", "r", ["x"], ["a"]),
+                       [TensorType((4,), DType.float32)])
+        model.mark_output("a")
+        interp = Interpreter(record_intermediates=False)
+        x = np.array([-1.0, 2.0, -3.0, 4.0], dtype=np.float32)
+        first = interp.run_detailed(model, {"x": x})
+        np.testing.assert_array_equal(first.outputs["a"],
+                                      np.maximum(x, 0.0))
+        model.add_node(Node("Neg", "n", ["a"], ["b"]),
+                       [TensorType((4,), DType.float32)])
+        model.mark_output("b")
+        second = interp.run_detailed(model, {"x": x})
+        np.testing.assert_array_equal(second.outputs["b"],
+                                      -np.maximum(x, 0.0))
+
+    def test_initializer_value_swap_reuses_plan(self):
+        # The value-search loop swaps initializer *values* in place; the
+        # plan must be reused (a hit) yet read the fresh weights.
+        from repro.graph.model import Model
+
+        model = Model("swap")
+        model.add_input("x", TensorType((2,), DType.float32))
+        model.add_initializer("w", np.array([1.0, 1.0], dtype=np.float32))
+        model.add_node(Node("Add", "s", ["x", "w"], ["y"]),
+                       [TensorType((2,), DType.float32)])
+        model.mark_output("y")
+        interp = Interpreter(record_intermediates=False)
+        x = np.array([1.0, 2.0], dtype=np.float32)
+        interp.run_detailed(model, {"x": x})
+        model.initializers["w"] = np.array([10.0, 20.0], dtype=np.float32)
+        before = cache.stats_snapshot()
+        run = interp.run_detailed(model, {"x": x})
+        np.testing.assert_array_equal(run.outputs["y"],
+                                      np.array([11.0, 22.0]))
+        assert cache.stats_delta(before)["exec_plan"]["hits"] == 1
+
+
+# --------------------------------------------------------------------------- #
+# Campaign-level equivalence
+# --------------------------------------------------------------------------- #
+class TestSerialEquivalence:
+    def test_fuzzer_findings_identical_with_and_without_cache(self):
+        signatures = []
+        for enabled in (True, False):
+            cache.reset()
+            fuzzer = Fuzzer(default_compiler_factory(BugConfig.all()),
+                            _config(enabled, iterations=6, seed=11))
+            signatures.append(campaign_signature(fuzzer.run()))
+        assert signatures[0] == signatures[1]
+
+    def test_cache_stats_reported_only_when_enabled(self):
+        cache.reset()
+        on = Fuzzer(default_compiler_factory(BugConfig.all()),
+                    _config(True, iterations=3, seed=5)).run()
+        assert on.cache_stats  # at least exec_plan/shape_infer activity
+        cache.reset()
+        off = Fuzzer(default_compiler_factory(BugConfig.all()),
+                     _config(False, iterations=3, seed=5)).run()
+        assert off.cache_stats == {}
+
+
+class TestParallelEquivalence:
+    @pytest.mark.smoke
+    def test_bit_identical_across_cache_and_worker_counts(self):
+        signatures = set()
+        for enabled in (True, False):
+            for workers in (1, 2):
+                cache.reset()
+                result = ParallelCampaign(
+                    config=_config(enabled, iterations=8, seed=23),
+                    n_workers=workers, n_shards=2).run()
+                signatures.add(campaign_signature(result))
+        assert len(signatures) == 1
+
+    @pytest.mark.smoke
+    def test_artifact_hit_rate_positive_on_repeated_graph_workload(self):
+        # The oracle axis re-judges identical shard seed streams per oracle:
+        # every cell beyond the first re-compiles graphs the first cell
+        # already built — the repeated-graph workload of the acceptance
+        # criteria.  One worker keeps all cells in one process/cache.
+        result = ParallelCampaign(
+            config=_config(True, iterations=6, seed=23),
+            n_workers=1, n_shards=1,
+            oracles=["difftest", "crash"]).run()
+        artifact = result.cache_stats.get("artifact", {})
+        assert artifact.get("hits", 0) > 0
+
+
+def _normalize_checkpoint(payload):
+    """Zero out wall-clock fields (they differ run-to-run regardless of
+    caching) so checkpoint comparison checks content, not timing."""
+    clone = copy.deepcopy(payload)
+    for entry in clone.get("cells", {}).values():
+        entry["time_used"] = 0.0
+        result = entry.get("result")
+        if result:
+            result["elapsed"] = 0.0
+            for sample in result.get("timeline", []):
+                sample["elapsed"] = 0.0
+            for sample in result.get("coverage_timeline", []):
+                sample["elapsed"] = 0.0
+    return clone
+
+
+class TestCheckpointInvisibility:
+    @pytest.mark.smoke
+    def test_checkpoints_identical_across_cache_settings(self, tmp_path):
+        payloads = []
+        for enabled in (True, False):
+            cache.reset()
+            path = tmp_path / f"cache_{enabled}.ckpt.json"
+            ParallelCampaign(config=_config(enabled, iterations=6, seed=31),
+                             n_workers=1, n_shards=2,
+                             checkpoint_path=str(path)).run()
+            payloads.append(json.loads(path.read_text()))
+        assert _normalize_checkpoint(payloads[0]) == \
+            _normalize_checkpoint(payloads[1])
+
+    def test_checkpoint_carries_no_cache_stats(self, tmp_path):
+        path = tmp_path / "c.ckpt.json"
+        ParallelCampaign(config=_config(True, iterations=4, seed=13),
+                         n_workers=1, n_shards=1,
+                         checkpoint_path=str(path)).run()
+        assert "cache_stats" not in path.read_text()
+
+    def test_resume_across_cache_settings_is_legal(self, tmp_path):
+        # The cache knob is invisible, so it is deliberately outside the
+        # checkpoint fingerprint: a cache-on checkpoint resumes cache-off.
+        path = tmp_path / "cross.ckpt.json"
+        first = ParallelCampaign(config=_config(True, iterations=5, seed=17),
+                                 n_workers=1, n_shards=1,
+                                 checkpoint_path=str(path)).run()
+        cache.reset()
+        resumed = ParallelCampaign(config=_config(False, iterations=5, seed=17),
+                                   n_workers=1, n_shards=1,
+                                   checkpoint_path=str(path)).run()
+        assert campaign_signature(resumed) == campaign_signature(first)
+
+
+class TestKillResume:
+    @pytest.mark.smoke
+    def test_kill_and_resume_keeps_findings_and_stats_consistent(
+            self, tmp_path, monkeypatch):
+        from repro.errors import ReproError
+
+        config = _config(True, iterations=8, seed=41)
+        baseline = ParallelCampaign(config=config, n_workers=1,
+                                    n_shards=1).run()
+        cache.reset()
+
+        path = tmp_path / "killed.ckpt.json"
+        original_fold = ParallelCampaign._fold_iteration
+        folds = {"count": 0}
+
+        def dying_fold(self, states, cell_index, iteration, partial):
+            folds["count"] += 1
+            if folds["count"] > 3:
+                raise RuntimeError("simulated coordinator death")
+            return original_fold(self, states, cell_index, iteration, partial)
+
+        monkeypatch.setattr(ParallelCampaign, "_fold_iteration", dying_fold)
+        with pytest.raises(ReproError, match="simulated coordinator death"):
+            ParallelCampaign(config=config, n_workers=1, n_shards=1,
+                             checkpoint_path=str(path)).run()
+        monkeypatch.setattr(ParallelCampaign, "_fold_iteration", original_fold)
+
+        cache.reset()
+        resumed = ParallelCampaign(config=config, n_workers=1, n_shards=1,
+                                   checkpoint_path=str(path)).run()
+        assert campaign_signature(resumed) == campaign_signature(baseline)
+        # Stats are telemetry, not findings: the resumed run reports only
+        # the re-executed portion (restored iterations contribute nothing),
+        # so every stage's counters stay at or below the uninterrupted run's.
+        for stage, counters in resumed.cache_stats.items():
+            full = baseline.cache_stats.get(stage, {"hits": 0, "misses": 0})
+            assert counters["hits"] + counters["misses"] <= \
+                full["hits"] + full["misses"]
+
+
+class TestCoverageInteraction:
+    def test_coverage_run_disables_artifact_layer_only(self):
+        from repro.compilers.coverage import CoverageFeedback
+
+        fuzzer = Fuzzer(default_compiler_factory(BugConfig.all()),
+                        _config(True, iterations=2, seed=3))
+        fuzzer.run(coverage=CoverageFeedback(systems=["graphrt", "deepc"]))
+        assert cache.get_cache().enabled is True
+        assert cache.get_cache().artifact_enabled is False

@@ -1,0 +1,171 @@
+"""Interpreter hot-path regressions: initializer aliasing, integer sampling
+bounds, and eager dead-value dropping (ISSUE 7 satellites)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import DType
+from repro.graph.model import Model
+from repro.graph.node import Node
+from repro.graph.tensor_type import TensorType
+from repro.runtime.interpreter import (Interpreter, random_inputs,
+                                       random_weights)
+from repro.testing import build_mlp_model
+
+
+def _chain_model(depth: int) -> Model:
+    """x -> Relu -> Relu -> ... -> output, one value live at a time."""
+    model = Model("chain")
+    model.add_input("x", TensorType((4, 4), DType.float32))
+    previous = "x"
+    for index in range(depth):
+        out = f"v{index}"
+        model.add_node(Node("Relu", f"relu{index}", [previous], [out]),
+                       [TensorType((4, 4), DType.float32)])
+        previous = out
+    model.mark_output(previous)
+    return model
+
+
+class TestInitializerAliasing:
+    def test_values_expose_readonly_views_of_initializers(self):
+        model = build_mlp_model()
+        inputs = random_inputs(model, np.random.default_rng(0))
+        run = Interpreter(record_intermediates=True).run_detailed(model, inputs)
+        for name in model.initializers:
+            view = run.values[name]
+            assert view.flags.writeable is False
+            with pytest.raises(ValueError):
+                view[(0,) * view.ndim] = 0.0
+
+    def test_caller_mutation_cannot_corrupt_model_weights(self):
+        model = build_mlp_model()
+        frozen = {name: array.copy()
+                  for name, array in model.initializers.items()}
+        inputs = random_inputs(model, np.random.default_rng(1))
+        run = Interpreter(record_intermediates=True).run_detailed(model, inputs)
+        for name, view in run.values.items():
+            if name in model.initializers:
+                with pytest.raises(ValueError):
+                    view += 1.0
+        for name, original in frozen.items():
+            np.testing.assert_array_equal(model.initializers[name], original)
+
+    def test_repeated_runs_identical(self):
+        model = build_mlp_model()
+        inputs = random_inputs(model, np.random.default_rng(2))
+        interp = Interpreter(record_intermediates=False)
+        first = interp.run_detailed(model, inputs)
+        second = interp.run_detailed(model, inputs)
+        for name in first.outputs:
+            np.testing.assert_array_equal(first.outputs[name],
+                                          second.outputs[name])
+
+
+class TestIntegerBounds:
+    def _int_model(self):
+        model = Model("ints")
+        model.add_input("x", TensorType((4000,), DType.int64))
+        model.mark_output("x")
+        return model
+
+    def test_legacy_default_never_samples_high(self):
+        data = random_inputs(self._int_model(),
+                             np.random.default_rng(7))["x"]
+        assert data.min() >= 1
+        assert data.max() == 8  # 9 is unreachable on the legacy stream
+
+    def test_legacy_stream_is_pinned(self):
+        # The campaign seed contract: the default integer stream is exactly
+        # rng.integers(int(low), max(int(high), int(low) + 1)).  Every
+        # pinned smoke seed and the frozen corpus depend on it.
+        data = random_inputs(self._int_model(),
+                             np.random.default_rng(29))["x"]
+        expected = np.random.default_rng(29).integers(1, 9, size=(4000,))
+        np.testing.assert_array_equal(data, expected.astype(np.int64))
+
+    def test_inclusive_covers_full_closed_range(self):
+        data = random_inputs(self._int_model(), np.random.default_rng(7),
+                             int_bounds="inclusive")["x"]
+        assert data.min() == 1
+        assert data.max() == 9
+
+    def test_legacy_degenerates_when_bounds_share_floor(self):
+        data = random_inputs(self._int_model(), np.random.default_rng(3),
+                             low=2.0, high=2.9)["x"]
+        assert set(np.unique(data)) == {2}
+
+    def test_inclusive_still_spans_sub_integer_ranges(self):
+        data = random_inputs(self._int_model(), np.random.default_rng(3),
+                             low=2.0, high=2.9, int_bounds="inclusive")["x"]
+        assert set(np.unique(data)) == {2}  # [2, 2] closed range, no crash
+
+    def test_random_weights_follow_the_same_knob(self):
+        model = Model("w")
+        model.add_input("x", TensorType((1,), DType.float32))
+        model.add_initializer("w", np.arange(4000, dtype=np.int64))
+        model.mark_output("x")
+        legacy = random_weights(model, np.random.default_rng(5))["w"]
+        assert legacy.max() == 8
+        inclusive = random_weights(model, np.random.default_rng(5),
+                                   int_bounds="inclusive")["w"]
+        assert inclusive.max() == 9
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="int_bounds"):
+            random_inputs(self._int_model(), np.random.default_rng(0),
+                          int_bounds="typo")
+
+
+class TestEagerDrop:
+    def test_peak_liveness_shrinks_on_deep_chain(self):
+        model = _chain_model(30)
+        inputs = {"x": np.ones((4, 4), dtype=np.float32)}
+        recorded = Interpreter(record_intermediates=True).run_detailed(
+            model, inputs)
+        lean = Interpreter(record_intermediates=False).run_detailed(
+            model, inputs)
+        # Recording keeps all 31 values; the eager path holds at most the
+        # input plus a producer/consumer pair at any step.
+        assert recorded.peak_live_values == 31
+        assert lean.peak_live_values <= 3
+        np.testing.assert_array_equal(recorded.outputs["v29"],
+                                      lean.outputs["v29"])
+
+    def test_lean_run_reports_no_intermediates(self):
+        model = _chain_model(5)
+        run = Interpreter(record_intermediates=False).run_detailed(
+            model, {"x": np.ones((4, 4), dtype=np.float32)})
+        assert run.values == {}
+        assert set(run.outputs) == {"v4"}
+
+    def test_fanout_value_survives_until_last_consumer(self):
+        # x feeds both an early and a late consumer; dropping it after the
+        # first read would crash the second.
+        model = Model("fanout")
+        model.add_input("x", TensorType((4,), DType.float32))
+        model.add_node(Node("Relu", "r", ["x"], ["a"]),
+                       [TensorType((4,), DType.float32)])
+        model.add_node(Node("Neg", "n", ["a"], ["b"]),
+                       [TensorType((4,), DType.float32)])
+        model.add_node(Node("Add", "s", ["b", "x"], ["c"]),
+                       [TensorType((4,), DType.float32)])
+        model.mark_output("c")
+        x = np.array([1.0, -2.0, 3.0, -4.0], dtype=np.float32)
+        run = Interpreter(record_intermediates=False).run_detailed(
+            model, {"x": x})
+        np.testing.assert_allclose(run.outputs["c"],
+                                   -np.maximum(x, 0.0) + x)
+
+    def test_exceptional_node_tracking_unchanged(self):
+        model = Model("nan")
+        model.add_input("x", TensorType((2,), DType.float32))
+        model.add_node(Node("Log", "log", ["x"], ["y"]),
+                       [TensorType((2,), DType.float32)])
+        model.add_node(Node("Relu", "relu", ["y"], ["z"]),
+                       [TensorType((2,), DType.float32)])
+        model.mark_output("z")
+        run = Interpreter(record_intermediates=False).run_detailed(
+            model, {"x": np.array([-1.0, 1.0], dtype=np.float32)})
+        assert run.first_exceptional_node == "log"
+        assert not run.numerically_valid

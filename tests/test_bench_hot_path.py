@@ -1,0 +1,77 @@
+"""Tier-1 smoke for the hot-path benchmark harness (`make bench`).
+
+Asserts the harness runs and its JSON schema validates — trajectory
+capture, never perf thresholds (CI machines are too noisy for those)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_TOOL_PATH = os.path.join(_REPO_ROOT, "tools", "bench_hot_path.py")
+_COMMITTED = os.path.join(_REPO_ROOT, "benchmarks", "BENCH_7.json")
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("bench_hot_path", _TOOL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def bench_tool():
+    return _load_tool()
+
+
+@pytest.fixture(autouse=True)
+def _restore_cache_switches():
+    yield
+    from repro.core import cache
+
+    cache.reset()
+    cache.configure(enabled=True, artifact=True)
+
+
+@pytest.mark.smoke
+def test_harness_runs_and_schema_validates(bench_tool, tmp_path):
+    out = tmp_path / "BENCH_test.json"
+    code = bench_tool.main(["--iterations", "3", "--output", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert bench_tool.validate_payload(payload) == []
+    for name in bench_tool.STAGE_NAMES:
+        assert payload["stages"][name]["iterations_per_sec"] > 0
+    # Two compile passes over identical exported graphs: the second is all
+    # artifact hits, so the hit rate must be positive with caching on.
+    assert payload["cache"]["compile_stage_artifact_hit_rate"] > 0
+
+
+@pytest.mark.smoke
+def test_no_cache_mode_reports_zero_hit_rate(bench_tool):
+    payload = bench_tool.run_benchmark(iterations=2, enable_cache=False)
+    assert bench_tool.validate_payload(payload) == []
+    assert payload["cache"]["compile_stage_artifact_hit_rate"] == 0.0
+    assert payload["config"]["cache_enabled"] is False
+
+
+@pytest.mark.smoke
+def test_committed_trajectory_point_validates(bench_tool):
+    assert os.path.exists(_COMMITTED), \
+        "benchmarks/BENCH_7.json missing — run `make bench`"
+    payload = json.loads(open(_COMMITTED, encoding="utf-8").read())
+    assert bench_tool.validate_payload(payload) == []
+    assert payload["config"]["cache_enabled"] is True
+
+
+def test_validate_payload_flags_problems(bench_tool):
+    assert bench_tool.validate_payload({}) != []
+    broken = {"schema_version": 1,
+              "stages": {"generate": {"count": 1, "seconds": 0.1,
+                                      "iterations_per_sec": -5}},
+              "cache": {"stats": {}}}
+    problems = bench_tool.validate_payload(broken)
+    assert any("iterations_per_sec" in problem for problem in problems)
+    assert any("search" in problem for problem in problems)

@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Per-stage hot-path benchmark: the repo's perf trajectory capture.
+
+Times the four stages of a campaign iteration — generate, search, compile,
+oracle — on a pinned deterministic workload and writes a ``BENCH_<n>.json``
+trajectory point (iterations/sec per stage plus cache hit rates) into
+``benchmarks/``.  Every PR appends a point by re-running ``make bench``, so
+speed claims are measured, not asserted; CI only validates the schema
+(``tests/test_bench_hot_path.py``), never thresholds.
+
+The compile stage runs two passes over the same exported models: the second
+pass is the repeated-graph workload of a real campaign (multiple oracles
+and O0 fault-localization recompile identical graphs), and its artifact-
+cache hit rate is reported alongside the timing.
+
+Usage::
+
+    python tools/bench_hot_path.py [--iterations N] [--seed S]
+                                   [--output PATH] [--no-cache]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+SCHEMA_VERSION = 1
+STAGE_NAMES = ("generate", "search", "compile", "oracle")
+
+
+def _stage(count: int, seconds: float) -> Dict[str, float]:
+    return {
+        "count": count,
+        "seconds": round(seconds, 6),
+        "iterations_per_sec": round(count / seconds, 3) if seconds > 0
+        else float(count),
+    }
+
+
+def run_benchmark(iterations: int = 40, seed: int = 0, n_nodes: int = 8,
+                  enable_cache: bool = True) -> Dict:
+    """Run all four stages and return the BENCH payload (no I/O)."""
+    from repro.compilers.bugs import BugConfig
+    from repro.core import cache
+    from repro.core.fuzzer import (generate_for_iteration, iteration_rng,
+                                   single_iteration_result)
+    from repro.core.oracle import build_oracle
+    from repro.core.parallel import default_compiler_factory
+    from repro.core.value_search import search_values
+    from repro.testing import tiny_campaign_config
+
+    config = tiny_campaign_config(iterations=iterations, seed=seed,
+                                  n_nodes=n_nodes)
+    import dataclasses
+    config = dataclasses.replace(config, enable_cache=enable_cache)
+    cache.reset()
+    cache.configure(enabled=enable_cache, artifact=enable_cache)
+
+    stages: Dict[str, Dict[str, float]] = {}
+
+    # -- generate ----------------------------------------------------------
+    start = time.perf_counter()
+    generated = [generate_for_iteration(config, iteration)
+                 for iteration in range(1, iterations + 1)]
+    stages["generate"] = _stage(iterations, time.perf_counter() - start)
+    models = [item.model for item in generated if item is not None]
+
+    # -- search ------------------------------------------------------------
+    start = time.perf_counter()
+    for index, model in enumerate(models, start=1):
+        search_values(model, method=config.value_search_method,
+                      rng=iteration_rng(config, index),
+                      time_budget=config.value_search_budget,
+                      max_steps=config.value_search_max_steps)
+    stages["search"] = _stage(len(models), time.perf_counter() - start)
+
+    # -- compile (two passes: cold, then the repeated-graph workload) ------
+    from repro.core.cache import compile_with_cache
+    from repro.errors import ReproError
+    from repro.runtime.exporter import export_model
+
+    compilers = default_compiler_factory(BugConfig.all())
+    exported = [export_model(model) for model in models]
+    before_compile = cache.stats_snapshot()
+    compile_calls = 0
+    start = time.perf_counter()
+    for _ in range(2):
+        for model in exported:
+            for compiler in compilers:
+                compile_calls += 1
+                try:
+                    compile_with_cache(compiler, model)
+                except ReproError:
+                    pass
+    stages["compile"] = _stage(compile_calls, time.perf_counter() - start)
+    compile_delta = cache.stats_delta(before_compile)
+
+    # -- oracle (the full judged iteration, end to end) --------------------
+    tester = build_oracle(config.oracle, compilers, bugs=config.bugs)
+    start = time.perf_counter()
+    for iteration in range(1, iterations + 1):
+        single_iteration_result(tester, config, iteration)
+    stages["oracle"] = _stage(iterations, time.perf_counter() - start)
+
+    artifact = compile_delta.get("artifact", {"hits": 0, "misses": 0})
+    lookups = artifact["hits"] + artifact["misses"]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "label": "bench_hot_path",
+        "config": {
+            "iterations": iterations,
+            "seed": seed,
+            "n_nodes": n_nodes,
+            "cache_enabled": enable_cache,
+        },
+        "stages": {name: stages[name] for name in STAGE_NAMES},
+        "cache": {
+            "stats": cache.stats_snapshot(),
+            "compile_stage_artifact_hit_rate": (
+                round(artifact["hits"] / lookups, 4) if lookups else 0.0),
+        },
+    }
+
+
+def validate_payload(payload: Dict) -> List[str]:
+    """Schema check shared with the tier-1 smoke test.  Returns problems."""
+    problems = []
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        problems.append("schema_version missing or unknown")
+    stages = payload.get("stages")
+    if not isinstance(stages, dict):
+        problems.append("stages missing")
+        return problems
+    for name in STAGE_NAMES:
+        entry = stages.get(name)
+        if not isinstance(entry, dict):
+            problems.append(f"stage {name!r} missing")
+            continue
+        for field in ("count", "seconds", "iterations_per_sec"):
+            value = entry.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"stage {name!r}: bad {field!r}: {value!r}")
+    cache_info = payload.get("cache")
+    if not isinstance(cache_info, dict) or "stats" not in cache_info:
+        problems.append("cache stats missing")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--iterations", type=int, default=40,
+                        help="iterations per stage (default 40)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="nodes per generated model")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the JSON payload here "
+                             "(default: print to stdout)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="benchmark the cold path (caches disabled)")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(iterations=args.iterations, seed=args.seed,
+                            n_nodes=args.nodes,
+                            enable_cache=not args.no_cache)
+    problems = validate_payload(payload)
+    if problems:
+        print("schema problems:", problems, file=sys.stderr)
+        return 1
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        summary = ", ".join(
+            f"{name} {payload['stages'][name]['iterations_per_sec']}/s"
+            for name in STAGE_NAMES)
+        hit_rate = payload["cache"]["compile_stage_artifact_hit_rate"]
+        print(f"wrote {args.output}: {summary} "
+              f"(compile-stage artifact hit rate {hit_rate})")
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
