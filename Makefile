@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-all smoke smoke-coverage smoke-oracles smoke-pipelines \
-	benchmarks table2 bench
+	smoke-distributed benchmarks table2 bench bench-transport
 
 # Default tier: everything except tests marked `slow`.
 test:
@@ -46,6 +46,20 @@ smoke-pipelines:
 		tests/compilers/test_pass_fixpoint.py \
 		tests/experiments/test_pass_bisect.py \
 		tests/core/test_pipeline_axis_campaign.py
+
+# Distributed-fabric smoke: boot a real coordinator service on an ephemeral
+# localhost port, join two socket workers over TCP, and assert the seeded
+# bugs are found and reported by the live status endpoint.
+smoke-distributed:
+	$(PYTHON) tools/smoke_distributed.py --iterations 12 --seed 13
+
+# Transport-overhead trajectory: the same seeded campaign on the local
+# process pool vs a 2-worker localhost socket fleet — iterations/sec, mean
+# lease round-trip latency and the socket/local overhead ratio (design
+# target <= 1.2x).  Schema-validated by tests/test_bench_transport.py.
+bench-transport:
+	$(PYTHON) tools/bench_transport.py --iterations 24 \
+		--output benchmarks/BENCH_8.json
 
 # Hot-path perf trajectory: time generate/search/compile/oracle on a pinned
 # small workload and write the per-stage iterations/sec point for this PR.

@@ -78,6 +78,19 @@ alias for ``--schedule adaptive``.
 queues — while keeping full checkpoint/resume support.  ``--workers 0`` (or
 ``--serial``) runs the PR-1 reference path (one ``Fuzzer`` per shard,
 merged); it has no checkpoint support and refuses ``--checkpoint`` loudly.
+
+**Distributed campaigns** hang off three subcommands (see
+:mod:`repro.core.fabric.service`): ``serve`` runs the coordinator as a TCP
+service, ``worker`` joins a remote fleet member, and ``status`` fetches the
+live JSON snapshot::
+
+    python -m repro.campaign serve --port 7777 --iterations 200 &
+    python -m repro.campaign worker --connect localhost:7777 &
+    python -m repro.campaign status --connect localhost:7777
+
+Findings are transport-independent: the same campaign over local queues,
+over sockets, or checkpoint-resumed across the two, produces bit-identical
+findings.
 """
 
 from __future__ import annotations
@@ -201,6 +214,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable the hot-path caches (repro.core.cache); "
                              "findings are bit-identical either way — this "
                              "only benchmarks the cold path")
+    parser.add_argument("--fault-tolerance", default="fail",
+                        choices=("fail", "requeue"),
+                        help="dead-worker policy: 'fail' aborts the campaign "
+                             "loudly (default); 'requeue' redistributes a "
+                             "dead worker's leases to the survivors — "
+                             "findings are bit-identical either way")
+    parser.add_argument("--stagnation-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="early-terminate a cell whose coverage novelty "
+                             "has been flat for this many compute seconds "
+                             "(requires --schedule coverage)")
     return parser
 
 
@@ -326,6 +350,16 @@ def print_summary(result: CampaignResult) -> None:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("serve", "worker", "status"):
+        # Fabric subcommands (repro.core.fabric.service): the coordinator
+        # service, a fleet worker, and the live-status client.  Dispatched
+        # here rather than via subparsers so the historical flag-only
+        # invocation (and every script parsing `build_parser()`) is
+        # untouched.
+        from repro.core.fabric.service import fabric_main
+
+        return fabric_main(argv)
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_passes:
@@ -408,6 +442,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         schedule=args.schedule,
         adaptive=args.adaptive,
         on_event=on_event,
+        fault_tolerance=args.fault_tolerance,
+        stagnation_budget=args.stagnation_budget,
     )
     print_summary(result)
     return 0

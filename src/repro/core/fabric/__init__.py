@@ -1,0 +1,77 @@
+"""Distributed campaign fabric: one coordinator↔worker protocol, two wires.
+
+The matrix campaign engine (:mod:`repro.core.parallel`) has always been a
+coordinator talking to a fleet of workers; until this package the only wire
+between them was a pair of ``multiprocessing`` queues, which pinned the
+fleet to one host.  The fabric splits that conversation into three layers:
+
+* :mod:`repro.core.fabric.protocol` — the versioned, serializable message
+  schema (``lease``/``claim``/``iter``/``coverage_delta``/``heartbeat``/
+  ``checkpoint_ack``/``shutdown`` …) plus JSON round-trips for the campaign
+  objects a remote worker needs rebuilt (``FuzzerConfig``, ``CellTask``).
+* :mod:`repro.core.fabric.transport` — the :class:`CoordinatorTransport`
+  contract and its two implementations: :class:`LocalTransport` (the
+  historical multiprocessing pool, now one client of the protocol) and
+  :class:`SocketTransport` (an asyncio TCP service speaking line-delimited
+  JSON frames, with heartbeat liveness and a live status endpoint).
+* :mod:`repro.core.fabric.service` — the network-facing entry points:
+  ``python -m repro.campaign serve`` (coordinator service),
+  ``python -m repro.campaign worker`` (remote fleet member) and
+  ``python -m repro.campaign status`` (live JSON snapshot).
+
+Findings are transport-independent by construction: iterations are seeded
+purely from ``(config, iteration)``, so the same campaign run over local
+queues or over sockets — or started on one wire and resumed on the other —
+produces bit-identical findings and checkpoints (pinned by
+``tests/core/test_transport_equivalence.py``).
+"""
+
+from repro.core.fabric.protocol import (
+    PROTOCOL_VERSION,
+    Claim,
+    CheckpointAck,
+    ChunkDone,
+    CoverageDelta,
+    Heartbeat,
+    Hello,
+    IterationResult,
+    Lease,
+    Message,
+    ProtocolError,
+    Shutdown,
+    StatusReply,
+    StatusRequest,
+    Welcome,
+    WorkerError,
+    decode,
+    encode,
+)
+from repro.core.fabric.transport import (
+    CoordinatorTransport,
+    LocalTransport,
+    SocketTransport,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Claim",
+    "CheckpointAck",
+    "ChunkDone",
+    "CoordinatorTransport",
+    "CoverageDelta",
+    "Heartbeat",
+    "Hello",
+    "IterationResult",
+    "Lease",
+    "LocalTransport",
+    "Message",
+    "ProtocolError",
+    "Shutdown",
+    "SocketTransport",
+    "StatusReply",
+    "StatusRequest",
+    "Welcome",
+    "WorkerError",
+    "decode",
+    "encode",
+]

@@ -149,6 +149,11 @@ class CellOutcome:
     #: the cell's opt level" (campaigns without a pipeline axis keep their
     #: pre-v6 cell keys).
     pipeline: Optional[str] = None
+    #: Whether the coordinator cut this cell short under an explicit
+    #: ``--stagnation-budget`` (its novelty rate stayed at zero for longer
+    #: than the budget).  Recorded so result consumers can distinguish
+    #: "explored its whole budget" from "plateaued and was terminated".
+    early_terminated: bool = False
 
     def key(self) -> str:
         """Stable identifier of the matrix cell this outcome belongs to.
@@ -174,7 +179,7 @@ class CellOutcome:
                            self.iterations, set(self.seeded_bugs_found),
                            set(self.report_keys), self.generator,
                            self.oracle, set(self.coverage_arcs),
-                           self.pipeline)
+                           self.pipeline, self.early_terminated)
 
     def fold(self, other: "CellOutcome") -> None:
         """Accumulate another outcome of the *same* cell into this one."""
@@ -182,6 +187,7 @@ class CellOutcome:
         self.seeded_bugs_found |= other.seeded_bugs_found
         self.report_keys |= other.report_keys
         self.coverage_arcs |= other.coverage_arcs
+        self.early_terminated = self.early_terminated or other.early_terminated
 
 
 @dataclass

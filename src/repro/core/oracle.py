@@ -292,6 +292,14 @@ class PerfRegressionOracle(BaseOracle):
     instead of flaking.  ``timer`` / ``threshold`` are injectable for
     deterministic tests (a fake clock makes every measurement scripted).
 
+    Repeat counts are *size-adaptive* by default: tiny models run in
+    microseconds where dispatch jitter dominates, so they get more timed
+    repeats; big models are individually slow but self-averaging, so they
+    get fewer — keeping per-case timing work roughly constant
+    (:meth:`counts_for_cost`, √ scaling against :data:`REFERENCE_COST`).
+    Passing explicit ``repeats``/``warmup`` pins fixed counts and disables
+    the scaling entirely.
+
     Crashes are reported exactly like ``difftest``; value correctness is
     out of scope (run ``difftest`` alongside via the oracle matrix axis).
 
@@ -308,6 +316,15 @@ class PerfRegressionOracle(BaseOracle):
     WARMUP = 1
     #: Timed runs per measurement; the minimum is kept.
     REPEATS = 3
+    #: Model cost (graph nodes × input elements) at which the base
+    #: WARMUP/REPEATS apply unscaled.  Roughly a 10-node model over a
+    #: few hundred elements — the campaign generator's typical output.
+    REFERENCE_COST = 4096.0
+    #: Clamp bounds of the size-adaptive counts: even a huge model keeps a
+    #: noise-robust min-of-2, even a tiny one never exceeds 9 repeats
+    #: (3 warmups) per measurement.
+    MIN_REPEATS, MAX_REPEATS = 2, 9
+    MIN_WARMUP, MAX_WARMUP = 1, 3
     #: Minimum slowdown ratio ever reported, however quiet the machine.
     #: Generous: the tiny models campaigns generate run in microseconds,
     #: where per-node dispatch jitter is multiplicative — real seeded
@@ -326,6 +343,10 @@ class PerfRegressionOracle(BaseOracle):
 
         super().__init__(compilers, bugs)
         self._timer = timer if timer is not None else time.perf_counter
+        #: Explicit counts pin fixed behaviour (deterministic fake-clock
+        #: tests depend on a scripted number of timer reads); leaving both
+        #: unset enables per-case size-adaptive counts.
+        self._adaptive = repeats is None and warmup is None
         self.repeats = self.REPEATS if repeats is None else max(1, repeats)
         self.warmup = self.WARMUP if warmup is None else max(0, warmup)
         #: Calibrated slowdown threshold; None until the per-worker
@@ -333,6 +354,33 @@ class PerfRegressionOracle(BaseOracle):
         self._threshold: Optional[float] = threshold
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def model_cost(cls, model, inputs) -> float:
+        """Per-run work estimate: graph nodes × total input elements."""
+        nodes = max(1, len(getattr(model, "nodes", []) or []))
+        elements = max(1, sum(int(getattr(value, "size", 1) or 1)
+                              for value in (inputs or {}).values()))
+        return float(nodes * elements)
+
+    @classmethod
+    def counts_for_cost(cls, cost: float) -> Tuple[int, int]:
+        """``(warmup, repeats)`` for a model of per-run ``cost``.
+
+        √ scaling keeps total timing work per case roughly constant: a
+        model 4× cheaper than :data:`REFERENCE_COST` gets 2× the repeats
+        (its jitter-to-runtime ratio is worse), a 4× dearer one gets half.
+        Clamped to [MIN, MAX] on both counts.
+        """
+        import math
+
+        if cost <= 0.0:
+            return cls.WARMUP, cls.REPEATS
+        scale = math.sqrt(cls.REFERENCE_COST / cost)
+        warmup = int(round(cls.WARMUP * scale))
+        repeats = int(round(cls.REPEATS * scale))
+        return (max(cls.MIN_WARMUP, min(cls.MAX_WARMUP, warmup)),
+                max(cls.MIN_REPEATS, min(cls.MAX_REPEATS, repeats)))
+
     def _measure(self, compiled, inputs) -> float:
         """Min-of-repeats wall time of one executable, in seconds."""
         for _ in range(self.warmup):
@@ -368,6 +416,9 @@ class PerfRegressionOracle(BaseOracle):
                  ) -> List[CompilerVerdict]:
         from repro.runtime.exporter import ExportReport, export_model
 
+        if self._adaptive:
+            self.warmup, self.repeats = self.counts_for_cost(
+                self.model_cost(model, inputs))
         report = ExportReport()
         exported = export_model(model, bugs=self.bugs, report=report)
         verdicts: List[CompilerVerdict] = []

@@ -89,6 +89,20 @@ class Scheduler(abc.ABC):
         """
         return pending[0]
 
+    def lease_iterations(self, cell_index: int, base: int,
+                         remaining: int) -> int:
+        """Iterations granted to the next lease of a cell.
+
+        ``base`` is the cell's fixed chunk granularity (from
+        :meth:`chunk_size` at the cell's first lease); ``remaining`` is
+        how many unleased iterations it has left.  The default grants the
+        base size — a scheduler with telemetry may scale it (see
+        :meth:`CoverageScheduler.lease_iterations`).  Lease sizing only
+        moves *where chunk boundaries fall*; findings stay bit-identical
+        because iterations are seeded from ``(config, iteration)``.
+        """
+        return max(1, min(base, remaining))
+
     def observe(self, cell_index: int, new_arcs: int,
                 duration: float) -> None:
         """Per-iteration feedback: globally-new arc count + wall seconds."""
@@ -198,6 +212,11 @@ class CoverageScheduler(Scheduler):
     def __init__(self, chunk_iterations: Optional[int] = None) -> None:
         super().__init__(chunk_iterations)
         self._recent: Dict[int, Deque[Tuple[int, float]]] = {}
+        #: Per-cell compute seconds since the last globally-new arc — the
+        #: campaign's ``stagnation_budget`` is enforced against this clock.
+        #: Compute seconds, not wall clock: a cell waiting its turn on a
+        #: busy fleet is not stagnating, only one that *runs* dry is.
+        self._stagnation: Dict[int, float] = {}
 
     def _default_chunk(self, remaining: int) -> int:
         return max(1, math.ceil(remaining / 4))
@@ -208,6 +227,16 @@ class CoverageScheduler(Scheduler):
         window = self._recent.setdefault(cell_index,
                                          deque(maxlen=self.WINDOW))
         window.append((int(new_arcs), max(float(duration), 1e-6)))
+        if int(new_arcs) > 0:
+            self._stagnation[cell_index] = 0.0
+        else:
+            self._stagnation[cell_index] = \
+                self._stagnation.get(cell_index, 0.0) + max(float(duration),
+                                                            0.0)
+
+    def seconds_since_novelty(self, cell_index: int) -> float:
+        """Compute seconds a cell has run since its last globally-new arc."""
+        return self._stagnation.get(cell_index, 0.0)
 
     def novelty_rate(self, cell_index: int) -> Optional[float]:
         """Recent new-arcs-per-second of a cell, or None when unobserved."""
@@ -230,12 +259,37 @@ class CoverageScheduler(Scheduler):
         assert best is not None
         return best[1]
 
+    def lease_iterations(self, cell_index: int, base: int,
+                         remaining: int) -> int:
+        """Novelty-rate-driven lease sizes.
+
+        A cell producing new arcs at the fleet's best recent rate gets
+        leases up to 2× its base granularity (fewer scheduling round-trips
+        while it is hot); a plateaued cell gets down to half (so the
+        bandit re-evaluates it sooner).  Unobserved cells, and campaigns
+        with an explicit ``chunk_iterations``, keep the fixed base — the
+        user asked for that granularity.
+        """
+        if self.chunk_iterations is not None:
+            return max(1, min(base, remaining))
+        rate = self.novelty_rate(cell_index)
+        if rate is None:
+            return max(1, min(base, remaining))
+        best = max((self.novelty_rate(cell) or 0.0)
+                   for cell in self._recent)
+        if best <= 0.0:
+            return max(1, min(base, remaining))
+        scale = 0.5 + 1.5 * min(1.0, rate / best)
+        return max(1, min(remaining, int(round(base * scale))))
+
     # ------------------------------------------------------------------ #
     def state_dict(self) -> Dict[str, Any]:
         return {"window": self.WINDOW,
                 "recent": {str(cell): [[count, duration]
                                        for count, duration in window]
-                           for cell, window in self._recent.items()}}
+                           for cell, window in self._recent.items()},
+                "stagnation": {str(cell): seconds for cell, seconds
+                               in self._stagnation.items()}}
 
     def load_state(self, payload: Dict[str, Any]) -> None:
         from repro.errors import ReproError
@@ -275,6 +329,14 @@ class CoverageScheduler(Scheduler):
                 self._recent[int(cell)] = window
             except (TypeError, ValueError):
                 continue  # corrupt entry: fall back to exploring that cell
+        self._stagnation = {}
+        stagnation = payload.get("stagnation")
+        if isinstance(stagnation, dict):
+            for cell, seconds in stagnation.items():
+                try:
+                    self._stagnation[int(cell)] = max(0.0, float(seconds))
+                except (TypeError, ValueError):
+                    continue  # corrupt entry: treat as freshly novel
 
 
 __all__ = [

@@ -111,3 +111,44 @@ def campaign_signature(result):
                 (key, cell.iterations, frozenset(cell.seeded_bugs_found),
                  frozenset(cell.report_keys))
                 for key, cell in result.cells.items()))
+
+
+def checkpoint_signature(path):
+    """Clock-normalized content of a campaign checkpoint file.
+
+    Findings, completion sets, fingerprints and scheduler *shape* are
+    transport-independent by construction, but wall-clock fields
+    (``time_used``, per-result ``elapsed``, timeline stamps, novelty
+    durations) necessarily differ run-to-run.  This helper strips them so
+    transport-equivalence tests can assert the rest is bit-identical.
+    """
+    import copy
+    import json
+
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload = copy.deepcopy(payload)
+    scheduler = payload.get("scheduler")
+    if isinstance(scheduler, dict):
+        state = scheduler.get("state")
+        if isinstance(state, dict):
+            # Novelty windows/stagnation carry durations; keep which cells
+            # were observed and their arc counts, drop the seconds.
+            recent = state.get("recent")
+            if isinstance(recent, dict):
+                state["recent"] = {
+                    cell: [count for count, _duration in samples]
+                    for cell, samples in recent.items()}
+            state.pop("stagnation", None)
+    for entry in payload.get("cells", {}).values():
+        entry.pop("time_used", None)
+        result = entry.get("result")
+        if isinstance(result, dict):
+            result.pop("elapsed", None)
+            result.pop("cache_stats", None)
+            for sample in result.get("timeline", []):
+                sample.pop("elapsed", None)
+            for sample in result.get("coverage_timeline", []):
+                sample.pop("elapsed", None)
+                sample.pop("cell_elapsed", None)
+    return json.dumps(payload, sort_keys=True)

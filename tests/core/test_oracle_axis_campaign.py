@@ -203,7 +203,7 @@ class TestCheckpointV5:
             interrupted.run()
 
         payload = json.loads(open(path, encoding="utf-8").read())
-        assert payload["format_version"] == CHECKPOINT_FORMAT_VERSION == 6
+        assert payload["format_version"] == CHECKPOINT_FORMAT_VERSION == 7
         completed_before = {
             key: sum(end - start + 1 for start, end in entry["completed"])
             for key, entry in payload["cells"].items()

@@ -241,7 +241,7 @@ class TestCheckpointPersistence:
             interrupted.run()
 
         payload = json.loads(open(path, encoding="utf-8").read())
-        assert payload["format_version"] == CHECKPOINT_FORMAT_VERSION == 6
+        assert payload["format_version"] == CHECKPOINT_FORMAT_VERSION == 7
         assert payload["scheduler"]["name"] == "coverage"
         assert payload["scheduler"]["state"]["recent"]  # rates persisted
         # per-cell cumulative coverage is in the checkpoint

@@ -1,0 +1,422 @@
+"""Transport-equivalence tests for the distributed campaign fabric.
+
+The fabric's core guarantee: a campaign's findings are a pure function of
+``(config, iteration)``, so the *same* seeded campaign must produce
+bit-identical results whether it runs in-process, on a LocalTransport
+process pool, or across a SocketTransport worker fleet — including through
+worker death (requeue), and when a checkpoint written under one transport
+is resumed under another.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+import repro.core.parallel as parallel_module
+from repro.core.fabric.service import (
+    fabric_main,
+    query_status,
+    run_fabric_worker,
+)
+from repro.core.fabric.transport import SocketTransport
+from repro.core.parallel import (
+    ParallelCampaign,
+    default_compiler_factory,
+    run_parallel_campaign,
+)
+from repro.core.schedule import CoverageScheduler, StaticScheduler
+from repro.errors import ReproError
+from repro.testing import (
+    campaign_signature,
+    checkpoint_signature,
+    tiny_campaign_config,
+)
+
+
+def _silent(_message):
+    """Worker log sink: fleet chatter stays out of pytest output."""
+
+
+#: Env fuse for :func:`_fused_factory`: when set to N, the factory raises
+#: on its (N+1)-th call *in this process*, interrupting a campaign mid-run
+#: with a consistent partial checkpoint on disk.  Unset (the resume run,
+#: and forked socket workers, which each start a fresh count), it behaves
+#: exactly like :func:`default_compiler_factory` — same qualname both
+#: times, so the checkpoint fingerprint matches across the interruption.
+_FUSE_ENV = "REPRO_TEST_FABRIC_FACTORY_FUSE"
+_fuse_calls = {"count": 0}
+
+
+def _fused_factory(bugs):
+    fuse = os.environ.get(_FUSE_ENV)
+    if fuse:
+        _fuse_calls["count"] += 1
+        if _fuse_calls["count"] > int(fuse):
+            raise ReproError("factory fuse blew (test interruption)")
+    return default_compiler_factory(bugs)
+
+
+def _run_socket_campaign(config, *, n_workers=2, die_after=None,
+                         compiler_factory=default_compiler_factory,
+                         **campaign_kwargs):
+    """Run one campaign over a real localhost socket fleet.
+
+    The transport is pre-started (the ``serve`` pattern: bind first so
+    workers can join before the campaign plans leases), then ``n_workers``
+    forked worker processes connect and the coordinator drains the matrix
+    through them.  ``die_after`` arms worker ``w0`` with the
+    die-after-N-iterations fault-injection knob.  Returns ``(campaign,
+    result_or_error)`` — the error path is used by the fail-mode tests.
+    """
+    transport = SocketTransport(host="127.0.0.1", port=0)
+    transport.start([], compiler_factory)
+    context = multiprocessing.get_context("fork")
+    workers = []
+    for index in range(n_workers):
+        kwargs = {"host": "127.0.0.1", "port": transport.port,
+                  "name": f"w{index}", "log": _silent}
+        if die_after is not None and index == 0:
+            kwargs["die_after_iterations"] = die_after
+        workers.append(context.Process(target=run_fabric_worker,
+                                       kwargs=kwargs, daemon=True))
+    for process in workers:
+        process.start()
+    campaign = ParallelCampaign(config=config, n_workers=n_workers,
+                                compiler_factory=compiler_factory,
+                                transport=transport, **campaign_kwargs)
+    error = None
+    result = None
+    try:
+        try:
+            result = campaign.run()
+        except ReproError as exc:
+            error = exc
+    finally:
+        for process in workers:
+            process.join(timeout=20)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+    return campaign, (result if error is None else error)
+
+
+@pytest.fixture
+def fast_death_detection(monkeypatch):
+    """Shrink the coordinator's silent-death poll cadence for tests."""
+    monkeypatch.setattr(parallel_module, "POLL_TIMEOUT", 0.1)
+
+
+# --------------------------------------------------------------------------- #
+# Lease sizing (novelty-rate-driven) — pure scheduler units
+# --------------------------------------------------------------------------- #
+class TestLeaseSizing:
+    def test_default_scheduler_grants_base(self):
+        scheduler = StaticScheduler()
+        assert scheduler.lease_iterations(0, base=4, remaining=10) == 4
+        assert scheduler.lease_iterations(0, base=4, remaining=3) == 3
+        assert scheduler.lease_iterations(0, base=0, remaining=3) == 1
+
+    def test_unobserved_cell_keeps_base(self):
+        scheduler = CoverageScheduler()
+        assert scheduler.lease_iterations(0, base=4, remaining=100) == 4
+
+    def test_hot_cell_gets_double_leases(self):
+        scheduler = CoverageScheduler()
+        scheduler.observe(0, new_arcs=10, duration=1.0)  # the fleet's best
+        scheduler.observe(1, new_arcs=0, duration=1.0)   # plateaued
+        assert scheduler.lease_iterations(0, base=4, remaining=100) == 8
+
+    def test_plateaued_cell_gets_half_leases(self):
+        scheduler = CoverageScheduler()
+        scheduler.observe(0, new_arcs=10, duration=1.0)
+        scheduler.observe(1, new_arcs=0, duration=1.0)
+        assert scheduler.lease_iterations(1, base=4, remaining=100) == 2
+
+    def test_lease_never_exceeds_remaining(self):
+        scheduler = CoverageScheduler()
+        scheduler.observe(0, new_arcs=10, duration=1.0)
+        assert scheduler.lease_iterations(0, base=4, remaining=5) == 5
+
+    def test_explicit_chunk_iterations_pins_granularity(self):
+        # The user asked for that granularity; telemetry must not resize it.
+        scheduler = CoverageScheduler(chunk_iterations=3)
+        scheduler.observe(0, new_arcs=10, duration=1.0)
+        scheduler.observe(1, new_arcs=0, duration=1.0)
+        assert scheduler.lease_iterations(0, base=3, remaining=100) == 3
+        assert scheduler.lease_iterations(1, base=3, remaining=100) == 3
+
+    def test_all_plateaued_keeps_base(self):
+        scheduler = CoverageScheduler()
+        scheduler.observe(0, new_arcs=0, duration=1.0)
+        assert scheduler.lease_iterations(0, base=4, remaining=100) == 4
+
+
+class TestStagnationClock:
+    def test_compute_seconds_accumulate_and_reset(self):
+        scheduler = CoverageScheduler()
+        assert scheduler.seconds_since_novelty(0) == 0.0
+        scheduler.observe(0, new_arcs=0, duration=2.0)
+        scheduler.observe(0, new_arcs=0, duration=3.0)
+        assert scheduler.seconds_since_novelty(0) == pytest.approx(5.0)
+        scheduler.observe(0, new_arcs=1, duration=1.0)
+        assert scheduler.seconds_since_novelty(0) == 0.0
+
+    def test_stagnation_survives_state_round_trip(self):
+        scheduler = CoverageScheduler()
+        scheduler.observe(0, new_arcs=0, duration=2.5)
+        restored = CoverageScheduler()
+        restored.load_state(json.loads(json.dumps(scheduler.state_dict())))
+        assert restored.seconds_since_novelty(0) == pytest.approx(2.5)
+
+    def test_stagnation_budget_requires_coverage_scheduler(self):
+        config = tiny_campaign_config(iterations=2)
+        with pytest.raises(ReproError, match="coverage"):
+            run_parallel_campaign(config=config, n_workers=1,
+                                  schedule="static", stagnation_budget=1.0)
+
+
+# --------------------------------------------------------------------------- #
+# Stagnation-driven early termination (coverage scheduler required)
+# --------------------------------------------------------------------------- #
+@pytest.mark.campaign
+class TestEarlyTermination:
+    def test_zero_budget_terminates_plateaued_cell(self, tmp_path):
+        # With a zero budget, the first iteration that adds no globally-new
+        # arc terminates its cell; a tiny generator saturates its arc set
+        # well before 16 iterations.
+        config = tiny_campaign_config(iterations=16, seed=3)
+        path = str(tmp_path / "stagnated.ckpt.json")
+        events = []
+        campaign = ParallelCampaign(
+            config=config, n_workers=1, schedule="coverage",
+            stagnation_budget=0.0, checkpoint_path=path,
+            on_event=lambda kind, key, payload: events.append((kind, key)))
+        result = campaign.run()
+        terminated = [outcome for outcome in result.cells.values()
+                      if outcome.early_terminated]
+        assert terminated, "no cell hit the zero stagnation budget"
+        assert result.iterations < 16
+        assert any(kind == "cell_stagnated" for kind, _key in events)
+
+        # v7 checkpoints persist the provenance; a resume must not re-run
+        # (or un-terminate) the stagnated cell.
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["format_version"] == 7
+        assert any(entry.get("early_terminated")
+                   for entry in payload["cells"].values())
+        resumed = ParallelCampaign(config=config, n_workers=1,
+                                   schedule="coverage",
+                                   stagnation_budget=0.0,
+                                   checkpoint_path=path).run()
+        assert campaign_signature(resumed) == campaign_signature(result)
+        assert any(outcome.early_terminated
+                   for outcome in resumed.cells.values())
+
+
+# --------------------------------------------------------------------------- #
+# The headline equivalence: in-process == local pool == socket fleet
+# --------------------------------------------------------------------------- #
+@pytest.mark.campaign
+class TestTransportEquivalence:
+    def test_socket_fleet_matches_inprocess_and_local_pool(self, tmp_path):
+        config = tiny_campaign_config(iterations=6, seed=13)
+        ck = {name: str(tmp_path / f"{name}.ckpt.json")
+              for name in ("inprocess", "local", "socket")}
+
+        inprocess = run_parallel_campaign(config=config, n_workers=1,
+                                          n_shards=2,
+                                          checkpoint_path=ck["inprocess"])
+        local = run_parallel_campaign(config=config, n_workers=2,
+                                      n_shards=2,
+                                      checkpoint_path=ck["local"])
+        _campaign, socketed = _run_socket_campaign(
+            config, n_workers=2, n_shards=2,
+            checkpoint_path=ck["socket"])
+
+        assert not isinstance(socketed, ReproError), socketed
+        assert campaign_signature(local) == campaign_signature(inprocess)
+        assert campaign_signature(socketed) == campaign_signature(inprocess)
+        # The persisted campaign state is transport-independent too, down
+        # to the clock-normalized checkpoint bytes.
+        assert (checkpoint_signature(ck["local"])
+                == checkpoint_signature(ck["inprocess"]))
+        assert (checkpoint_signature(ck["socket"])
+                == checkpoint_signature(ck["inprocess"]))
+
+    def test_worker_death_requeue_preserves_findings(
+            self, fast_death_detection):
+        config = tiny_campaign_config(iterations=6, seed=13)
+        baseline = run_parallel_campaign(config=config, n_workers=1,
+                                         n_shards=2)
+
+        events = []
+        _campaign, survived = _run_socket_campaign(
+            config, n_workers=2, n_shards=2, die_after=2,
+            fault_tolerance="requeue",
+            on_event=lambda kind, key, payload: events.append(
+                (kind, payload)))
+        assert not isinstance(survived, ReproError), survived
+        assert campaign_signature(survived) == campaign_signature(baseline)
+        lost = [payload for kind, payload in events
+                if kind == "worker_lost"]
+        assert lost and lost[0]["worker"] == "w0"
+
+    def test_requeued_chunk_keeps_cell_clock_monotone(
+            self, fast_death_detection):
+        # Satellite regression: a requeued chunk must continue the cell's
+        # *one* compute clock — never reset it, never double-count the
+        # iterations folded before the worker died.
+        config = tiny_campaign_config(iterations=8, seed=13)
+        _campaign, result = _run_socket_campaign(
+            config, n_workers=2, n_shards=2, die_after=2,
+            fault_tolerance="requeue", schedule="coverage")
+        assert not isinstance(result, ReproError), result
+        by_cell = {}
+        for sample in result.coverage_timeline:
+            by_cell.setdefault(sample["cell"], []).append(sample)
+        assert by_cell
+        for key, samples in by_cell.items():
+            folds = [sample["iteration"] for sample in samples]
+            # Each iteration folded exactly once, in order: the fold
+            # counter walks 1..N with no repeats (a double-counted replay
+            # would repeat a value; a reset clock would jump backwards).
+            assert folds == [float(i) for i in range(1, len(folds) + 1)], key
+            clocks = [sample["cell_elapsed"] for sample in samples]
+            assert all(later >= earlier for earlier, later
+                       in zip(clocks, clocks[1:])), key
+            outcome = result.cells[key]
+            assert len(folds) == outcome.iterations
+
+
+# --------------------------------------------------------------------------- #
+# Cross-transport checkpoint resume (fingerprint is transport-agnostic)
+# --------------------------------------------------------------------------- #
+@pytest.mark.campaign
+class TestCrossTransportResume:
+    def test_socket_partial_resumes_in_process(self, tmp_path,
+                                               fast_death_detection):
+        config = tiny_campaign_config(iterations=6, seed=13)
+        baseline = run_parallel_campaign(config=config, n_workers=1,
+                                         n_shards=2)
+        path = str(tmp_path / "crossed.ckpt.json")
+
+        # fail-mode fleet: w0's death mid-lease fails its cell loudly, but
+        # every fold persisted before the failure stays in the checkpoint.
+        _campaign, error = _run_socket_campaign(
+            config, n_workers=2, n_shards=2, die_after=2,
+            fault_tolerance="fail", checkpoint_path=path)
+        assert isinstance(error, ReproError)
+        with open(path, encoding="utf-8") as handle:
+            partial = json.load(handle)
+        assert not all(entry["done"] for entry in partial["cells"].values())
+
+        resumed = run_parallel_campaign(config=config, n_workers=1,
+                                        n_shards=2,
+                                        checkpoint_path=path)
+        assert campaign_signature(resumed) == campaign_signature(baseline)
+        with open(path, encoding="utf-8") as handle:
+            completed = json.load(handle)
+        assert all(entry["done"] for entry in completed["cells"].values())
+
+    def test_local_partial_resumes_under_socket_fleet(self, tmp_path,
+                                                      monkeypatch):
+        config = tiny_campaign_config(iterations=6, seed=13)
+        baseline = run_parallel_campaign(config=config, n_workers=1,
+                                         n_shards=2)
+        path = str(tmp_path / "crossed.ckpt.json")
+
+        # Blow the factory fuse on its second cell: the in-process run
+        # dies mid-campaign with the first cell's folds checkpointed.
+        _fuse_calls["count"] = 0
+        monkeypatch.setenv(_FUSE_ENV, "1")
+        with pytest.raises(ReproError, match="factory fuse"):
+            run_parallel_campaign(config=config, n_workers=1, n_shards=2,
+                                  compiler_factory=_fused_factory,
+                                  checkpoint_path=path)
+        monkeypatch.delenv(_FUSE_ENV)
+        with open(path, encoding="utf-8") as handle:
+            partial = json.load(handle)
+        assert partial["cells"], "interruption left no progress behind"
+        assert not all(entry.get("done")
+                       for entry in partial["cells"].values()) \
+            or len(partial["cells"]) < 2
+
+        _campaign, resumed = _run_socket_campaign(
+            config, n_workers=2, n_shards=2,
+            compiler_factory=_fused_factory, checkpoint_path=path)
+        assert not isinstance(resumed, ReproError), resumed
+        assert campaign_signature(resumed) == campaign_signature(baseline)
+
+
+# --------------------------------------------------------------------------- #
+# Status streaming + fabric CLI plumbing
+# --------------------------------------------------------------------------- #
+@pytest.mark.campaign
+class TestStatusStreaming:
+    def test_snapshot_reports_campaign_state(self):
+        config = tiny_campaign_config(iterations=4, seed=13)
+        campaign = ParallelCampaign(config=config, n_workers=1)
+        result = campaign.run()
+        snapshot = campaign.last_status
+        assert snapshot["protocol"] == 1
+        assert snapshot["iterations"] == result.iterations
+        assert snapshot["findings"] == len(result.reports)
+        assert set(snapshot["cells"]) == set(result.cells)
+        assert all(entry["done"] for entry in snapshot["cells"].values())
+        assert "lease_latency" in snapshot
+
+    def test_socket_snapshot_includes_worker_roster_and_latency(self):
+        config = tiny_campaign_config(iterations=4, seed=13)
+        campaign, result = _run_socket_campaign(config, n_workers=2)
+        assert not isinstance(result, ReproError), result
+        snapshot = campaign.last_status
+        assert set(snapshot["workers"]) == {"w0", "w1"}
+        assert snapshot["lease_latency"]["claims"] > 0
+        assert snapshot["lease_latency"]["mean_seconds"] is not None
+
+
+class TestStatusEndpoint:
+    def test_query_status_round_trips_snapshot(self):
+        transport = SocketTransport(host="127.0.0.1", port=0)
+        transport.start([], default_compiler_factory)
+        try:
+            snapshot = {"iterations": 7, "findings": 2, "cells": {}}
+            transport.publish_status(snapshot)
+            assert query_status("127.0.0.1", transport.port) == snapshot
+        finally:
+            transport.stop()
+
+    def test_status_subcommand_prints_snapshot(self, capsys):
+        transport = SocketTransport(host="127.0.0.1", port=0)
+        transport.start([], default_compiler_factory)
+        try:
+            transport.publish_status({"findings": 5})
+            code = fabric_main(
+                ["status", "--connect", f"127.0.0.1:{transport.port}"])
+        finally:
+            transport.stop()
+        assert code == 0
+        assert json.loads(capsys.readouterr().out) == {"findings": 5}
+
+    def test_unknown_subcommand_fails_loudly(self, capsys):
+        assert fabric_main(["teleport"]) == 2
+        assert "unknown fabric subcommand" in capsys.readouterr().err
+
+    def test_campaign_main_dispatches_fabric_subcommands(self, capsys):
+        from repro.campaign import main
+
+        transport = SocketTransport(host="127.0.0.1", port=0)
+        transport.start([], default_compiler_factory)
+        try:
+            transport.publish_status({"findings": 1})
+            code = main(["status", "--connect",
+                         f"127.0.0.1:{transport.port}"])
+        finally:
+            transport.stop()
+        assert code == 0
+        assert json.loads(capsys.readouterr().out) == {"findings": 1}

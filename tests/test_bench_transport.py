@@ -1,0 +1,60 @@
+"""Tier-1 smoke for the transport benchmark harness (`make bench-transport`).
+
+Asserts the harness runs, its JSON schema validates, and the transports
+agree on findings — trajectory capture, never perf thresholds (CI machines
+are too noisy for those; the ≤1.2× overhead target is checked on the
+committed point a maintainer generated, not on CI timings)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_TOOL_PATH = os.path.join(_REPO_ROOT, "tools", "bench_transport.py")
+_COMMITTED = os.path.join(_REPO_ROOT, "benchmarks", "BENCH_8.json")
+
+
+@pytest.fixture(scope="module")
+def bench_tool():
+    spec = importlib.util.spec_from_file_location("bench_transport",
+                                                  _TOOL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.campaign
+def test_harness_runs_and_schema_validates(bench_tool, tmp_path):
+    out = tmp_path / "BENCH_test.json"
+    code = bench_tool.main(["--iterations", "4", "--output", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert bench_tool.validate_payload(payload) == []
+    for name in bench_tool.TRANSPORT_NAMES:
+        assert payload["transports"][name]["iterations_per_sec"] > 0
+    # Correctness rides along: the two transports must agree bit-for-bit.
+    assert payload["findings_equal"] is True
+    # A 2-worker socket run claims at least one lease per worker.
+    assert payload["transports"]["socket"]["lease_claims"] >= 2
+    assert payload["transports"]["socket"]["lease_latency_mean_seconds"] > 0
+
+
+def test_committed_trajectory_point_validates(bench_tool):
+    assert os.path.exists(_COMMITTED), \
+        "benchmarks/BENCH_8.json missing — run `make bench-transport`"
+    payload = json.loads(open(_COMMITTED, encoding="utf-8").read())
+    assert bench_tool.validate_payload(payload) == []
+    assert payload["findings_equal"] is True
+    # The committed point must demonstrate the design target (measured on
+    # the maintainer's machine at generation time, not re-timed in CI).
+    assert payload["overhead_ratio"] <= payload["target_max_overhead_ratio"]
+
+
+def test_validate_payload_flags_problems(bench_tool):
+    assert bench_tool.validate_payload({}) != []
+    good = json.loads(open(_COMMITTED, encoding="utf-8").read())
+    bad = dict(good, transports={"local": good["transports"]["local"]})
+    assert any("socket" in problem
+               for problem in bench_tool.validate_payload(bad))
