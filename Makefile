@@ -61,13 +61,15 @@ bench-transport:
 	$(PYTHON) tools/bench_transport.py --iterations 24 \
 		--output benchmarks/BENCH_8.json
 
-# Hot-path perf trajectory: time generate/search/compile/oracle on a pinned
-# small workload and write the per-stage iterations/sec point for this PR.
-# CI never thresholds these numbers (tests/test_bench_hot_path.py validates
-# only the schema); the JSON is the trajectory future PRs append to.
+# Hot-path perf trajectory: time generate/search/compile/oracle plus the
+# compiled-plan sections (interpreter plain/compiled/batched, batched
+# gradcheck, prefix hit rate) on a pinned small workload and write the
+# iterations/sec point for this PR.  CI never thresholds these numbers
+# (tests/test_bench_hot_path.py validates only the schema); the JSON is the
+# trajectory future PRs append to.
 bench:
 	$(PYTHON) tools/bench_hot_path.py --iterations 40 \
-		--output benchmarks/BENCH_7.json
+		--output benchmarks/BENCH_9.json
 
 # Regenerate the paper's tables/figures on scaled-down budgets.
 benchmarks:

@@ -19,6 +19,26 @@ from repro.autodiff.vjp import backward_node
 from repro.graph.model import Model
 
 
+def _node_order(model: Model):
+    """Topological node order, served from the cached execution plan.
+
+    The gradient-guided value search backpropagates once per search step, so
+    re-walking ``topological_order()`` per call is hot-path waste; the plan
+    layer (:mod:`repro.core.cache`) already holds the order per model.  A
+    truncated plan (statically-bad input or missing kernel — shapes the
+    forward run would have rejected) falls back to the plain walk.
+    """
+    try:
+        from repro.core.cache import execution_plan
+        plan = execution_plan(model)
+    except Exception:
+        return model.topological_order()
+    if len(plan.steps) == plan.n_nodes and all(
+            step[0] is not None and step[2] is None for step in plan.steps):
+        return [step[1] for step in plan.steps]
+    return model.topological_order()
+
+
 def backpropagate(model: Model, values: Mapping[str, np.ndarray],
                   seed_grads: Mapping[str, np.ndarray],
                   proxy: ProxyConfig = DEFAULT_PROXY,
@@ -50,7 +70,7 @@ def backpropagate(model: Model, values: Mapping[str, np.ndarray],
         name: np.asarray(grad, dtype=np.float64) for name, grad in seed_grads.items()
     }
 
-    ordered = model.topological_order()
+    ordered = _node_order(model)
     if stop_after is not None:
         cutoff = next((i for i, node in enumerate(ordered) if node.name == stop_after),
                       len(ordered) - 1)

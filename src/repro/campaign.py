@@ -307,7 +307,8 @@ def print_summary(result: CampaignResult) -> None:
     print("\nPer-system counts:", result.bugs_by_system())
     if result.cache_stats:
         parts = []
-        for stage in ("artifact", "shape_infer", "exec_plan"):
+        for stage in ("artifact", "shape_infer", "exec_plan", "plan",
+                      "prefix"):
             counters = result.cache_stats.get(stage)
             if not counters:
                 continue

@@ -31,6 +31,25 @@ serve repeated queries from tables.  Three cache layers:
     ``structure_version`` counter, so mutation through the Model API
     invalidates the plan.
 
+``plan``
+    The compiled form of an execution plan
+    (:class:`repro.runtime.compiled_plan.CompiledPlan`): the node loop
+    flattened into preresolved closures over a flat value slab, with
+    refcount decrements baked in at compile time.  Keyed alongside the
+    execution plan (same weak Model key, validated by plan identity);
+    counters track how often a model's compiled form was reused.  Models
+    the flattening cannot represent exactly compile to ``None`` once and
+    fall back to the legacy dict loop.
+
+``prefix``
+    A *cross-iteration* subgraph-prefix value cache: each topological
+    prefix of a compiled plan is fingerprinted by canonical structure
+    (positional, name-free) plus content digests of the inputs and
+    initializers it consumes; re-executing a previously seen prefix
+    (common under ``targeted`` motif repeats and LEMON-style mutation
+    chains) restores the cached boundary values instead.  LRU-bounded
+    like the artifact cache.
+
 Invisibility contract
 ---------------------
 Caching must be *provably invisible*: a campaign with caches on is
@@ -42,9 +61,11 @@ bit-identical to caches off (findings, checkpoints, Venn sets) — enforced by
   the cache knob, so resuming a run across cache settings is legal (stats
   restart at zero after a resume — they are telemetry, not findings).
 * Coverage-traced campaigns disable the *artifact* layer only (a cache hit
-  would skip the traced compile arcs); the shape-infer memo and execution
-  plans stay on because the tracer's scope excludes ``repro/ops`` and
-  ``repro/runtime``.
+  would skip the traced compile arcs); the shape-infer memo, execution
+  plans, compiled plans and the prefix cache stay on because the tracer's
+  scope excludes ``repro/ops`` and ``repro/runtime`` — traced runs take
+  the same compiled path and produce the same arcs (pinned by the
+  coverage-equivalence test).
 
 Cache hits and misses are counted per stage and surface as
 ``CampaignResult.cache_stats`` via the worker → coordinator telemetry
@@ -75,6 +96,7 @@ __all__ = [
     "artifact_cache_key",
     "build_execution_plan",
     "compile_with_cache",
+    "compiled_execution",
     "configure",
     "execution_plan",
     "get_cache",
@@ -85,11 +107,16 @@ __all__ = [
 ]
 
 #: Telemetry stages, in display order.
-STAGES = ("artifact", "shape_infer", "exec_plan")
+STAGES = ("artifact", "shape_infer", "exec_plan", "plan", "prefix")
 
 #: Artifact entries kept before LRU eviction.  Generous for the tiny models
 #: campaigns generate; bounds memory on long runs.
 ARTIFACT_CAPACITY = 512
+
+#: Subgraph-prefix value entries kept before LRU eviction.  Each entry holds
+#: the boundary arrays of one executed prefix; campaign models are tiny, so
+#: this bounds memory at a few MB worst case.
+PREFIX_CAPACITY = 512
 
 #: Shape-infer memo entries kept before the table is cleared wholesale
 #: (entries are tiny; wholesale clearing keeps the bookkeeping trivial).
@@ -237,10 +264,15 @@ class HotPathCache:
     def __init__(self) -> None:
         self.enabled = True
         self.artifact_enabled = True
+        self.plan_enabled = True
+        self.prefix_enabled = True
         self._artifacts: "OrderedDict[Tuple, Tuple[bool, Any]]" = OrderedDict()
         self._shape_memo: Dict[Tuple, Tuple] = {}
         self._plans: "weakref.WeakKeyDictionary[Model, Tuple[int, ExecutionPlan]]" = (
             weakref.WeakKeyDictionary())
+        self._compiled: "weakref.WeakKeyDictionary[Model, Tuple[ExecutionPlan, Any]]" = (
+            weakref.WeakKeyDictionary())
+        self._prefix: "OrderedDict[Tuple, Any]" = OrderedDict()
         self._hits = {stage: 0 for stage in STAGES}
         self._misses = {stage: 0 for stage in STAGES}
 
@@ -272,11 +304,17 @@ class HotPathCache:
     # -- configuration -----------------------------------------------------
 
     def configure(self, enabled: Optional[bool] = None,
-                  artifact: Optional[bool] = None) -> None:
+                  artifact: Optional[bool] = None,
+                  plan: Optional[bool] = None,
+                  prefix: Optional[bool] = None) -> None:
         if enabled is not None:
             self.enabled = enabled
         if artifact is not None:
             self.artifact_enabled = artifact
+        if plan is not None:
+            self.plan_enabled = plan
+        if prefix is not None:
+            self.prefix_enabled = prefix
 
     def reset(self, stats_only: bool = False) -> None:
         self._hits = {stage: 0 for stage in STAGES}
@@ -285,6 +323,8 @@ class HotPathCache:
             self._artifacts.clear()
             self._shape_memo.clear()
             self._plans = weakref.WeakKeyDictionary()
+            self._compiled = weakref.WeakKeyDictionary()
+            self._prefix.clear()
 
     # -- artifact layer ----------------------------------------------------
 
@@ -340,6 +380,44 @@ class HotPathCache:
         self._plans[model] = (version, plan)
         return plan
 
+    # -- compiled-plan layer ------------------------------------------------
+
+    def plan_and_compiled(self, model: Model) -> Tuple[Any, ExecutionPlan]:
+        """``(compiled_plan_or_None, execution_plan)`` for ``model``.
+
+        The compiled form is keyed by plan object identity, so the
+        ``exec_plan`` staleness contract (``structure_version`` + node
+        count) transitively invalidates it.  ``None`` is cached too: a
+        model the slab cannot represent compiles once, then keeps hitting
+        the legacy-loop decision.
+        """
+        plan = self.plan_for(model)
+        if not (self.enabled and self.plan_enabled):
+            return None, plan
+        entry = self._compiled.get(model)
+        if entry is not None and entry[0] is plan:
+            self.record_hit("plan")
+            return entry[1], plan
+        self.record_miss("plan")
+        from repro.runtime.compiled_plan import compile_plan
+        compiled = compile_plan(model, plan)
+        self._compiled[model] = (plan, compiled)
+        return compiled, plan
+
+    # -- subgraph-prefix layer ----------------------------------------------
+
+    def prefix_get(self, key: Tuple) -> Optional[Any]:
+        entry = self._prefix.get(key)
+        if entry is not None:
+            self._prefix.move_to_end(key)
+        return entry
+
+    def prefix_put(self, key: Tuple, entry: Any) -> None:
+        self._prefix[key] = entry
+        self._prefix.move_to_end(key)
+        while len(self._prefix) > PREFIX_CAPACITY:
+            self._prefix.popitem(last=False)
+
 
 _CACHE = HotPathCache()
 
@@ -349,9 +427,12 @@ def get_cache() -> HotPathCache:
 
 
 def configure(enabled: Optional[bool] = None,
-              artifact: Optional[bool] = None) -> None:
+              artifact: Optional[bool] = None,
+              plan: Optional[bool] = None,
+              prefix: Optional[bool] = None) -> None:
     """Process-wide cache switches (see :class:`HotPathCache.configure`)."""
-    _CACHE.configure(enabled=enabled, artifact=artifact)
+    _CACHE.configure(enabled=enabled, artifact=artifact, plan=plan,
+                     prefix=prefix)
 
 
 def reset(stats_only: bool = False) -> None:
@@ -369,6 +450,11 @@ def stats_delta(before: Dict[str, Dict[str, int]]) -> Dict[str, Dict[str, int]]:
 def execution_plan(model: Model) -> ExecutionPlan:
     """The (possibly cached) execution plan of ``model``."""
     return _CACHE.plan_for(model)
+
+
+def compiled_execution(model: Model) -> Tuple[Any, ExecutionPlan]:
+    """``(compiled_plan_or_None, execution_plan)`` for the interpreter."""
+    return _CACHE.plan_and_compiled(model)
 
 
 def compile_with_cache(compiler: Any, model: Model) -> Any:

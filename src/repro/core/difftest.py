@@ -92,6 +92,11 @@ class CompilerVerdict:
     #: Pass provenance: the passes that rewrote the IR during compilation
     #: (empty when compilation itself crashed before finishing).
     modified_by: List[str] = field(default_factory=list)
+    #: Per-node perf attribution: for ``perf`` findings, the nodes that
+    #: carry the regression as ``{"node", "op", "share"}`` dicts (empty when
+    #: the backend has no per-node profiling hook).  Provenance only —
+    #: never part of the dedup key.
+    slow_nodes: List[Dict[str, str]] = field(default_factory=list)
 
     @property
     def found_bug(self) -> bool:

@@ -25,7 +25,10 @@ operator pool, serialized as registry kind names) and
 
 from __future__ import annotations
 
+import base64
 import dataclasses
+import json
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple, Type
 
@@ -34,7 +37,18 @@ from repro.errors import ReproError
 #: Wire-format version.  v1: the PR-8 schema — lease/claim/iter/
 #: coverage_delta/chunk_done/error/heartbeat/checkpoint_ack/shutdown plus
 #: the hello/welcome handshake and the status request/reply pair.
-PROTOCOL_VERSION = 1
+#: v2: large ``coverage_delta`` frames may ship their arcs zlib-compressed
+#: (``packed``/``codec`` wire fields) — see :data:`ARC_COMPRESSION_THRESHOLD`.
+PROTOCOL_VERSION = 2
+
+#: Serialized-arcs byte size above which a ``coverage_delta`` frame ships
+#: compressed.  Arcs are long dotted-path strings with heavy shared
+#: structure, so zlib routinely shrinks high-arc deltas 5-10×; tiny deltas
+#: are not worth the round-trip cost.
+ARC_COMPRESSION_THRESHOLD = 2048
+
+#: The only arc codec v2 speaks: JSON list → zlib → base64 text.
+_ARC_CODEC = "zlib+b64"
 
 
 class ProtocolError(ReproError):
@@ -224,12 +238,27 @@ _MESSAGE_TYPES: Dict[str, Type[Message]] = {
 # Frame (de)serialization
 # --------------------------------------------------------------------------- #
 def encode(message: Message) -> Dict[str, Any]:
-    """Serialize a message to a JSON-compatible, version-tagged dict."""
+    """Serialize a message to a JSON-compatible, version-tagged dict.
+
+    ``coverage_delta`` frames — the chattiest message on high-arc
+    campaigns — ship their arcs zlib-compressed above
+    :data:`ARC_COMPRESSION_THRESHOLD` serialized bytes: the arc list moves
+    into the ``packed``/``codec`` wire fields and ``arcs`` goes empty on
+    the wire.  :func:`decode` restores the plain tuple, so the dataclass
+    a receiver sees is identical either way.
+    """
     if not isinstance(message, Message) or not message.kind:
         raise ProtocolError(f"not a fabric message: {message!r}")
     payload = dataclasses.asdict(message)
     payload["kind"] = message.kind
     payload["v"] = PROTOCOL_VERSION
+    if message.kind == "coverage_delta" and payload.get("arcs"):
+        serialized = json.dumps(list(payload["arcs"])).encode("utf-8")
+        if len(serialized) > ARC_COMPRESSION_THRESHOLD:
+            payload["arcs"] = []
+            payload["packed"] = base64.b64encode(
+                zlib.compress(serialized)).decode("ascii")
+            payload["codec"] = _ARC_CODEC
     return payload
 
 
@@ -255,6 +284,17 @@ def decode(payload: Any) -> Message:
         raise ProtocolError(f"unknown fabric message kind {kind!r}")
     names = {f.name for f in dataclasses.fields(cls)}
     kwargs = {key: value for key, value in payload.items() if key in names}
+    if kind == "coverage_delta" and payload.get("packed"):
+        codec = payload.get("codec")
+        if codec != _ARC_CODEC:
+            raise ProtocolError(
+                f"coverage_delta frame uses unknown arc codec {codec!r}")
+        try:
+            kwargs["arcs"] = json.loads(zlib.decompress(
+                base64.b64decode(payload["packed"])).decode("utf-8"))
+        except (ValueError, zlib.error) as exc:
+            raise ProtocolError(
+                f"corrupt packed coverage_delta frame: {exc}") from None
     for name in ("exclude", "arcs"):
         if name in kwargs and isinstance(kwargs[name], list):
             kwargs[name] = tuple(kwargs[name])

@@ -53,6 +53,9 @@ class BugReport:
     #: Pass provenance: the passes that rewrote the IR in the compilation
     #: this finding came from (not part of the dedup key).
     modified_by: List[str] = field(default_factory=list)
+    #: Per-node perf attribution for ``perf`` findings (see
+    #: :class:`repro.core.difftest.CompilerVerdict.slow_nodes`).
+    slow_nodes: List[Dict[str, str]] = field(default_factory=list)
 
     @property
     def seeded_ids(self) -> List[str]:
@@ -475,6 +478,8 @@ def fold_case(result: CampaignResult, case: CaseResult, iteration: int,
             triggered_bugs=list(verdict.triggered_bugs),
             iteration=iteration,
             modified_by=list(getattr(verdict, "modified_by", [])),
+            slow_nodes=[dict(entry)
+                        for entry in getattr(verdict, "slow_nodes", [])],
         )
         result.reports.append(report)
         fresh.append(report)
@@ -576,7 +581,9 @@ class Fuzzer:
         # tracer's scope and stay on).
         get_cache().configure(
             enabled=self.config.enable_cache,
-            artifact=self.config.enable_cache and coverage is None)
+            artifact=self.config.enable_cache and coverage is None,
+            plan=self.config.enable_cache,
+            prefix=self.config.enable_cache)
         stats_before = get_cache().stats_snapshot()
         result = CampaignResult()
         seen_reports: Set[str] = set()

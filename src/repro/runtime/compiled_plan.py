@@ -1,0 +1,713 @@
+"""Compiled execution plans: the interpreter loop as preresolved closures.
+
+PR 7's :class:`~repro.core.cache.ExecutionPlan` removed per-run dispatch
+(kernels resolved once per model) but execution still walked a name-keyed
+dict: every step looked up inputs by string, wrote outputs by string, and
+decremented a refcount dict.  This module compiles that plan one level
+further, the LUT-specialization move of pLUTo/PALUTE (PAPERS.md) applied to
+the interpreter itself:
+
+*Flattening*
+    Every value name is assigned a slot in a flat slab once per model;
+    each node becomes a step tuple ``(kernel, attrs, in_slots, out_slots,
+    drop_slots, name, op)`` with the refcount decrements *baked in* as a
+    static ``drop_slots`` list (the legacy eager-drop walk is fully
+    determined by the plan, so it is simulated at compile time).  The
+    per-run loop is slot indexing and kernel calls — no dict lookups, no
+    refcount arithmetic, no re-dispatch.
+
+*Batched mode* (opt-in, :meth:`CompiledPlan.execute_batched`)
+    K independent input sets run through the plan in one sweep.  Inputs
+    identical across the batch stay *unbatched* (evaluated once and
+    shared); differing inputs are stacked along a leading batch axis.
+    Steps whose op is batch-friendly (elementwise/matmul families, under
+    rank conditions that make the leading axis transparent) run their
+    kernel once over the stack; batch-hostile ops fall back to per-sample
+    execution and restack.  Results are bit-identical to K sequential runs
+    — numpy ufuncs are elementwise-deterministic and ``np.matmul`` over a
+    stacked operand performs the same per-slice GEMM (verified by the
+    equivalence tests).  Finite-difference gradcheck probes and value
+    search amortize Python dispatch this way.
+
+*Cross-iteration subgraph-prefix value cache*
+    Each topological prefix of the plan is fingerprinted at compile time
+    by *canonical position* (op, attrs, input references as input/
+    initializer/step positions — value names excluded, so motif-repeated
+    and LEMON-mutated graphs can share prefixes across iterations).  At
+    run time the structural hash is combined with content digests of the
+    inputs and initializers the prefix consumes; on a hit the cached
+    boundary values are installed in the slab and execution resumes after
+    the prefix.  Entries are LRU-bounded in :class:`HotPathCache` and
+    counted as the ``prefix`` telemetry stage.
+
+*Per-closure timing hooks*
+    :meth:`CompiledPlan.profile` times every step; the module-level
+    :func:`attribute_slow_nodes` applies the same per-node timing protocol
+    to compiled backends (duck-typed ``profile_nodes``) so the perf oracle
+    can bisect *which node* carries a flagged regression.
+
+Invisibility contract: everything here must be bit-identical to the legacy
+dict loop — same outputs, same ``RunResult`` fields, same exception types,
+messages and raise points (``GraphError`` for statically unavailable
+inputs, ``UnsupportedOperatorError`` for missing kernels, both raised
+*when reached*; ``ExecutionError`` wrapping the same kernel failures).
+Models the flattening cannot represent exactly (duplicate value names,
+graph outputs never produced) compile to ``None`` and the interpreter
+falls back to the legacy loop.  Coverage-traced runs stay on the compiled
+path: the tracer's scope excludes ``repro/runtime``, so closures add no
+arcs and skip none (pinned by the coverage-equivalence tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import (ExecutionError, GraphError, ReproError,
+                          UnsupportedOperatorError)
+from repro.graph.model import Model
+from repro.runtime.interpreter import RunResult, _has_exceptional
+
+__all__ = [
+    "CompiledPlan",
+    "attribute_slow_nodes",
+    "batched_reference_runner",
+    "compile_plan",
+]
+
+#: Ops whose kernels are elementwise over every input (unary activations,
+#: broadcasting binaries, comparisons, logicals, Where): a leading batch
+#: axis is transparent when every stacked operand has one rank and no
+#: unstacked operand out-ranks the per-sample shapes.
+_ELEMENTWISE_OPS = frozenset({
+    "Relu", "LeakyRelu", "Sigmoid", "Tanh", "Softplus", "Erf", "Abs", "Neg",
+    "Sign", "Reciprocal", "Exp", "Log", "Log2", "Sqrt", "Sin", "Cos", "Asin",
+    "Acos", "Atan", "Floor", "Ceil", "Round", "Identity", "Dropout", "Not",
+    "Clip", "Cast", "Add", "Sub", "Mul", "Max", "Min", "Equal", "Greater",
+    "Less", "GreaterOrEqual", "LessOrEqual", "And", "Or", "Xor", "Div",
+    "Mod", "Pow", "Where",
+})
+
+#: Most prefix cuts precomputed per plan (evenly strided when a model is
+#: deeper; the final whole-graph cut is always kept).
+_MAX_PREFIX_CUTS = 48
+
+
+def _encode_attr(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return [_encode_attr(item) for item in value]
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return [type(value).__name__, value]
+    return ["repr", repr(value)]
+
+
+def _array_digest(array: np.ndarray) -> bytes:
+    digest = hashlib.sha256()
+    digest.update(str(array.dtype).encode("utf-8"))
+    digest.update(repr(array.shape).encode("utf-8"))
+    digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.digest()
+
+
+def _frozen_copy(array: np.ndarray) -> np.ndarray:
+    copy = np.array(array, copy=True)
+    copy.setflags(write=False)
+    return copy
+
+
+@dataclass(frozen=True)
+class _PrefixCut:
+    """One cachable topological prefix: steps ``0..index`` inclusive."""
+
+    index: int
+    struct_hex: str
+    #: Positions into ``input_specs`` / ``init_slots`` whose content the
+    #: prefix reads (they join the runtime cache key as digests).
+    consumed_inputs: Tuple[int, ...]
+    consumed_inits: Tuple[int, ...]
+    #: Slots produced by the prefix and still needed afterwards (read by a
+    #: later step, or protected graph outputs) — the values a hit restores.
+    boundary_slots: Tuple[int, ...]
+    #: Input/initializer slots the legacy loop would have dropped by now.
+    dead_slots: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _PrefixEntry:
+    """Cached boundary of one executed prefix (stored in HotPathCache)."""
+
+    boundary: Tuple[np.ndarray, ...]
+    exceptional: Tuple[str, ...]
+
+
+class CompiledPlan:
+    """A per-model flattening of the interpreter loop (see module docs)."""
+
+    def __init__(self, model: Model) -> None:
+        # Populated by compile_plan(); kept dataclass-free for loop speed.
+        self.input_specs: List[Tuple[str, int, Any, Tuple[int, ...]]] = []
+        self.init_slots: List[Tuple[str, int]] = []
+        self.output_specs: List[Tuple[str, int]] = []
+        self.slot_names: List[str] = []
+        self.steps: List[Tuple] = []
+        self.n_slots = 0
+        self.peak_record = 0
+        self.peak_lean = 0
+        #: Deferred terminal raise — (exception class, message) when the
+        #: plan ends at a statically-bad or kernel-less step.
+        self.terminal: Optional[Tuple[type, str]] = None
+        self.cuts: List[_PrefixCut] = []
+        self._cut_at: Dict[int, _PrefixCut] = {}
+
+    # ------------------------------------------------------------------ #
+    # Sequential execution (the Interpreter.run_detailed fast path)
+    # ------------------------------------------------------------------ #
+    def execute(self, model: Model, inputs: Mapping[str, np.ndarray],
+                record: bool, cache: Any) -> RunResult:
+        slab: List[Optional[np.ndarray]] = [None] * self.n_slots
+        for name, slot, np_dtype, shape in self.input_specs:
+            if name not in inputs:
+                raise ExecutionError(f"missing graph input {name!r}")
+            array = np.asarray(inputs[name], dtype=np_dtype)
+            if tuple(array.shape) != shape:
+                raise ExecutionError(
+                    f"input {name!r} has shape {array.shape}, expected {shape}")
+            slab[slot] = array
+        initializers = model.initializers
+        for name, slot in self.init_slots:
+            view = np.asarray(initializers[name]).view()
+            view.setflags(write=False)
+            slab[slot] = view
+
+        first_exceptional: Optional[str] = None
+        exceptional: List[str] = []
+        start = 0
+        use_prefix = (not record and cache is not None and cache.enabled
+                      and cache.prefix_enabled and bool(self.cuts))
+        digests: Dict[Tuple[str, int], bytes] = {}
+        captured: List[Tuple[_PrefixCut, List[np.ndarray], int]] = []
+        if use_prefix:
+            hit = self._prefix_lookup(cache, slab, model, digests)
+            if hit is not None:
+                cut, entry = hit
+                for slot in cut.dead_slots:
+                    slab[slot] = None
+                for slot, array in zip(cut.boundary_slots, entry.boundary):
+                    slab[slot] = array
+                exceptional = list(entry.exceptional)
+                if exceptional:
+                    first_exceptional = exceptional[0]
+                start = cut.index + 1
+                cache.record_hit("prefix")
+            else:
+                cache.record_miss("prefix")
+
+        steps = self.steps
+        cut_at = self._cut_at if use_prefix else None
+        for index in range(start, len(steps)):
+            kernel, attrs, in_slots, out_slots, drop_slots, name, op = steps[index]
+            args = [slab[slot] for slot in in_slots]
+            try:
+                results = kernel(attrs, args)
+            except (ValueError, IndexError, ZeroDivisionError) as exc:
+                raise ExecutionError(f"kernel {op} failed: {exc}") from exc
+            for slot, array in zip(out_slots, results):
+                slab[slot] = array
+            if _has_exceptional(results):
+                exceptional.append(name)
+                if first_exceptional is None:
+                    first_exceptional = name
+            if not record:
+                for slot in drop_slots:
+                    slab[slot] = None
+            if cut_at is not None:
+                cut = cut_at.get(index)
+                if cut is not None:
+                    captured.append(
+                        (cut, [slab[slot] for slot in cut.boundary_slots],
+                         len(exceptional)))
+
+        if self.terminal is not None:
+            exc_type, message = self.terminal
+            raise exc_type(message)
+
+        if use_prefix and captured:
+            self._prefix_insert(cache, slab, model, digests, captured,
+                                exceptional)
+
+        outputs = {name: slab[slot] for name, slot in self.output_specs}
+        if record:
+            names = self.slot_names
+            values = {names[i]: value for i, value in enumerate(slab)
+                      if value is not None}
+        else:
+            values = {}
+        return RunResult(
+            outputs=outputs,
+            values=values,
+            first_exceptional_node=first_exceptional,
+            exceptional_nodes=exceptional,
+            peak_live_values=self.peak_record if record else self.peak_lean,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Prefix-cache plumbing
+    # ------------------------------------------------------------------ #
+    def _digest_for(self, kind: str, position: int,
+                    slab: Sequence[Optional[np.ndarray]], model: Model,
+                    digests: Dict[Tuple[str, int], bytes]) -> bytes:
+        key = (kind, position)
+        cached = digests.get(key)
+        if cached is None:
+            if kind == "in":
+                cached = _array_digest(slab[self.input_specs[position][1]])
+            else:
+                name = self.init_slots[position][0]
+                cached = _array_digest(np.asarray(model.initializers[name]))
+            digests[key] = cached
+        return cached
+
+    def _prefix_key(self, cut: _PrefixCut,
+                    slab: Sequence[Optional[np.ndarray]], model: Model,
+                    digests: Dict[Tuple[str, int], bytes]) -> Tuple:
+        return (
+            cut.struct_hex,
+            tuple(self._digest_for("in", position, slab, model, digests)
+                  for position in cut.consumed_inputs),
+            tuple(self._digest_for("init", position, slab, model, digests)
+                  for position in cut.consumed_inits),
+        )
+
+    def _prefix_lookup(self, cache, slab, model, digests):
+        for cut in reversed(self.cuts):
+            entry = cache.prefix_get(
+                self._prefix_key(cut, slab, model, digests))
+            if entry is not None:
+                return cut, entry
+        return None
+
+    def _prefix_insert(self, cache, slab, model, digests, captured,
+                       exceptional) -> None:
+        for cut, boundary, exceptional_count in captured:
+            cache.prefix_put(
+                self._prefix_key(cut, slab, model, digests),
+                _PrefixEntry(
+                    boundary=tuple(_frozen_copy(array) for array in boundary),
+                    exceptional=tuple(exceptional[:exceptional_count]),
+                ))
+
+    # ------------------------------------------------------------------ #
+    # Batched execution (K independent input sets, one sweep)
+    # ------------------------------------------------------------------ #
+    def execute_batched(self, model: Model,
+                        inputs_list: Sequence[Mapping[str, np.ndarray]]
+                        ) -> List[Dict[str, np.ndarray]]:
+        """Outputs of ``len(inputs_list)`` independent runs, bit-identical
+        to calling :meth:`execute` per sample (outputs only — intermediates
+        and exceptional tracking are not reported in batched mode)."""
+        count = len(inputs_list)
+        slab: List[Optional[np.ndarray]] = [None] * self.n_slots
+        batched: List[bool] = [False] * self.n_slots
+        for name, slot, np_dtype, shape in self.input_specs:
+            arrays = []
+            for sample in inputs_list:
+                if name not in sample:
+                    raise ExecutionError(f"missing graph input {name!r}")
+                array = np.asarray(sample[name], dtype=np_dtype)
+                if tuple(array.shape) != shape:
+                    raise ExecutionError(
+                        f"input {name!r} has shape {array.shape}, "
+                        f"expected {shape}")
+                arrays.append(array)
+            first = arrays[0]
+            if all(np.array_equal(first, other) for other in arrays[1:]):
+                slab[slot] = first
+            else:
+                slab[slot] = np.stack(arrays)
+                batched[slot] = True
+        initializers = model.initializers
+        for name, slot in self.init_slots:
+            view = np.asarray(initializers[name]).view()
+            view.setflags(write=False)
+            slab[slot] = view
+
+        for kernel, attrs, in_slots, out_slots, drop_slots, _name, op in self.steps:
+            step_batched = [batched[slot] for slot in in_slots]
+            args = [slab[slot] for slot in in_slots]
+            try:
+                if not any(step_batched):
+                    results = kernel(attrs, args)
+                    out_flags = False
+                elif self._batch_safe(op, attrs, args, step_batched):
+                    results = kernel(attrs, args)
+                    out_flags = True
+                else:
+                    per_sample = [
+                        kernel(attrs,
+                               [array[k] if flag else array
+                                for array, flag in zip(args, step_batched)])
+                        for k in range(count)
+                    ]
+                    results = [np.stack([outs[j] for outs in per_sample])
+                               for j in range(len(per_sample[0]))]
+                    out_flags = True
+            except (ValueError, IndexError, ZeroDivisionError) as exc:
+                raise ExecutionError(f"kernel {op} failed: {exc}") from exc
+            for slot, array in zip(out_slots, results):
+                slab[slot] = array
+                batched[slot] = out_flags
+            for slot in drop_slots:
+                slab[slot] = None
+                batched[slot] = False
+
+        if self.terminal is not None:
+            exc_type, message = self.terminal
+            raise exc_type(message)
+
+        outputs_list: List[Dict[str, np.ndarray]] = []
+        for k in range(count):
+            outputs_list.append({
+                name: slab[slot][k] if batched[slot] else slab[slot]
+                for name, slot in self.output_specs
+            })
+        return outputs_list
+
+    @staticmethod
+    def _batch_safe(op: str, attrs: dict, args: Sequence[np.ndarray],
+                    flags: Sequence[bool]) -> bool:
+        """True when running the kernel once over stacked operands is
+        provably bit-identical to per-sample execution."""
+        ranks = [array.ndim - 1 if flag else array.ndim
+                 for array, flag in zip(args, flags)]
+        if op in _ELEMENTWISE_OPS:
+            stacked = [rank for rank, flag in zip(ranks, flags) if flag]
+            top = max(stacked)
+            if any(rank != top for rank in stacked):
+                return False
+            return all(rank <= top
+                       for rank, flag in zip(ranks, flags) if not flag)
+        if op == "Softmax":
+            # A negative axis indexes from the trailing end, untouched by a
+            # leading batch dimension.
+            return int(attrs.get("axis", -1)) < 0
+        if op == "MatMul":
+            return all(rank == 2 for rank in ranks)
+        if op == "Gemm":
+            if len(ranks) < 2 or ranks[0] != 2 or ranks[1] != 2:
+                return False
+            if len(ranks) == 2:
+                return True
+            return ranks[2] == 2 if flags[2] else ranks[2] <= 2
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Per-closure timing hooks
+    # ------------------------------------------------------------------ #
+    def profile(self, model: Model, inputs: Mapping[str, np.ndarray],
+                timer: Callable[[], float]
+                ) -> Tuple[Dict[str, np.ndarray], List[Tuple[str, str, float]]]:
+        """One lean run with every closure timed: ``(outputs, [(node,
+        op, seconds), ...])``."""
+        slab: List[Optional[np.ndarray]] = [None] * self.n_slots
+        for name, slot, np_dtype, shape in self.input_specs:
+            if name not in inputs:
+                raise ExecutionError(f"missing graph input {name!r}")
+            array = np.asarray(inputs[name], dtype=np_dtype)
+            if tuple(array.shape) != shape:
+                raise ExecutionError(
+                    f"input {name!r} has shape {array.shape}, expected {shape}")
+            slab[slot] = array
+        initializers = model.initializers
+        for name, slot in self.init_slots:
+            view = np.asarray(initializers[name]).view()
+            view.setflags(write=False)
+            slab[slot] = view
+        times: List[Tuple[str, str, float]] = []
+        for kernel, attrs, in_slots, out_slots, drop_slots, name, op in self.steps:
+            args = [slab[slot] for slot in in_slots]
+            began = timer()
+            try:
+                results = kernel(attrs, args)
+            except (ValueError, IndexError, ZeroDivisionError) as exc:
+                raise ExecutionError(f"kernel {op} failed: {exc}") from exc
+            times.append((name, op, timer() - began))
+            for slot, array in zip(out_slots, results):
+                slab[slot] = array
+            for slot in drop_slots:
+                slab[slot] = None
+        if self.terminal is not None:
+            exc_type, message = self.terminal
+            raise exc_type(message)
+        return {name: slab[slot] for name, slot in self.output_specs}, times
+
+
+# --------------------------------------------------------------------------- #
+# Compilation
+# --------------------------------------------------------------------------- #
+def compile_plan(model: Model, plan: Any) -> Optional[CompiledPlan]:
+    """Flatten an :class:`ExecutionPlan` into a :class:`CompiledPlan`.
+
+    Returns ``None`` for the rare shapes the slab cannot represent with
+    exact legacy semantics (duplicate value names across inputs/
+    initializers/outputs, or a declared graph output that is never
+    produced) — the interpreter then keeps the dict loop.
+    """
+    compiled = CompiledPlan(model)
+    slot_of: Dict[str, int] = {}
+
+    def assign(name: str) -> Optional[int]:
+        if name in slot_of:
+            return None
+        slot = len(compiled.slot_names)
+        slot_of[name] = slot
+        compiled.slot_names.append(name)
+        return slot
+
+    for position, name in enumerate(model.inputs):
+        slot = assign(name)
+        if slot is None:
+            return None
+        value_type = model.type_of(name)
+        compiled.input_specs.append(
+            (name, slot, value_type.dtype.numpy, tuple(value_type.shape)))
+    for name in model.initializers:
+        slot = assign(name)
+        if slot is None:
+            return None
+        compiled.init_slots.append((name, slot))
+
+    protected = plan.protected
+    remaining = dict(plan.consumers)
+    executed = []
+    terminal: Optional[Tuple[type, str]] = None
+    for kernel, node, bad_input in plan.steps:
+        if bad_input is not None:
+            terminal = (GraphError,
+                        f"node {node.name} consumes unavailable value "
+                        f"{bad_input!r}")
+            break
+        if kernel is None:
+            terminal = (UnsupportedOperatorError,
+                        f"no kernel for operator {node.op!r}")
+            break
+        executed.append((kernel, node))
+    compiled.terminal = terminal
+
+    live = len(compiled.input_specs) + len(compiled.init_slots)
+    peak_lean = live
+    total_outputs = 0
+    for kernel, node in executed:
+        in_slots = []
+        for input_name in node.inputs:
+            slot = slot_of.get(input_name)
+            if slot is None:
+                return None  # plan/model mismatch; let the legacy loop run
+            in_slots.append(slot)
+        out_slots = []
+        for output_name in node.outputs:
+            slot = assign(output_name)
+            if slot is None:
+                return None  # value-name reuse breaks slab SSA
+            out_slots.append(slot)
+        drop_slots = []
+        for input_name in node.inputs:
+            count = remaining.get(input_name)
+            if count is None:
+                continue
+            count -= 1
+            remaining[input_name] = count
+            if count == 0 and input_name not in protected:
+                drop_slots.append(slot_of[input_name])
+        for output_name in node.outputs:
+            if (output_name not in protected
+                    and remaining.get(output_name, 0) == 0):
+                drop_slots.append(slot_of[output_name])
+        compiled.steps.append((kernel, node.attrs, tuple(in_slots),
+                               tuple(out_slots), tuple(drop_slots),
+                               node.name, node.op))
+        total_outputs += len(out_slots)
+        live += len(out_slots)
+        if live > peak_lean:
+            peak_lean = live
+        live -= len(drop_slots)
+
+    for name in model.outputs:
+        slot = slot_of.get(name)
+        if slot is None:
+            return None  # output never produced: legacy loop raises KeyError
+        compiled.output_specs.append((name, slot))
+
+    compiled.n_slots = len(compiled.slot_names)
+    base = len(compiled.input_specs) + len(compiled.init_slots)
+    compiled.peak_record = base + total_outputs
+    compiled.peak_lean = peak_lean
+    if terminal is None and compiled.steps:
+        _build_prefix_cuts(compiled, model, slot_of)
+    return compiled
+
+
+def _build_prefix_cuts(compiled: CompiledPlan, model: Model,
+                       slot_of: Dict[str, int]) -> None:
+    """Precompute the canonical fingerprint and boundary of every cut."""
+    token_of: Dict[int, str] = {}
+    input_position = {slot: position for position, (_name, slot, _dtype, _shape)
+                      in enumerate(compiled.input_specs)}
+    init_position = {slot: position
+                     for position, (_name, slot) in enumerate(compiled.init_slots)}
+    for slot, position in input_position.items():
+        token_of[slot] = f"i{position}"
+    for slot, position in init_position.items():
+        token_of[slot] = f"t{position}"
+
+    n_steps = len(compiled.steps)
+    produced_at: Dict[int, int] = {}
+    last_read: Dict[int, int] = {}
+    for index, step in enumerate(compiled.steps):
+        _kernel, _attrs, in_slots, out_slots, _drops, _name, _op = step
+        for slot in in_slots:
+            last_read[slot] = index
+        for position, slot in enumerate(out_slots):
+            produced_at[slot] = index
+            token_of[slot] = f"n{index}.{position}"
+
+    protected_slots = {slot for _name, slot in compiled.output_specs}
+    stride = max(1, -(-n_steps // _MAX_PREFIX_CUTS))
+    chain = hashlib.sha256()
+    consumed_inputs: List[int] = []
+    consumed_inits: List[int] = []
+    seen_inputs = set()
+    seen_inits = set()
+    for index, step in enumerate(compiled.steps):
+        _kernel, attrs, in_slots, out_slots, _drops, _name, op = step
+        for slot in in_slots:
+            position = input_position.get(slot)
+            if position is not None and position not in seen_inputs:
+                seen_inputs.add(position)
+                consumed_inputs.append(position)
+            position = init_position.get(slot)
+            if position is not None and position not in seen_inits:
+                seen_inits.add(position)
+                consumed_inits.append(position)
+        chain.update(json.dumps(
+            [op,
+             sorted((key, _encode_attr(value)) for key, value in attrs.items()),
+             [token_of[slot] for slot in in_slots],
+             len(out_slots)],
+            sort_keys=True).encode("utf-8"))
+        if index % stride and index != n_steps - 1:
+            continue
+        boundary = sorted(
+            slot for slot, produced in produced_at.items()
+            if produced <= index
+            and (last_read.get(slot, -1) > index or slot in protected_slots))
+        dead = sorted(
+            slot for slot in list(input_position) + list(init_position)
+            if last_read.get(slot, -1) <= index
+            and slot in last_read
+            and compiled.slot_names[slot] not in
+            {name for name, _slot in compiled.output_specs})
+        cut = _PrefixCut(
+            index=index,
+            struct_hex=chain.copy().hexdigest(),
+            consumed_inputs=tuple(consumed_inputs),
+            consumed_inits=tuple(consumed_inits),
+            boundary_slots=tuple(boundary),
+            dead_slots=tuple(dead),
+        )
+        compiled.cuts.append(cut)
+        compiled._cut_at[index] = cut
+
+
+# --------------------------------------------------------------------------- #
+# Batched gradcheck support
+# --------------------------------------------------------------------------- #
+def batched_reference_runner(model: Model):
+    """A ``List[inputs] -> List[outputs]`` batched reference runner, or
+    ``None`` when compiled plans are disabled or unsupported for ``model``.
+
+    Gated on the same knob as the compiled-plan layer, so campaigns with
+    caches off exercise the sequential probe loop and the invisibility
+    tests pin batched-vs-sequential bit-identity.
+    """
+    from repro.core import cache as cache_module
+
+    hot = cache_module.get_cache()
+    if not (hot.enabled and hot.plan_enabled):
+        return None
+    compiled, _plan = hot.plan_and_compiled(model)
+    if compiled is None:
+        return None
+
+    def runner(batch: Sequence[Mapping[str, np.ndarray]]
+               ) -> List[Dict[str, np.ndarray]]:
+        return compiled.execute_batched(model, batch)
+
+    return runner
+
+
+# --------------------------------------------------------------------------- #
+# Per-node perf attribution
+# --------------------------------------------------------------------------- #
+def _min_profile(profiler, inputs, timer, repeats: int
+                 ) -> List[Tuple[str, str, float]]:
+    order: List[Tuple[str, str]] = []
+    best: Dict[str, float] = {}
+    for _ in range(max(1, repeats)):
+        for name, op, seconds in profiler(inputs, timer):
+            if name not in best:
+                order.append((name, op))
+                best[name] = seconds
+            elif seconds < best[name]:
+                best[name] = seconds
+    return [(name, op, best[name]) for name, op in order]
+
+
+def attribute_slow_nodes(optimized: Any, baseline: Any,
+                         inputs: Mapping[str, np.ndarray],
+                         timer: Optional[Callable[[], float]] = None,
+                         repeats: int = 2, top: int = 3,
+                         share_floor: float = 0.8) -> List[Dict[str, str]]:
+    """Bisect a flagged perf regression to the nodes that carry it.
+
+    Both executables are profiled node-at-a-time through their own
+    ``profile_nodes(inputs, timer)`` hook (min-of-``repeats`` per node, the
+    same noise discipline as the perf oracle's measurements); per-node
+    excess over the baseline is ranked and the dominating nodes returned as
+    ``{"node", "op", "share"}`` provenance dicts.  Executables without the
+    hook (codegen backends, test doubles) yield ``[]`` — attribution is
+    strictly additive provenance, never a gate.
+    """
+    import time
+
+    timer = timer if timer is not None else time.perf_counter
+    optimized_profiler = getattr(optimized, "profile_nodes", None)
+    baseline_profiler = getattr(baseline, "profile_nodes", None)
+    if not callable(optimized_profiler) or not callable(baseline_profiler):
+        return []
+    try:
+        optimized_times = _min_profile(optimized_profiler, inputs, timer,
+                                       repeats)
+        baseline_times = _min_profile(baseline_profiler, inputs, timer,
+                                      repeats)
+    except (ReproError, Exception):
+        return []
+    baseline_by_name = {name: seconds for name, _op, seconds in baseline_times}
+    excess = [(name, op, seconds - baseline_by_name.get(name, 0.0))
+              for name, op, seconds in optimized_times]
+    positive = sorted((entry for entry in excess if entry[2] > 0.0),
+                      key=lambda entry: -entry[2])
+    total = sum(entry[2] for entry in positive)
+    if total <= 0.0:
+        return []
+    slow: List[Dict[str, str]] = []
+    covered = 0.0
+    for name, op, seconds in positive[:max(1, top)]:
+        slow.append({"node": name, "op": op, "share": f"{seconds / total:.0%}"})
+        covered += seconds
+        if covered / total >= share_floor:
+            break
+    return slow

@@ -9,8 +9,15 @@ search uses the recorded intermediates and NaN/Inf positions.
 
 Execution runs over a cached per-model *execution plan*
 (:mod:`repro.core.cache`): topological order with each node's kernel
-pre-resolved once per model instead of re-dispatched per run.  Two
-correctness properties of the run loop:
+pre-resolved once per model instead of re-dispatched per run.  When the
+plan additionally compiles to a flat-slab :class:`CompiledPlan`
+(:mod:`repro.runtime.compiled_plan` — the common case), ``run_detailed``
+delegates to it: same outputs, same ``RunResult`` fields, same exception
+behavior, just without per-step dict lookups; models the slab cannot
+represent keep the legacy dict loop below.  Coverage-traced runs take the
+compiled path too — the tracer's scope excludes ``repro/runtime``, so the
+arcs a traced campaign observes are unchanged.  Two correctness
+properties of the run loop (preserved by both paths):
 
 * Initializers enter the value environment as **read-only views** — a
   mutating kernel or a caller poking at ``RunResult.values`` can no longer
@@ -86,7 +93,11 @@ class Interpreter:
     def run_detailed(self, model: Model,
                      inputs: Mapping[str, np.ndarray]) -> RunResult:
         """Execute the model, recording intermediates and NaN/Inf producers."""
-        plan = _hot_cache().execution_plan(model)
+        cache_module = _hot_cache()
+        compiled, plan = cache_module.compiled_execution(model)
+        if compiled is not None:
+            return compiled.execute(model, inputs, self.record_intermediates,
+                                    cache_module.get_cache())
 
         values: Dict[str, np.ndarray] = {}
         for name in model.inputs:
@@ -168,23 +179,24 @@ def _integer_draw(rng: np.random.Generator, low: float, high: float,
 
     ``int_bounds`` picks between two distributions:
 
-    ``"legacy"`` (default)
-        ``rng.integers(int(low), max(int(high), int(low) + 1))`` — the
-        historical stream.  The high bound is *exclusive*, so the documented
-        ``[low, high)`` float range becomes ``[int(low), int(high))`` over
-        ints: with the default 1.0/9.0 range, 9 is never sampled, and when
-        ``int(high) == int(low)`` the draw degenerates to the single value
-        ``int(low)``.  This off-by-one is kept as the default on purpose —
-        every pinned campaign seed (the ``make smoke-oracles`` seed 29,
-        ``make smoke-pipelines`` seed 117, the frozen regression corpus)
-        reproduces bit-identically only on this stream.
-
-    ``"inclusive"``
+    ``"inclusive"`` (default)
         The intended distribution: uniform over the closed range
         ``[int(low), int(high)]``, every integer reachable, never
-        degenerate.  Opt in via the knob; flipping the default is a
-        seed-stream break and must come with regenerated corpus entries and
-        smoke seeds.
+        degenerate.  This became the default in PR 9, which regenerated
+        the seeded corpus and re-pinned the smoke seeds on the new stream
+        (the standing seed-stream debt called out in ROADMAP).
+
+    ``"legacy"``
+        ``rng.integers(int(low), max(int(high), int(low) + 1))`` — the
+        historical stream.  The high bound is *exclusive*, so the
+        documented ``[low, high)`` float range becomes
+        ``[int(low), int(high))`` over ints: with the default 1.0/9.0
+        range, 9 is never sampled, and when ``int(high) == int(low)`` the
+        draw degenerates to the single value ``int(low)``.  Kept as an
+        explicit opt-out so pre-PR-9 campaign seeds remain replayable.
+
+    Both streams are pinned by seeded tests in
+    ``tests/runtime/test_interpreter_hot_path.py``.
     """
     if int_bounds == "legacy":
         return rng.integers(int(low), max(int(high), int(low) + 1), size=size)
@@ -199,13 +211,12 @@ def _integer_draw(rng: np.random.Generator, low: float, high: float,
 
 def random_inputs(model: Model, rng: Optional[np.random.Generator] = None,
                   low: float = 1.0, high: float = 9.0,
-                  int_bounds: str = "legacy") -> Dict[str, np.ndarray]:
+                  int_bounds: str = "inclusive") -> Dict[str, np.ndarray]:
     """Sample random graph inputs (the paper's "Sampling" baseline range).
 
     Floats are drawn uniformly from ``[low, high)`` and booleans as fair
     coin flips.  Integer draws follow ``int_bounds`` — see
-    :func:`_integer_draw` for the legacy-vs-inclusive distinction and why
-    ``"legacy"`` stays the default.
+    :func:`_integer_draw` for the inclusive-vs-legacy distinction.
     """
     rng = rng or np.random.default_rng()
     result: Dict[str, np.ndarray] = {}
@@ -223,7 +234,7 @@ def random_inputs(model: Model, rng: Optional[np.random.Generator] = None,
 
 def random_weights(model: Model, rng: Optional[np.random.Generator] = None,
                    low: float = 1.0, high: float = 9.0,
-                   int_bounds: str = "legacy") -> Dict[str, np.ndarray]:
+                   int_bounds: str = "inclusive") -> Dict[str, np.ndarray]:
     """Sample replacement values for the model's initializers.
 
     Same distribution rules as :func:`random_inputs`, including the

@@ -6,6 +6,7 @@ import json
 import pytest
 
 from repro.core.fabric.protocol import (
+    ARC_COMPRESSION_THRESHOLD,
     PROTOCOL_VERSION,
     CheckpointAck,
     ChunkDone,
@@ -82,6 +83,49 @@ class TestFrameRoundTrips:
             encode(CoverageDelta(worker="w", cell_index=0, iteration=1,
                                  arcs=("x->y",))))))
         assert delta.arcs == ("x->y",)
+
+
+class TestCoverageDeltaCompression:
+    def _big_delta(self, count=300):
+        # Realistic dotted-path arcs: long strings with heavy shared
+        # structure, comfortably above the compression threshold.
+        return CoverageDelta(
+            worker="w-1", cell_index=3, iteration=9,
+            arcs=tuple(f"repro.compilers.graphrt.passes:{i}->{i + 1}"
+                       for i in range(count)))
+
+    def test_small_deltas_ship_plain(self):
+        frame = encode(CoverageDelta(worker="w", cell_index=0, iteration=1,
+                                     arcs=("x->y",)))
+        assert "packed" not in frame
+        assert list(frame["arcs"]) == ["x->y"]
+
+    def test_large_deltas_ship_compressed(self):
+        delta = self._big_delta()
+        assert (len(json.dumps(list(delta.arcs)).encode())
+                > ARC_COMPRESSION_THRESHOLD)
+        frame = encode(delta)
+        assert frame["arcs"] == []
+        assert frame["codec"] == "zlib+b64"
+        assert len(json.dumps(frame)) < len(json.dumps(list(delta.arcs)))
+
+    def test_compressed_delta_round_trips_through_json(self):
+        delta = self._big_delta()
+        rebuilt = decode(json.loads(json.dumps(encode(delta))))
+        assert rebuilt == delta
+        assert isinstance(rebuilt.arcs, tuple)
+
+    def test_unknown_codec_rejected(self):
+        frame = encode(self._big_delta())
+        frame["codec"] = "lz4"
+        with pytest.raises(ProtocolError, match="unknown arc codec"):
+            decode(frame)
+
+    def test_corrupt_packed_payload_rejected(self):
+        frame = encode(self._big_delta())
+        frame["packed"] = "definitely-not-base64-zlib!!!"
+        with pytest.raises(ProtocolError, match="corrupt packed"):
+            decode(frame)
 
 
 class TestFrameRejection:

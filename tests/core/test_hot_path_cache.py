@@ -37,10 +37,10 @@ pytestmark = pytest.mark.campaign
 def _fresh_cache():
     """Each test starts cold and leaves the process-default switches on."""
     cache.reset()
-    cache.configure(enabled=True, artifact=True)
+    cache.configure(enabled=True, artifact=True, plan=True, prefix=True)
     yield
     cache.reset()
-    cache.configure(enabled=True, artifact=True)
+    cache.configure(enabled=True, artifact=True, plan=True, prefix=True)
 
 
 def _config(enabled, **kwargs):
@@ -273,6 +273,27 @@ class TestSerialEquivalence:
                      _config(False, iterations=3, seed=5)).run()
         assert off.cache_stats == {}
 
+    def test_gradcheck_campaign_identical_with_and_without_cache(self):
+        # With caching on, gradcheck probes run through the batched compiled
+        # plan; off, through the sequential legacy loop.  Findings must not
+        # be able to tell.
+        signatures = []
+        for enabled in (True, False):
+            cache.reset()
+            fuzzer = Fuzzer(default_compiler_factory(BugConfig.all()),
+                            _config(enabled, iterations=5, seed=19,
+                                    oracle="gradcheck"))
+            signatures.append(campaign_signature(fuzzer.run()))
+        assert signatures[0] == signatures[1]
+
+    def test_plan_and_prefix_stages_appear_in_campaign_stats(self):
+        cache.reset()
+        result = Fuzzer(default_compiler_factory(BugConfig.all()),
+                        _config(True, iterations=4, seed=7)).run()
+        assert result.cache_stats.get("plan", {}).get("misses", 0) > 0
+        prefix = result.cache_stats.get("prefix", {})
+        assert prefix.get("hits", 0) + prefix.get("misses", 0) > 0
+
 
 class TestParallelEquivalence:
     @pytest.mark.smoke
@@ -299,6 +320,33 @@ class TestParallelEquivalence:
             oracles=["difftest", "crash"]).run()
         artifact = result.cache_stats.get("artifact", {})
         assert artifact.get("hits", 0) > 0
+
+    @pytest.mark.smoke
+    def test_prefix_hit_rate_positive_on_repeated_graph_workload(self):
+        # The prefix cache keys on structure + content, not object identity:
+        # replaying the same seed stream through a warm process cache
+        # regenerates every model from scratch (fresh Model objects, plan
+        # misses) yet resolves the reference runs out of the value cache.
+        config = _config(True, iterations=6, seed=23)
+        ParallelCampaign(config=config, n_workers=1, n_shards=1).run()
+        result = ParallelCampaign(config=config, n_workers=1,
+                                  n_shards=1).run()
+        assert result.cache_stats.get("prefix", {}).get("hits", 0) > 0
+
+    @pytest.mark.smoke
+    def test_gradcheck_oracle_bit_identical_across_workers_and_cache(self):
+        # The batched-probe path must be invisible under parallel folding
+        # too, not just in the serial fuzzer.
+        signatures = set()
+        for enabled in (True, False):
+            for workers in (1, 2):
+                cache.reset()
+                result = ParallelCampaign(
+                    config=_config(enabled, iterations=6, seed=37),
+                    n_workers=workers, n_shards=2,
+                    oracles=["difftest", "gradcheck"]).run()
+                signatures.add(campaign_signature(result))
+        assert len(signatures) == 1
 
 
 def _normalize_checkpoint(payload):
@@ -401,3 +449,23 @@ class TestCoverageInteraction:
         fuzzer.run(coverage=CoverageFeedback(systems=["graphrt", "deepc"]))
         assert cache.get_cache().enabled is True
         assert cache.get_cache().artifact_enabled is False
+        # Compiled plans and the prefix cache stay on under tracing: the
+        # tracer's scope excludes repro/runtime, so they cannot perturb arcs.
+        assert cache.get_cache().plan_enabled is True
+        assert cache.get_cache().prefix_enabled is True
+
+    def test_traced_arcs_identical_with_and_without_cache(self):
+        # Satellite fix pin: routing traced runs through the compiled plan
+        # must leave the observed arc set bit-identical — coverage-guided
+        # dedup would otherwise diverge between cache settings.
+        from repro.compilers.coverage import CoverageFeedback
+
+        arc_sets = []
+        for enabled in (True, False):
+            cache.reset()
+            feedback = CoverageFeedback(systems=["graphrt", "deepc"])
+            Fuzzer(default_compiler_factory(BugConfig.all()),
+                   _config(enabled, iterations=3, seed=9)).run(
+                       coverage=feedback)
+            arc_sets.append(frozenset(feedback._seen))
+        assert arc_sets[0] == arc_sets[1]

@@ -166,6 +166,26 @@ class TestPerfOracleEndToEnd:
         (verdict,) = oracle.run_case(mlp_model).verdicts
         assert verdict.status == "perf"
         assert "graphrt-matmul-repack-small" in verdict.triggered_bugs
+        # Per-node attribution: the repacked Gemm/MatMul carries the
+        # slowdown, and the provenance says so (node, op, excess share).
+        assert verdict.slow_nodes
+        assert verdict.slow_nodes[0]["op"] in ("Gemm", "MatMul")
+        assert verdict.slow_nodes[0]["share"].endswith("%")
+
+    def test_fake_compiled_executables_get_no_attribution(self, mlp_model):
+        # Duck-typing contract: executables without a profile_nodes hook
+        # (codegen backends, test doubles) yield empty slow_nodes and the
+        # attribution consumes zero timer reads — the sentinel instant
+        # stays unread, so scripted FakeClock tests never go out of sync.
+        clock = FakeClock(_ms(0, 10, 10, 11, 99))
+        oracle = PerfRegressionOracle(
+            [_NoopCompiler(CompileOptions(opt_level=2))],
+            bugs=BugConfig.none(), timer=clock,
+            repeats=1, warmup=0, threshold=2.0)
+        (verdict,) = oracle.run_case(mlp_model).verdicts
+        assert verdict.status == "perf"
+        assert verdict.slow_nodes == []
+        assert clock.times == _ms(99)
 
     def test_clean_compiler_not_flagged(self, mlp_model):
         oracle = PerfRegressionOracle(

@@ -363,7 +363,9 @@ class TestStatusStreaming:
         campaign = ParallelCampaign(config=config, n_workers=1)
         result = campaign.run()
         snapshot = campaign.last_status
-        assert snapshot["protocol"] == 1
+        from repro.core.fabric.protocol import PROTOCOL_VERSION
+
+        assert snapshot["protocol"] == PROTOCOL_VERSION
         assert snapshot["iterations"] == result.iterations
         assert snapshot["findings"] == len(result.reports)
         assert set(snapshot["cells"]) == set(result.cells)

@@ -1,0 +1,518 @@
+"""Compiled execution plans (`repro.runtime.compiled_plan`, ISSUE 9).
+
+The invisibility contract, checked from every angle the interpreter can be
+driven: sequential compiled-vs-legacy bit-identity on generated models (both
+record modes, including exception parity at terminal steps), batched-vs-
+sequential bit-identity (including batch-hostile fallbacks and shared-input
+dedup), the cross-iteration prefix value cache (hit semantics, exceptional
+preservation, record-mode bypass), the batched gradcheck runner gating, and
+per-node slow-node attribution.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import cache
+from repro.core.generator import GeneratorConfig, generate_model
+from repro.dtypes import DType
+from repro.errors import (ExecutionError, GenerationError, GraphError,
+                          ReproError, UnsupportedOperatorError)
+from repro.graph.model import Model
+from repro.graph.node import Node
+from repro.graph.tensor_type import TensorType
+from repro.runtime.compiled_plan import (attribute_slow_nodes,
+                                         batched_reference_runner,
+                                         compile_plan)
+from repro.runtime.interpreter import Interpreter, random_inputs
+from repro.testing import build_mlp_model
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    """Each test starts cold with every cache layer on (process default)."""
+    cache.reset()
+    cache.configure(enabled=True, artifact=True, plan=True, prefix=True)
+    yield
+    cache.reset()
+    cache.configure(enabled=True, artifact=True, plan=True, prefix=True)
+
+
+def _same_array(a, b):
+    return (a.dtype == b.dtype and a.shape == b.shape
+            and a.tobytes() == b.tobytes())
+
+
+def _outcome(fn):
+    """Normal result or the exception, normalized for equality checks."""
+    try:
+        return ("ok", fn())
+    except ReproError as exc:
+        return ("raised", type(exc).__name__, str(exc))
+    except KeyError as exc:
+        return ("raised", "KeyError", str(exc))
+
+
+def _run_outcome(model, inputs, record, plan, prefix=False):
+    cache.configure(plan=plan, prefix=prefix)
+    interp = Interpreter(record_intermediates=record)
+    return _outcome(lambda: interp.run_detailed(model, inputs))
+
+
+def _assert_same_run(legacy, compiled):
+    assert legacy[0] == compiled[0], (legacy, compiled)
+    if legacy[0] == "raised":
+        assert legacy[1:] == compiled[1:]
+        return
+    a, b = legacy[1], compiled[1]
+    assert list(a.outputs) == list(b.outputs)
+    for name in a.outputs:
+        assert _same_array(a.outputs[name], b.outputs[name]), name
+    assert list(a.values) == list(b.values)
+    for name in a.values:
+        assert _same_array(a.values[name], b.values[name]), name
+    assert a.first_exceptional_node == b.first_exceptional_node
+    assert a.exceptional_nodes == b.exceptional_nodes
+    assert a.peak_live_values == b.peak_live_values
+
+
+def _chain_model(depth, tag="c", op="Relu"):
+    """x -> op -> op -> ...; value names carry ``tag`` so two structurally
+    identical chains can have disjoint name sets."""
+    model = Model(f"chain-{tag}")
+    model.add_input(f"{tag}_x", TensorType((4, 4), DType.float32))
+    previous = f"{tag}_x"
+    for index in range(depth):
+        out = f"{tag}_v{index}"
+        model.add_node(Node(op, f"{tag}_{op.lower()}{index}",
+                            [previous], [out]),
+                       [TensorType((4, 4), DType.float32)])
+        previous = out
+    model.mark_output(previous)
+    return model
+
+
+# --------------------------------------------------------------------------- #
+# Sequential equivalence: compiled path vs legacy dict loop
+# --------------------------------------------------------------------------- #
+class TestSequentialEquivalence:
+    @pytest.mark.parametrize("record", [False, True])
+    def test_mlp_bit_identical(self, record):
+        model = build_mlp_model()
+        inputs = random_inputs(model, np.random.default_rng(7))
+        assert cache.compiled_execution(model)[0] is not None
+        legacy = _run_outcome(model, inputs, record, plan=False)
+        compiled = _run_outcome(model, inputs, record, plan=True)
+        assert legacy[0] == "ok"
+        _assert_same_run(legacy, compiled)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_models_bit_identical(self, seed):
+        try:
+            generated = generate_model(GeneratorConfig(n_nodes=6, seed=seed))
+        except GenerationError:
+            pytest.skip("generator gave up for this seed")
+        model = generated.model
+        inputs = random_inputs(model, np.random.default_rng(seed))
+        assert compile_plan(model, cache.execution_plan(model)) is not None
+        for record in (False, True):
+            _assert_same_run(
+                _run_outcome(model, inputs, record, plan=False),
+                _run_outcome(model, inputs, record, plan=True))
+
+    def test_exceptional_values_tracked_identically(self):
+        # Log of a negative input manufactures NaNs mid-graph; both loops
+        # must agree on which nodes went exceptional, and in what order.
+        model = _chain_model(3, tag="nan", op="Log")
+        inputs = {"nan_x": np.full((4, 4), -2.0, dtype=np.float32)}
+        legacy = _run_outcome(model, inputs, False, plan=False)
+        compiled = _run_outcome(model, inputs, False, plan=True)
+        _assert_same_run(legacy, compiled)
+        assert legacy[1].first_exceptional_node == "nan_log0"
+        assert len(legacy[1].exceptional_nodes) == 3
+
+    def test_missing_and_misshapen_inputs_raise_identically(self):
+        model = build_mlp_model()
+        good = random_inputs(model, np.random.default_rng(0))
+        (name,) = list(good)
+        bad_shape = {name: np.zeros((1, 1), dtype=np.float32)}
+        for bad in ({}, bad_shape):
+            _assert_same_run(
+                _run_outcome(model, bad, False, plan=False),
+                _run_outcome(model, bad, False, plan=True))
+
+
+class TestTerminalErrorParity:
+    def test_unsupported_operator_raises_after_prior_steps(self):
+        model = _chain_model(2, tag="u")
+        model.add_node(Node("NoSuchOp", "u_weird", ["u_v1"], ["u_bad"]),
+                       [TensorType((4, 4), DType.float32)])
+        model.mark_output("u_bad")
+        inputs = {"u_x": np.ones((4, 4), dtype=np.float32)}
+        legacy = _run_outcome(model, inputs, False, plan=False)
+        compiled = _run_outcome(model, inputs, False, plan=True)
+        assert legacy == compiled
+        assert legacy[1] == "UnsupportedOperatorError"
+        assert "NoSuchOp" in legacy[2]
+
+    def test_unavailable_input_raises_identically(self):
+        # Simulate a mutilated graph (the LEMON-mutation hazard): drop the
+        # producer of v0 so the next node consumes a value that never exists.
+        model = _chain_model(3, tag="g")
+        del model.nodes[0]
+        model.structure_version += 1
+        inputs = {"g_x": np.ones((4, 4), dtype=np.float32)}
+        legacy = _run_outcome(model, inputs, False, plan=False)
+        compiled = _run_outcome(model, inputs, False, plan=True)
+        assert legacy == compiled
+        assert legacy[1] == "GraphError"
+        assert "unavailable value" in legacy[2]
+
+    def test_unproduced_output_falls_back_to_legacy_loop(self):
+        # A declared graph output nobody produces is one of the shapes the
+        # slab cannot represent: compile_plan refuses and the interpreter
+        # keeps the dict loop (whose KeyError we preserve verbatim).
+        model = _chain_model(2, tag="o")
+        del model.nodes[-1]
+        model.structure_version += 1
+        assert compile_plan(model, cache.execution_plan(model)) is None
+        inputs = {"o_x": np.ones((4, 4), dtype=np.float32)}
+        legacy = _run_outcome(model, inputs, False, plan=False)
+        compiled = _run_outcome(model, inputs, False, plan=True)
+        assert legacy == compiled
+        assert legacy[1] == "KeyError"
+
+
+# --------------------------------------------------------------------------- #
+# Batched execution
+# --------------------------------------------------------------------------- #
+def _compiled_for(model):
+    compiled, _plan = cache.compiled_execution(model)
+    assert compiled is not None
+    return compiled
+
+
+def _sequential_outputs(model, batch):
+    cache.configure(plan=False)
+    interp = Interpreter(record_intermediates=False)
+    outs = [interp.run_detailed(model, sample).outputs for sample in batch]
+    cache.configure(plan=True)
+    return outs
+
+
+def _assert_batch_matches(model, batch):
+    compiled = _compiled_for(model)
+    batched = compiled.execute_batched(model, batch)
+    sequential = _sequential_outputs(model, batch)
+    assert len(batched) == len(sequential)
+    for got, want in zip(batched, sequential):
+        assert list(got) == list(want)
+        for name in want:
+            assert _same_array(np.asarray(got[name]), want[name]), name
+
+
+class TestBatchedExecution:
+    def test_mlp_batch_matches_sequential(self):
+        model = build_mlp_model()
+        batch = [random_inputs(model, np.random.default_rng(seed))
+                 for seed in range(5)]
+        _assert_batch_matches(model, batch)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_generated_models_batch_matches_sequential(self, seed):
+        try:
+            generated = generate_model(GeneratorConfig(n_nodes=6, seed=seed))
+        except GenerationError:
+            pytest.skip("generator gave up for this seed")
+        model = generated.model
+        batch = [random_inputs(model, np.random.default_rng(100 * seed + k))
+                 for k in range(3)]
+        try:
+            _assert_batch_matches(model, batch)
+        except ReproError:
+            # The model fails on these inputs in *both* modes; sequential
+            # equivalence tests already pin exception parity.
+            cache.configure(plan=True)
+
+    def test_identical_samples_evaluated_once_and_shared(self):
+        # All-equal batch inputs stay unbatched: one kernel sweep, every
+        # sample's output dict aliasing the same arrays.
+        model = build_mlp_model()
+        sample = random_inputs(model, np.random.default_rng(3))
+        compiled = _compiled_for(model)
+        batched = compiled.execute_batched(model, [sample, dict(sample), dict(sample)])
+        for name in batched[0]:
+            assert batched[0][name] is batched[1][name]
+            assert batched[1][name] is batched[2][name]
+        (want,) = _sequential_outputs(model, [sample])
+        for name in want:
+            assert _same_array(np.asarray(batched[0][name]), want[name])
+
+    def test_positive_axis_softmax_falls_back_per_sample(self):
+        # axis=0 would be shifted by a leading batch dimension; the batch-
+        # safety gate must refuse and restack per-sample results instead.
+        model = Model("sm")
+        model.add_input("x", TensorType((3, 4), DType.float32))
+        model.add_node(Node("Softmax", "sm0", ["x"], ["y"],
+                            attrs={"axis": 0}),
+                       [TensorType((3, 4), DType.float32)])
+        model.mark_output("y")
+        compiled = _compiled_for(model)
+        assert not compiled._batch_safe(
+            "Softmax", {"axis": 0},
+            [np.zeros((2, 3, 4), dtype=np.float32)], [True])
+        batch = [{"x": np.random.default_rng(k).normal(
+            size=(3, 4)).astype(np.float32)} for k in range(4)]
+        _assert_batch_matches(model, batch)
+
+    def test_negative_axis_softmax_batches_in_one_sweep(self):
+        model = Model("smn")
+        model.add_input("x", TensorType((3, 4), DType.float32))
+        model.add_node(Node("Softmax", "sm0", ["x"], ["y"],
+                            attrs={"axis": -1}),
+                       [TensorType((3, 4), DType.float32)])
+        model.mark_output("y")
+        compiled = _compiled_for(model)
+        assert compiled._batch_safe(
+            "Softmax", {"axis": -1},
+            [np.zeros((2, 3, 4), dtype=np.float32)], [True])
+        batch = [{"x": np.random.default_rng(k).normal(
+            size=(3, 4)).astype(np.float32)} for k in range(4)]
+        _assert_batch_matches(model, batch)
+
+    def test_mixed_batched_and_shared_operands(self):
+        # a varies across the batch, b is constant: Add sees one stacked and
+        # one shared operand and must still match per-sample runs.
+        model = Model("mixed")
+        model.add_input("a", TensorType((2, 3), DType.float32))
+        model.add_input("b", TensorType((2, 3), DType.float32))
+        model.add_node(Node("Add", "add0", ["a", "b"], ["y"]),
+                       [TensorType((2, 3), DType.float32)])
+        model.mark_output("y")
+        shared = np.arange(6, dtype=np.float32).reshape(2, 3)
+        batch = [{"a": np.full((2, 3), float(k), dtype=np.float32),
+                  "b": shared} for k in range(4)]
+        _assert_batch_matches(model, batch)
+
+    def test_rank2_matmul_batches_as_stacked_gemm(self):
+        model = Model("mm")
+        model.add_input("a", TensorType((4, 3), DType.float32))
+        model.add_input("b", TensorType((3, 5), DType.float32))
+        model.add_node(Node("MatMul", "mm0", ["a", "b"], ["y"]),
+                       [TensorType((4, 5), DType.float32)])
+        model.mark_output("y")
+        compiled = _compiled_for(model)
+        assert compiled._batch_safe(
+            "MatMul", {},
+            [np.zeros((2, 4, 3), dtype=np.float32),
+             np.zeros((2, 3, 5), dtype=np.float32)], [True, True])
+        rng = np.random.default_rng(0)
+        batch = [{"a": rng.normal(size=(4, 3)).astype(np.float32),
+                  "b": rng.normal(size=(3, 5)).astype(np.float32)}
+                 for _ in range(4)]
+        _assert_batch_matches(model, batch)
+
+
+# --------------------------------------------------------------------------- #
+# Cross-iteration subgraph-prefix value cache
+# --------------------------------------------------------------------------- #
+def _prefix_stats():
+    return cache.stats_snapshot()["prefix"]
+
+
+class TestPrefixCache:
+    def test_repeat_run_hits_and_stays_bit_identical(self):
+        model = build_mlp_model()
+        inputs = random_inputs(model, np.random.default_rng(11))
+        cold = _run_outcome(model, inputs, False, plan=True, prefix=True)
+        assert _prefix_stats() == {"hits": 0, "misses": 1}
+        warm = _run_outcome(model, inputs, False, plan=True, prefix=True)
+        assert _prefix_stats()["hits"] == 1
+        _assert_same_run(cold, warm)
+
+    def test_structural_hit_across_models_with_different_names(self):
+        # Canonical-position fingerprints: a motif re-generated under fresh
+        # value names in a later iteration reuses the cached prefix.
+        data = np.random.default_rng(5).normal(size=(4, 4)).astype(np.float32)
+        first = _chain_model(6, tag="aa")
+        second = _chain_model(6, tag="bb")
+        cold = _run_outcome(first, {"aa_x": data}, False, plan=True,
+                            prefix=True)
+        warm = _run_outcome(second, {"bb_x": data}, False, plan=True,
+                            prefix=True)
+        assert _prefix_stats()["hits"] == 1
+        for got, want in zip(warm[1].outputs.values(),
+                             cold[1].outputs.values()):
+            assert _same_array(got, want)
+
+    def test_different_input_content_misses(self):
+        model = build_mlp_model()
+        _run_outcome(model, random_inputs(model, np.random.default_rng(1)),
+                     False, plan=True, prefix=True)
+        _run_outcome(model, random_inputs(model, np.random.default_rng(2)),
+                     False, plan=True, prefix=True)
+        assert _prefix_stats() == {"hits": 0, "misses": 2}
+
+    def test_record_mode_bypasses_the_prefix_cache(self):
+        # Recorded runs must surface every intermediate; serving a boundary
+        # would skip them, so the cache is neither read nor written.
+        model = build_mlp_model()
+        inputs = random_inputs(model, np.random.default_rng(4))
+        _run_outcome(model, inputs, True, plan=True, prefix=True)
+        _run_outcome(model, inputs, True, plan=True, prefix=True)
+        assert _prefix_stats() == {"hits": 0, "misses": 0}
+
+    def test_disabled_prefix_layer_is_silent(self):
+        model = build_mlp_model()
+        inputs = random_inputs(model, np.random.default_rng(4))
+        _run_outcome(model, inputs, False, plan=True, prefix=False)
+        _run_outcome(model, inputs, False, plan=True, prefix=False)
+        assert _prefix_stats() == {"hits": 0, "misses": 0}
+
+    def test_prefix_hit_preserves_exceptional_provenance(self):
+        # NaNs manufactured inside a served prefix must still be attributed
+        # to their producing nodes on the warm run.
+        model = _chain_model(5, tag="ex", op="Log")
+        inputs = {"ex_x": np.full((4, 4), -3.0, dtype=np.float32)}
+        cold = _run_outcome(model, inputs, False, plan=True, prefix=True)
+        warm = _run_outcome(model, inputs, False, plan=True, prefix=True)
+        assert _prefix_stats()["hits"] == 1
+        _assert_same_run(cold, warm)
+        assert warm[1].first_exceptional_node == "ex_log0"
+        assert len(warm[1].exceptional_nodes) == 5
+
+    def test_served_boundaries_are_immutable_copies(self):
+        # A caller mutating outputs of a warm run must not poison the cache
+        # for the next hit.
+        model = _chain_model(4, tag="mut")
+        inputs = {"mut_x": np.ones((4, 4), dtype=np.float32)}
+        cold = _run_outcome(model, inputs, False, plan=True, prefix=True)
+        warm1 = _run_outcome(model, inputs, False, plan=True, prefix=True)
+        with pytest.raises(ValueError):
+            next(iter(warm1[1].outputs.values()))[0, 0] = 99.0
+        warm2 = _run_outcome(model, inputs, False, plan=True, prefix=True)
+        for got, want in zip(warm2[1].outputs.values(),
+                             cold[1].outputs.values()):
+            assert _same_array(got, want)
+
+    def test_lru_bound_evicts_oldest(self):
+        hot = cache.get_cache()
+        for index in range(cache.PREFIX_CAPACITY + 5):
+            hot.prefix_put(("struct", index), object())
+        assert len(hot._prefix) == cache.PREFIX_CAPACITY
+        assert hot.prefix_get(("struct", 0)) is None
+        assert hot.prefix_get(("struct", cache.PREFIX_CAPACITY + 4)) is not None
+
+
+# --------------------------------------------------------------------------- #
+# Batched gradcheck support
+# --------------------------------------------------------------------------- #
+class TestBatchedReferenceRunner:
+    def test_disabled_plan_layer_yields_no_runner(self):
+        cache.configure(plan=False)
+        assert batched_reference_runner(build_mlp_model()) is None
+        cache.configure(enabled=False, plan=True)
+        assert batched_reference_runner(build_mlp_model()) is None
+        cache.configure(enabled=True)
+
+    def test_runner_matches_sequential_interpreter(self):
+        model = build_mlp_model()
+        runner = batched_reference_runner(model)
+        assert runner is not None
+        batch = [random_inputs(model, np.random.default_rng(seed))
+                 for seed in range(4)]
+        got = runner(batch)
+        want = _sequential_outputs(model, batch)
+        for got_sample, want_sample in zip(got, want):
+            for name in want_sample:
+                assert _same_array(np.asarray(got_sample[name]),
+                                   want_sample[name])
+
+    def test_uncompilable_model_yields_no_runner(self):
+        model = _chain_model(2, tag="nr")
+        del model.nodes[-1]
+        model.structure_version += 1
+        assert batched_reference_runner(model) is None
+
+
+# --------------------------------------------------------------------------- #
+# Per-closure timing and slow-node attribution
+# --------------------------------------------------------------------------- #
+class _FakeProfiled:
+    """Executable double with a scripted ``profile_nodes`` hook; each call
+    pops the next script (the last one repeats)."""
+
+    def __init__(self, *scripts):
+        self._scripts = list(scripts)
+
+    def profile_nodes(self, inputs, timer):
+        script = self._scripts[0]
+        if len(self._scripts) > 1:
+            self._scripts.pop(0)
+        return list(script)
+
+
+class TestProfileHook:
+    def test_profile_times_every_step(self, mlp_model):
+        compiled = _compiled_for(mlp_model)
+        inputs = random_inputs(mlp_model, np.random.default_rng(0))
+        outputs, times = compiled.profile(mlp_model, inputs,
+                                          time.perf_counter)
+        assert [op for _name, op, _sec in times] == \
+            [node.op for node in mlp_model.topological_order()]
+        assert all(seconds >= 0.0 for _n, _o, seconds in times)
+        want = Interpreter().run_detailed(mlp_model, inputs).outputs
+        for name in want:
+            assert _same_array(outputs[name], want[name])
+
+
+class TestSlowNodeAttribution:
+    def test_dominant_excess_node_is_named(self):
+        optimized = _FakeProfiled([("n0", "Gemm", 0.010),
+                                   ("n1", "Relu", 0.001)])
+        baseline = _FakeProfiled([("n0", "Gemm", 0.001),
+                                  ("n1", "Relu", 0.001)])
+        slow = attribute_slow_nodes(optimized, baseline, {}, repeats=1)
+        assert slow == [{"node": "n0", "op": "Gemm", "share": "100%"}]
+
+    def test_min_of_repeats_discards_noise_spikes(self):
+        # First optimized sample is a 20x outlier; min-of-repeats keeps the
+        # clean 2ms reading and the excess shrinks accordingly.
+        optimized = _FakeProfiled([("n0", "Gemm", 0.040)],
+                                  [("n0", "Gemm", 0.002)])
+        baseline = _FakeProfiled([("n0", "Gemm", 0.001)])
+        slow = attribute_slow_nodes(optimized, baseline, {}, repeats=2)
+        assert slow == [{"node": "n0", "op": "Gemm", "share": "100%"}]
+
+    def test_share_floor_truncates_the_tail(self):
+        optimized = _FakeProfiled([("n0", "MatMul", 0.80),
+                                   ("n1", "Add", 0.15),
+                                   ("n2", "Relu", 0.05)])
+        baseline = _FakeProfiled([("n0", "MatMul", 0.0),
+                                  ("n1", "Add", 0.0),
+                                  ("n2", "Relu", 0.0)])
+        slow = attribute_slow_nodes(optimized, baseline, {}, repeats=1,
+                                    share_floor=0.8)
+        assert slow == [{"node": "n0", "op": "MatMul", "share": "80%"}]
+
+    def test_no_positive_excess_returns_nothing(self):
+        same = [("n0", "Gemm", 0.002), ("n1", "Relu", 0.001)]
+        slow = attribute_slow_nodes(_FakeProfiled(same), _FakeProfiled(same),
+                                    {}, repeats=1)
+        assert slow == []
+
+    def test_executables_without_hook_are_skipped(self):
+        class _Plain:
+            pass
+
+        assert attribute_slow_nodes(_Plain(), _Plain(), {}) == []
+        assert attribute_slow_nodes(_FakeProfiled([]), _Plain(), {}) == []
+
+    def test_profiler_failure_is_swallowed(self):
+        class _Broken:
+            def profile_nodes(self, inputs, timer):
+                raise ExecutionError("kernel exploded mid-profile")
+
+        baseline = _FakeProfiled([("n0", "Gemm", 0.001)])
+        assert attribute_slow_nodes(_Broken(), baseline, {}) == []

@@ -69,35 +69,43 @@ class TestIntegerBounds:
         model.mark_output("x")
         return model
 
-    def test_legacy_default_never_samples_high(self):
+    def test_inclusive_default_covers_full_closed_range(self):
         data = random_inputs(self._int_model(),
                              np.random.default_rng(7))["x"]
-        assert data.min() >= 1
-        assert data.max() == 8  # 9 is unreachable on the legacy stream
+        assert data.min() == 1
+        assert data.max() == 9  # the closed range is the default since PR 9
 
-    def test_legacy_stream_is_pinned(self):
+    def test_inclusive_stream_is_pinned(self):
         # The campaign seed contract: the default integer stream is exactly
-        # rng.integers(int(low), max(int(high), int(low) + 1)).  Every
-        # pinned smoke seed and the frozen corpus depend on it.
+        # rng.integers(int(low), int(high) + 1).  Every pinned smoke seed
+        # and the regenerated corpus depend on it.
         data = random_inputs(self._int_model(),
                              np.random.default_rng(29))["x"]
+        expected = np.random.default_rng(29).integers(1, 10, size=(4000,))
+        np.testing.assert_array_equal(data, expected.astype(np.int64))
+
+    def test_legacy_stream_is_pinned(self):
+        # The opt-out keeps pre-PR-9 seeds replayable: exactly
+        # rng.integers(int(low), max(int(high), int(low) + 1)).
+        data = random_inputs(self._int_model(), np.random.default_rng(29),
+                             int_bounds="legacy")["x"]
         expected = np.random.default_rng(29).integers(1, 9, size=(4000,))
         np.testing.assert_array_equal(data, expected.astype(np.int64))
 
-    def test_inclusive_covers_full_closed_range(self):
+    def test_legacy_never_samples_high(self):
         data = random_inputs(self._int_model(), np.random.default_rng(7),
-                             int_bounds="inclusive")["x"]
-        assert data.min() == 1
-        assert data.max() == 9
+                             int_bounds="legacy")["x"]
+        assert data.min() >= 1
+        assert data.max() == 8  # 9 is unreachable on the legacy stream
 
     def test_legacy_degenerates_when_bounds_share_floor(self):
         data = random_inputs(self._int_model(), np.random.default_rng(3),
-                             low=2.0, high=2.9)["x"]
+                             low=2.0, high=2.9, int_bounds="legacy")["x"]
         assert set(np.unique(data)) == {2}
 
     def test_inclusive_still_spans_sub_integer_ranges(self):
         data = random_inputs(self._int_model(), np.random.default_rng(3),
-                             low=2.0, high=2.9, int_bounds="inclusive")["x"]
+                             low=2.0, high=2.9)["x"]
         assert set(np.unique(data)) == {2}  # [2, 2] closed range, no crash
 
     def test_random_weights_follow_the_same_knob(self):
@@ -105,11 +113,11 @@ class TestIntegerBounds:
         model.add_input("x", TensorType((1,), DType.float32))
         model.add_initializer("w", np.arange(4000, dtype=np.int64))
         model.mark_output("x")
-        legacy = random_weights(model, np.random.default_rng(5))["w"]
-        assert legacy.max() == 8
-        inclusive = random_weights(model, np.random.default_rng(5),
-                                   int_bounds="inclusive")["w"]
+        inclusive = random_weights(model, np.random.default_rng(5))["w"]
         assert inclusive.max() == 9
+        legacy = random_weights(model, np.random.default_rng(5),
+                                int_bounds="legacy")["w"]
+        assert legacy.max() == 8
 
     def test_unknown_mode_rejected(self):
         with pytest.raises(ValueError, match="int_bounds"):

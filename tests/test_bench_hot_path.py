@@ -11,7 +11,8 @@ import pytest
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _TOOL_PATH = os.path.join(_REPO_ROOT, "tools", "bench_hot_path.py")
-_COMMITTED = os.path.join(_REPO_ROOT, "benchmarks", "BENCH_7.json")
+_COMMITTED = os.path.join(_REPO_ROOT, "benchmarks", "BENCH_9.json")
+_PREVIOUS = os.path.join(_REPO_ROOT, "benchmarks", "BENCH_7.json")
 
 
 def _load_tool():
@@ -32,7 +33,7 @@ def _restore_cache_switches():
     from repro.core import cache
 
     cache.reset()
-    cache.configure(enabled=True, artifact=True)
+    cache.configure(enabled=True, artifact=True, plan=True, prefix=True)
 
 
 @pytest.mark.smoke
@@ -44,6 +45,13 @@ def test_harness_runs_and_schema_validates(bench_tool, tmp_path):
     assert bench_tool.validate_payload(payload) == []
     for name in bench_tool.STAGE_NAMES:
         assert payload["stages"][name]["iterations_per_sec"] > 0
+    for mode in bench_tool.INTERPRETER_MODES:
+        assert payload["interpreter"][mode]["iterations_per_sec"] > 0
+    assert payload["oracle_gradcheck"]["sequential"]["iterations_per_sec"] > 0
+    assert payload["oracle_gradcheck"]["batched"]["iterations_per_sec"] > 0
+    # The replayed seed stream must resolve reference runs out of the
+    # prefix value cache (structure + content key, fresh Model objects).
+    assert payload["prefix_campaign"]["hit_rate"] > 0
     # Two compile passes over identical exported graphs: the second is all
     # artifact hits, so the hit rate must be positive with caching on.
     assert payload["cache"]["compile_stage_artifact_hit_rate"] > 0
@@ -55,15 +63,26 @@ def test_no_cache_mode_reports_zero_hit_rate(bench_tool):
     assert bench_tool.validate_payload(payload) == []
     assert payload["cache"]["compile_stage_artifact_hit_rate"] == 0.0
     assert payload["config"]["cache_enabled"] is False
+    assert payload["prefix_campaign"]["hit_rate"] == 0.0
 
 
 @pytest.mark.smoke
 def test_committed_trajectory_point_validates(bench_tool):
     assert os.path.exists(_COMMITTED), \
-        "benchmarks/BENCH_7.json missing — run `make bench`"
+        "benchmarks/BENCH_9.json missing — run `make bench`"
     payload = json.loads(open(_COMMITTED, encoding="utf-8").read())
     assert bench_tool.validate_payload(payload) == []
     assert payload["config"]["cache_enabled"] is True
+    assert payload["schema_version"] == 2
+
+
+@pytest.mark.smoke
+def test_previous_trajectory_point_still_validates(bench_tool):
+    # Schema v1 points stay valid: the trajectory is append-only and old
+    # BENCH files are never rewritten.
+    payload = json.loads(open(_PREVIOUS, encoding="utf-8").read())
+    assert bench_tool.validate_payload(payload) == []
+    assert payload["schema_version"] == 1
 
 
 def test_validate_payload_flags_problems(bench_tool):

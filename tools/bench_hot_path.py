@@ -13,6 +13,20 @@ pass is the repeated-graph workload of a real campaign (multiple oracles
 and O0 fault-localization recompile identical graphs), and its artifact-
 cache hit rate is reported alongside the timing.
 
+Schema v2 (PR 9) adds three compiled-plan sections:
+
+``interpreter``
+    Reference-interpreter iterations/sec through the legacy dict loop
+    (``plain``), the compiled slab loop (``compiled``), and the batched
+    sweep (``batched``) on a pinned repeated-graph workload.
+``oracle_gradcheck``
+    End-to-end reference gradcheck judge throughput (autodiff verdict on a
+    probe-heavy multi-input model), sequential FD probes vs one batched
+    sweep through the compiled plan.
+``prefix_campaign``
+    Prefix value-cache hit rate when a campaign's seed stream is replayed
+    through a warm process cache — the motif-repeat workload.
+
 Usage::
 
     python tools/bench_hot_path.py [--iterations N] [--seed S]
@@ -31,8 +45,10 @@ from typing import Dict, List
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "src"))
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+KNOWN_SCHEMAS = (1, 2)
 STAGE_NAMES = ("generate", "search", "compile", "oracle")
+INTERPRETER_MODES = ("plain", "compiled", "batched")
 
 
 def _stage(count: int, seconds: float) -> Dict[str, float]:
@@ -41,6 +57,143 @@ def _stage(count: int, seconds: float) -> Dict[str, float]:
         "seconds": round(seconds, 6),
         "iterations_per_sec": round(count / seconds, 3) if seconds > 0
         else float(count),
+    }
+
+
+def _probe_heavy_model():
+    """Four float inputs feeding an elementwise/softmax chain: every input
+    is a gradcheck target, so a case carries 4 tensors x 3 samples x 2
+    sides = 24 FD probe runs — the workload batched sweeps amortize."""
+    from repro.dtypes import DType
+    from repro.graph.model import Model
+    from repro.graph.node import Node
+    from repro.graph.tensor_type import TensorType
+
+    model = Model("bench-probe-heavy")
+    ttype = TensorType((2, 8), DType.float32)
+    for name in ("a", "b", "c", "d"):
+        model.add_input(name, ttype)
+    model.add_node(Node("Add", "add0", ["a", "b"], ["s0"]), [ttype])
+    model.add_node(Node("Mul", "mul0", ["s0", "c"], ["s1"]), [ttype])
+    model.add_node(Node("Add", "add1", ["s1", "d"], ["s2"]), [ttype])
+    model.add_node(Node("Relu", "relu0", ["s2"], ["s3"]), [ttype])
+    model.add_node(Node("Softmax", "sm0", ["s3"], ["y"],
+                        attrs={"axis": -1}), [ttype])
+    model.mark_output("y")
+    return model
+
+
+def _bench_interpreter(repeats: int, enable_cache: bool) -> Dict[str, Dict]:
+    """Plain vs compiled vs batched iterations/sec on one pinned model.
+
+    The workload repeats one graph (the repeated-graph premise); with
+    caching disabled every mode runs the legacy loop, so the section still
+    reports honest numbers for the cold path."""
+    import numpy as np
+
+    from repro.core import cache
+    from repro.runtime.interpreter import Interpreter, random_inputs
+    from repro.testing import build_mlp_model
+
+    model = build_mlp_model()
+    inputs = random_inputs(model, np.random.default_rng(0))
+    interp = Interpreter(record_intermediates=False)
+
+    def timed_loop(plan: bool) -> Dict[str, float]:
+        cache.reset()
+        cache.configure(enabled=enable_cache, plan=plan, prefix=False)
+        interp.run_detailed(model, inputs)  # warm the plan/compile caches
+        start = time.perf_counter()
+        for _ in range(repeats):
+            interp.run_detailed(model, inputs)
+        return _stage(repeats, time.perf_counter() - start)
+
+    section = {"plain": timed_loop(False),
+               "compiled": timed_loop(enable_cache)}
+
+    cache.reset()
+    cache.configure(enabled=enable_cache, plan=enable_cache, prefix=False)
+    compiled, _plan = cache.compiled_execution(model)
+    if compiled is None:
+        # Cold path: per-sample sequential runs stand in for the sweep.
+        start = time.perf_counter()
+        batch = [random_inputs(model, np.random.default_rng(k))
+                 for k in range(32)]
+        count = 0
+        while count < repeats:
+            for sample in batch:
+                interp.run_detailed(model, sample)
+            count += len(batch)
+        section["batched"] = _stage(count, time.perf_counter() - start)
+    else:
+        batch = [random_inputs(model, np.random.default_rng(k))
+                 for k in range(32)]
+        compiled.execute_batched(model, batch)
+        start = time.perf_counter()
+        count = 0
+        while count < repeats:
+            compiled.execute_batched(model, batch)
+            count += len(batch)
+        section["batched"] = _stage(count, time.perf_counter() - start)
+
+    plain_rate = section["plain"]["iterations_per_sec"] or 1.0
+    section["speedup_compiled"] = round(
+        section["compiled"]["iterations_per_sec"] / plain_rate, 3)
+    section["speedup_batched"] = round(
+        section["batched"]["iterations_per_sec"] / plain_rate, 3)
+    return section
+
+
+def _bench_oracle_gradcheck(cases: int, enable_cache: bool) -> Dict:
+    """Reference gradcheck judge (autodiff verdict): sequential FD probes
+    vs one batched sweep per case on the probe-heavy model."""
+    from repro.compilers.bugs import BugConfig
+    from repro.core import cache
+    from repro.core.oracle import build_oracle
+
+    model = _probe_heavy_model()
+
+    def timed_judge(plan: bool) -> Dict[str, float]:
+        cache.reset()
+        cache.configure(enabled=enable_cache, plan=plan, prefix=plan)
+        tester = build_oracle("gradcheck", [], bugs=BugConfig.none())
+        tester.run_case(model)  # warm
+        start = time.perf_counter()
+        for _ in range(cases):
+            tester.run_case(model)
+        return _stage(cases, time.perf_counter() - start)
+
+    sequential = timed_judge(False)
+    batched = timed_judge(enable_cache)
+    rate = sequential["iterations_per_sec"] or 1.0
+    return {
+        "sequential": sequential,
+        "batched": batched,
+        "speedup": round(batched["iterations_per_sec"] / rate, 3),
+    }
+
+
+def _bench_prefix_campaign(config) -> Dict:
+    """Replay one campaign seed stream through a warm process cache and
+    report the prefix value-cache hit rate of the replay (the motif-repeat
+    workload: identical structures under fresh Model objects)."""
+    from repro.compilers.bugs import BugConfig
+    from repro.core import cache
+    from repro.core.fuzzer import Fuzzer
+    from repro.core.parallel import default_compiler_factory
+
+    cache.reset()
+    cache.configure(enabled=config.enable_cache,
+                    artifact=config.enable_cache,
+                    plan=config.enable_cache, prefix=config.enable_cache)
+    Fuzzer(default_compiler_factory(BugConfig.all()), config).run()
+    replay = Fuzzer(default_compiler_factory(BugConfig.all()), config).run()
+    prefix = replay.cache_stats.get("prefix", {"hits": 0, "misses": 0})
+    lookups = prefix["hits"] + prefix["misses"]
+    return {
+        "hits": prefix["hits"],
+        "misses": prefix["misses"],
+        "hit_rate": round(prefix["hits"] / lookups, 4) if lookups else 0.0,
     }
 
 
@@ -61,7 +214,8 @@ def run_benchmark(iterations: int = 40, seed: int = 0, n_nodes: int = 8,
     import dataclasses
     config = dataclasses.replace(config, enable_cache=enable_cache)
     cache.reset()
-    cache.configure(enabled=enable_cache, artifact=enable_cache)
+    cache.configure(enabled=enable_cache, artifact=enable_cache,
+                    plan=enable_cache, prefix=enable_cache)
 
     stages: Dict[str, Dict[str, float]] = {}
 
@@ -111,6 +265,18 @@ def run_benchmark(iterations: int = 40, seed: int = 0, n_nodes: int = 8,
 
     artifact = compile_delta.get("artifact", {"hits": 0, "misses": 0})
     lookups = artifact["hits"] + artifact["misses"]
+    stats = cache.stats_snapshot()
+
+    # -- compiled-plan sections (schema v2) --------------------------------
+    interpreter = _bench_interpreter(repeats=max(200, 50 * iterations),
+                                     enable_cache=enable_cache)
+    oracle_gradcheck = _bench_oracle_gradcheck(
+        cases=max(20, 2 * iterations), enable_cache=enable_cache)
+    prefix_campaign = _bench_prefix_campaign(config)
+    cache.reset()
+    cache.configure(enabled=enable_cache, artifact=enable_cache,
+                    plan=enable_cache, prefix=enable_cache)
+
     return {
         "schema_version": SCHEMA_VERSION,
         "label": "bench_hot_path",
@@ -121,35 +287,72 @@ def run_benchmark(iterations: int = 40, seed: int = 0, n_nodes: int = 8,
             "cache_enabled": enable_cache,
         },
         "stages": {name: stages[name] for name in STAGE_NAMES},
+        "interpreter": interpreter,
+        "oracle_gradcheck": oracle_gradcheck,
+        "prefix_campaign": prefix_campaign,
         "cache": {
-            "stats": cache.stats_snapshot(),
+            "stats": stats,
             "compile_stage_artifact_hit_rate": (
                 round(artifact["hits"] / lookups, 4) if lookups else 0.0),
         },
     }
 
 
+def _check_stage(entry, label: str, problems: List[str]) -> None:
+    if not isinstance(entry, dict):
+        problems.append(f"stage {label!r} missing")
+        return
+    for field in ("count", "seconds", "iterations_per_sec"):
+        value = entry.get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(f"stage {label!r}: bad {field!r}: {value!r}")
+
+
 def validate_payload(payload: Dict) -> List[str]:
     """Schema check shared with the tier-1 smoke test.  Returns problems."""
     problems = []
-    if payload.get("schema_version") != SCHEMA_VERSION:
+    version = payload.get("schema_version")
+    if version not in KNOWN_SCHEMAS:
         problems.append("schema_version missing or unknown")
+        return problems
     stages = payload.get("stages")
     if not isinstance(stages, dict):
         problems.append("stages missing")
         return problems
     for name in STAGE_NAMES:
-        entry = stages.get(name)
-        if not isinstance(entry, dict):
-            problems.append(f"stage {name!r} missing")
-            continue
-        for field in ("count", "seconds", "iterations_per_sec"):
-            value = entry.get(field)
-            if not isinstance(value, (int, float)) or value < 0:
-                problems.append(f"stage {name!r}: bad {field!r}: {value!r}")
+        _check_stage(stages.get(name), name, problems)
     cache_info = payload.get("cache")
     if not isinstance(cache_info, dict) or "stats" not in cache_info:
         problems.append("cache stats missing")
+    if version >= 2:
+        interpreter = payload.get("interpreter")
+        if not isinstance(interpreter, dict):
+            problems.append("interpreter section missing")
+        else:
+            for mode in INTERPRETER_MODES:
+                _check_stage(interpreter.get(mode),
+                             f"interpreter.{mode}", problems)
+            for field in ("speedup_compiled", "speedup_batched"):
+                if not isinstance(interpreter.get(field), (int, float)):
+                    problems.append(f"interpreter: bad {field!r}")
+        gradcheck = payload.get("oracle_gradcheck")
+        if not isinstance(gradcheck, dict):
+            problems.append("oracle_gradcheck section missing")
+        else:
+            _check_stage(gradcheck.get("sequential"),
+                         "oracle_gradcheck.sequential", problems)
+            _check_stage(gradcheck.get("batched"),
+                         "oracle_gradcheck.batched", problems)
+            if not isinstance(gradcheck.get("speedup"), (int, float)):
+                problems.append("oracle_gradcheck: bad 'speedup'")
+        prefix = payload.get("prefix_campaign")
+        if not isinstance(prefix, dict):
+            problems.append("prefix_campaign section missing")
+        else:
+            for field in ("hits", "misses", "hit_rate"):
+                value = prefix.get(field)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(f"prefix_campaign: bad {field!r}")
     return problems
 
 
@@ -182,8 +385,17 @@ def main(argv=None) -> int:
             f"{name} {payload['stages'][name]['iterations_per_sec']}/s"
             for name in STAGE_NAMES)
         hit_rate = payload["cache"]["compile_stage_artifact_hit_rate"]
+        interp = payload["interpreter"]
         print(f"wrote {args.output}: {summary} "
               f"(compile-stage artifact hit rate {hit_rate})")
+        print(f"interpreter: plain "
+              f"{interp['plain']['iterations_per_sec']}/s, compiled "
+              f"{interp['compiled']['iterations_per_sec']}/s "
+              f"({interp['speedup_compiled']}x), batched "
+              f"{interp['batched']['iterations_per_sec']}/s "
+              f"({interp['speedup_batched']}x); gradcheck batched "
+              f"{payload['oracle_gradcheck']['speedup']}x; prefix hit rate "
+              f"{payload['prefix_campaign']['hit_rate']}")
     else:
         print(text, end="")
     return 0
