@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-all smoke smoke-coverage smoke-oracles smoke-pipelines \
-	smoke-distributed benchmarks table2 bench bench-transport
+	smoke-distributed smoke-verify lint-static lint-baseline benchmarks \
+	table2 bench bench-transport
 
 # Default tier: everything except tests marked `slow`.
 test:
@@ -46,6 +47,32 @@ smoke-pipelines:
 		tests/compilers/test_pass_fixpoint.py \
 		tests/experiments/test_pass_bisect.py \
 		tests/core/test_pipeline_axis_campaign.py
+
+# Pass-boundary verifier smoke: the same tiny serial campaign twice — with
+# --verify-passes the seeded verifier-only bug (a provenance attribute the
+# BiasSoftmaxFusion pass leaves on the fused node; bit-identical execution,
+# invisible to every execution oracle) is found and attributed, without the
+# flag the campaign is finding-for-finding identical minus that report
+# (seed 276 reliably generates the Add→Softmax chain on iteration 1).
+# Then the verifier, exclusivity and corpus-replay suites.
+smoke-verify:
+	$(PYTHON) -m repro.campaign --serial --workers 1 --iterations 2 \
+		--nodes 8 --seed 276 --verify-passes --deterministic --quiet
+	$(PYTHON) -m repro.campaign --serial --workers 1 --iterations 2 \
+		--nodes 8 --seed 276 --deterministic --quiet
+	$(PYTHON) -m pytest -q tests/analysis \
+		"tests/core/test_corpus_replay.py::test_corpus_case_still_triggers_its_bug[graphrt-biassoftmax-fusion-note]"
+
+# Contract linter over the engine sources, ratcheted against the committed
+# baseline: fails on any finding above tools/lint_baseline.json, counts can
+# only burn down.
+lint-static:
+	$(PYTHON) -m repro.analysis.lint src
+
+# Rewrite the ratchet baseline to the current finding counts (after fixing
+# findings, or when deliberately baselining new debt — justify in review).
+lint-baseline:
+	$(PYTHON) -m repro.analysis.lint src --update-baseline
 
 # Distributed-fabric smoke: boot a real coordinator service on an ephemeral
 # localhost port, join two socket workers over TCP, and assert the seeded

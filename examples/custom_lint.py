@@ -1,0 +1,69 @@
+"""Extend both static-analysis tools with project-specific checks.
+
+The analysis layer (`repro.analysis`) has two symmetric extension points:
+
+* `register_lint_rule(name)` adds an AST rule to the contract linter —
+  it runs alongside the builtin rules in `lint_file`/`lint_paths` and in
+  `python -m repro.analysis.lint`, and its findings participate in the
+  same ratchet baseline buckets (`<rule>:<path>`).
+* `register_invariant(stage, fn)` adds a well-formedness invariant to the
+  pass-boundary IR verifier — once registered it runs at every pass
+  boundary of every `--verify-passes` compilation of that stage, after
+  the builtin invariants.
+
+Run::
+
+    PYTHONPATH=src python examples/custom_lint.py
+"""
+
+import ast
+import tempfile
+
+from repro.analysis import register_invariant, register_lint_rule, verify_ir
+from repro.analysis.lint import LintFinding, lint_file
+from repro.graph.builder import GraphBuilder
+
+
+# --------------------------------------------------------------------------- #
+# 1. A custom lint rule: no bare `assert` in library code (asserts vanish
+#    under `python -O`, so contracts enforced by them silently disappear).
+# --------------------------------------------------------------------------- #
+@register_lint_rule("no-bare-assert")
+def _no_bare_assert(tree, path):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assert) and node.msg is None:
+            yield LintFinding("no-bare-assert", path, node.lineno,
+                              "bare assert without a message in library code")
+
+
+# --------------------------------------------------------------------------- #
+# 2. A custom verifier invariant: this project bans Dropout from ever
+#    surviving into a compiled graph (inference-only engine).
+# --------------------------------------------------------------------------- #
+def _no_dropout(model):
+    return [f"inference graph contains training-only op: "
+            f"node {node.name!r} is a Dropout"
+            for node in model.nodes if node.op == "Dropout"]
+
+
+register_invariant("graphrt", _no_dropout, name="no-dropout")
+
+
+def main():
+    # The lint rule fires on offending source ...
+    with tempfile.NamedTemporaryFile("w", suffix=".py", delete=False) as fh:
+        fh.write("def f(x):\n    assert x\n    return x\n")
+    for finding in lint_file(fh.name):
+        print("lint:", finding.format())
+
+    # ... and the invariant fires on offending IR, through the very same
+    # verify_ir the pass-boundary hook calls during --verify-passes runs.
+    builder = GraphBuilder("train_leftover")
+    x = builder.input([2, 4])
+    builder.output(builder.op1("Dropout", [x], ratio=0.5))
+    for problem in verify_ir("graphrt", builder.build()):
+        print("verify:", problem)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Static analysis over the system itself.
+
+Two tools live here:
+
+* :mod:`repro.analysis.verify` — the stage-aware IR verifier that checks
+  well-formedness of each compiler's IR at every pass boundary
+  (``--verify-passes``);
+* :mod:`repro.analysis.lint` — the AST-based contract linter over the
+  repo's own pass/kernel/fabric code (``python -m repro.analysis.lint``).
+"""
+
+from repro.analysis.verify import (check_pass_boundary, register_invariant,
+                                   verify_ir)
+
+__all__ = ["LintFinding", "check_pass_boundary", "lint_file", "lint_paths",
+           "register_invariant", "register_lint_rule", "verify_ir"]
+
+_LINT_EXPORTS = ("LintFinding", "lint_file", "lint_paths",
+                 "register_lint_rule")
+
+
+def __getattr__(name):
+    # The linter is re-exported lazily so `python -m repro.analysis.lint`
+    # does not import the module twice (runpy's double-import warning).
+    if name in _LINT_EXPORTS:
+        from repro.analysis import lint
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,328 @@
+"""Stage-aware IR verifier: well-formedness checks at pass boundaries.
+
+The generator guarantees well-formed models *by construction*; nothing
+guarantees the compilers keep them that way.  A pass can leave a dangling
+value reference, a stale recorded type or an attribute outside the operator
+schema and the IR will often still execute — the "silently corrupted IR"
+gap this verifier closes.
+
+Each pipeline stage (see :data:`repro.compilers.pipeline.STAGES`) has an
+*adapter*: an ordered list of invariant checkers over that stage's IR type —
+
+* ``"graphrt"`` — the interchange :class:`repro.graph.model.Model`;
+* ``"deepc-graph"`` — :class:`repro.compilers.deepc.ir.DGraph`;
+* ``"deepc-low"`` — :class:`repro.compilers.deepc.lowir.LowModule`.
+
+Each checker returns a list of problem strings (empty when the invariant
+holds).  :func:`verify_ir` aggregates them in registration order, so
+multi-error reports have a deterministic, pinnable order.
+:func:`check_pass_boundary` is the hook :func:`~repro.compilers.pipeline.run_pass_pipeline`
+calls when verification is enabled; it raises
+:class:`~repro.errors.IRVerificationError` naming the offending pass.
+
+Invariants are either *errors* (raise at pass boundaries) or *advisory*
+(reported by :func:`verify_ir` with ``include_advisory=True`` only) —
+unreachable nodes are advisory because a mid-pipeline IR legitimately
+carries dead nodes until dead-code elimination runs.  User code can add
+project-specific invariants with :func:`register_invariant` (see
+``examples/custom_lint.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.compilers.pipeline import STAGES
+from repro.errors import IRVerificationError
+from repro.graph.model import Model
+from repro.graph.validate import node_label, validation_errors
+from repro.ops.registry import SHARED_ATTRS, declared_attrs
+
+#: Buffer kinds a lowered kernel may declare.
+_BUFFER_KINDS = ("input", "param", "intermediate", "output")
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One named well-formedness check over a stage's IR."""
+
+    name: str
+    check: Callable[[object], List[str]]
+    advisory: bool = False
+
+
+_INVARIANTS: Dict[str, List[Invariant]] = {stage: [] for stage in STAGES}
+
+
+def register_invariant(stage: str, check: Callable[[object], List[str]], *,
+                       name: Optional[str] = None,
+                       advisory: bool = False) -> Callable[[object], List[str]]:
+    """Add an invariant checker to a stage's adapter.
+
+    ``check(ir)`` must return a list of problem strings (empty when the
+    invariant holds).  Advisory invariants never fail a pass boundary.
+    Returns ``check`` so it can be used as a decorator.
+    """
+    if stage not in _INVARIANTS:
+        raise KeyError(f"unknown pipeline stage {stage!r}; "
+                       f"available: {list(STAGES)}")
+    _INVARIANTS[stage].append(
+        Invariant(name or check.__name__, check, advisory))
+    return check
+
+
+def registered_invariants(stage: str) -> List[Invariant]:
+    """The invariants of a stage's adapter, in aggregation order."""
+    if stage not in _INVARIANTS:
+        raise KeyError(f"unknown pipeline stage {stage!r}; "
+                       f"available: {list(STAGES)}")
+    return list(_INVARIANTS[stage])
+
+
+def verify_ir(stage: str, ir, *, include_advisory: bool = False) -> List[str]:
+    """Run a stage's adapter over an IR; returns every problem found.
+
+    Problems appear in (invariant registration, discovery) order so that
+    multi-error reports are deterministic.
+    """
+    problems: List[str] = []
+    for invariant in registered_invariants(stage):
+        if invariant.advisory and not include_advisory:
+            continue
+        problems.extend(invariant.check(ir))
+    return problems
+
+
+def check_pass_boundary(stage: str, ir, after: Optional[str]) -> None:
+    """Raise :class:`IRVerificationError` when an IR is ill-formed.
+
+    ``after`` names the pass that just ran (``None`` means the pipeline
+    entry — the front end handed the pipeline a broken IR).
+    """
+    problems = verify_ir(stage, ir)
+    if not problems:
+        return
+    where = f"after pass {after}" if after else "at pipeline entry"
+    raise IRVerificationError(
+        f"{stage} IR verification failed {where}: " + "; ".join(problems))
+
+
+# --------------------------------------------------------------------------- #
+# Shared model-IR invariants (graphrt model IR and DeepC graph IR)
+# --------------------------------------------------------------------------- #
+def _structure_and_types(model: Model) -> List[str]:
+    """Topological soundness, dangling refs, recorded-vs-inferred types.
+
+    Delegates to :func:`repro.graph.validate.validation_errors`, which the
+    compilers also run at import time; internal fused operators participate
+    because their packages register shape-inference rules alongside their
+    kernels.
+    """
+    return validation_errors(model)
+
+
+def _duplicate_defs(model: Model) -> List[str]:
+    """Every value has exactly one definition site; node names are unique."""
+    problems: List[str] = []
+    seen_nodes: Dict[str, str] = {}
+    producers: Dict[str, str] = {}
+    sources = set(model.inputs) | set(model.initializers)
+    for node in model.nodes:
+        label = node_label(model, node)
+        if node.name in seen_nodes:
+            problems.append(f"{label}: duplicate node name "
+                            f"(also used by {seen_nodes[node.name]})")
+        seen_nodes.setdefault(node.name, label)
+        for output_name in node.outputs:
+            if output_name in producers:
+                problems.append(
+                    f"{label}: output {output_name!r} already produced by "
+                    f"{producers[output_name]}")
+            elif output_name in sources:
+                problems.append(
+                    f"{label}: output {output_name!r} shadows a graph "
+                    f"input/initializer")
+            producers.setdefault(output_name, label)
+    duplicated = set(model.inputs) & set(model.initializers)
+    for name in sorted(duplicated):
+        problems.append(
+            f"value {name!r} is declared both graph input and initializer")
+    return problems
+
+
+def _attribute_conformance(model: Model) -> List[str]:
+    """Node attributes stay inside the operator registry's schemas.
+
+    Underscore-prefixed attributes are backend-internal hints (kernel
+    selection tags like ``_graphrt_repack_blocks``) and exempt, as are the
+    :data:`~repro.ops.registry.SHARED_ATTRS` every front end understands.
+    """
+    problems: List[str] = []
+    for node in model.nodes:
+        allowed = set(declared_attrs(node.op))
+        allowed.update(SHARED_ATTRS)
+        for key in sorted(node.attrs):
+            if key.startswith("_") or key in allowed:
+                continue
+            problems.append(
+                f"{node_label(model, node)}: unknown attribute "
+                f"{key}={node.attrs[key]!r} outside the {node.op} schema")
+    return problems
+
+
+def _initializer_discipline(model: Model) -> List[str]:
+    """Initializers and graph inputs are read-only and never aliased."""
+    problems: List[str] = []
+    read_only = set(model.inputs) | set(model.initializers)
+    for node in model.nodes:
+        for output_name in node.outputs:
+            if output_name in read_only:
+                problems.append(
+                    f"{node_label(model, node)}: writes read-only value "
+                    f"{output_name!r}")
+    names = sorted(model.initializers)
+    for i, first in enumerate(names):
+        for second in names[i + 1:]:
+            if model.initializers[first] is model.initializers[second]:
+                problems.append(
+                    f"initializers {first!r} and {second!r} alias the same "
+                    f"array object")
+    return problems
+
+
+def _unreachable_nodes(model: Model) -> List[str]:
+    """Nodes that cannot reach any graph output (advisory: DCE's job)."""
+    try:
+        producers = model.producer_map()
+    except Exception:  # structurally broken; the error invariants report it
+        return []
+    live = set(model.outputs)
+    frontier = [name for name in model.outputs]
+    while frontier:
+        value = frontier.pop()
+        node = producers.get(value)
+        if node is None:
+            continue
+        for input_name in node.inputs:
+            if input_name not in live:
+                live.add(input_name)
+                frontier.append(input_name)
+    live_nodes = {id(node) for node in producers.values()
+                  if any(out in live for out in node.outputs)}
+    return [f"{node_label(model, node)}: unreachable from any graph output"
+            for node in model.nodes if id(node) not in live_nodes]
+
+
+# --------------------------------------------------------------------------- #
+# DeepC graph-IR invariants (annotation/layout/fusion-group integrity)
+# --------------------------------------------------------------------------- #
+def _dgraph_annotations(graph) -> List[str]:
+    """Layouts, fusion groups and annotations reference live IR objects."""
+    problems: List[str] = []
+    node_names = {node.name for node in graph.nodes}
+    for value in sorted(graph.layouts):
+        if value not in graph.value_types:
+            problems.append(f"layout tag on unknown value {value!r}")
+        elif graph.layouts[value] not in ("NCHW", "NCHW4c"):
+            problems.append(f"value {value!r} has unknown layout "
+                            f"{graph.layouts[value]!r}")
+    grouped: Dict[str, int] = {}
+    for index, group in enumerate(graph.fusion_groups):
+        if not group:
+            problems.append(f"fusion group #{index} is empty")
+        for member in group:
+            if member not in node_names:
+                problems.append(
+                    f"fusion group #{index} references unknown node {member!r}")
+            elif member in grouped:
+                problems.append(
+                    f"node {member!r} appears in fusion groups "
+                    f"#{grouped[member]} and #{index}")
+            grouped.setdefault(member, index)
+    for name in sorted(graph.annotations):
+        if name not in node_names:
+            problems.append(f"annotation on unknown node {name!r}")
+    return problems
+
+
+# --------------------------------------------------------------------------- #
+# DeepC low-IR invariants
+# --------------------------------------------------------------------------- #
+def _low_structure(module) -> List[str]:
+    """Buffer references resolve, defs precede uses, kernels are consistent."""
+    problems: List[str] = []
+    seen_kernels: Dict[str, int] = {}
+    for k_index, kernel in enumerate(module.kernels):
+        prefix = f"kernel #{k_index} {kernel.name}"
+        if kernel.name in seen_kernels:
+            problems.append(f"{prefix}: duplicate kernel name (also kernel "
+                            f"#{seen_kernels[kernel.name]})")
+        seen_kernels.setdefault(kernel.name, k_index)
+        for name, buf in kernel.buffers.items():
+            if buf.name != name:
+                problems.append(f"{prefix}: buffer registered as {name!r} "
+                                f"but named {buf.name!r}")
+            if buf.kind not in _BUFFER_KINDS:
+                problems.append(f"{prefix}: buffer {name!r} has unknown kind "
+                                f"{buf.kind!r}")
+        for role, names in (("input", kernel.inputs), ("output", kernel.outputs)):
+            for name in names:
+                if name not in kernel.buffers:
+                    problems.append(f"{prefix}: declared {role} {name!r} has "
+                                    f"no buffer")
+        written = {name for name in kernel.inputs}
+        written.update(name for name, buf in kernel.buffers.items()
+                       if buf.kind in ("input", "param"))
+        for i_index, instr in enumerate(kernel.instrs):
+            where = f"{prefix} instr #{i_index} {instr.name} ({instr.op})"
+            for name in instr.inputs:
+                if name not in kernel.buffers:
+                    problems.append(f"{where}: reads unknown buffer {name!r}")
+                elif name not in written:
+                    problems.append(f"{where}: reads buffer {name!r} before "
+                                    f"it is written")
+            for name in instr.outputs:
+                if name not in kernel.buffers:
+                    problems.append(f"{where}: writes unknown buffer {name!r}")
+                elif kernel.buffers[name].kind in ("input", "param"):
+                    problems.append(f"{where}: writes read-only "
+                                    f"{kernel.buffers[name].kind} buffer {name!r}")
+                written.add(name)
+            if instr.loop_extent < 0:
+                problems.append(f"{where}: negative loop extent "
+                                f"{instr.loop_extent}")
+            if instr.vector_width is not None and instr.vector_width < 1:
+                problems.append(f"{where}: invalid vector width "
+                                f"{instr.vector_width}")
+            if instr.index_dtype not in ("int32", "int64"):
+                problems.append(f"{where}: unknown index dtype "
+                                f"{instr.index_dtype!r}")
+        for name in kernel.outputs:
+            if name in kernel.buffers and name not in written:
+                problems.append(f"{prefix}: declared output {name!r} is never "
+                                f"written")
+    for name in module.graph_outputs:
+        if name not in module.value_types:
+            problems.append(f"module output {name!r} has no recorded type")
+    for name in sorted(module.params):
+        if name not in module.value_types:
+            problems.append(f"module param {name!r} has no recorded type")
+    return problems
+
+
+# --------------------------------------------------------------------------- #
+# Adapter registration (aggregation order is the pinned report order)
+# --------------------------------------------------------------------------- #
+for _stage in ("graphrt", "deepc-graph"):
+    register_invariant(_stage, _structure_and_types, name="structure-and-types")
+    register_invariant(_stage, _duplicate_defs, name="duplicate-defs")
+    register_invariant(_stage, _attribute_conformance,
+                       name="attribute-conformance")
+    register_invariant(_stage, _initializer_discipline,
+                       name="initializer-discipline")
+    register_invariant(_stage, _unreachable_nodes, name="unreachable-nodes",
+                       advisory=True)
+register_invariant("deepc-graph", _dgraph_annotations,
+                   name="annotation-integrity")
+register_invariant("deepc-low", _low_structure, name="low-structure")

@@ -210,6 +210,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "independent results)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress streamed per-finding progress")
+    parser.add_argument("--verify-passes", action="store_true",
+                        help="check IR well-formedness at every pass "
+                             "boundary of every compile (repro.analysis); "
+                             "ill-formed IR surfaces as 'verifier' findings "
+                             "that no execution-based oracle can observe")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the hot-path caches (repro.core.cache); "
                              "findings are bit-identical either way — this "
@@ -237,6 +242,7 @@ def make_config(args: argparse.Namespace) -> FuzzerConfig:
         seed=args.seed,
         oracle=getattr(args, "oracle", DEFAULT_ORACLE),
         enable_cache=not getattr(args, "no_cache", False),
+        verify_passes=getattr(args, "verify_passes", False),
     )
     if args.deterministic:
         config = deterministic_config(config)

@@ -40,6 +40,10 @@ class CompileOptions:
     #: ``opt_level`` (see :mod:`repro.compilers.pipeline`).  ``None`` means
     #: "the canonical spec of opt_level" — the historical behavior.
     pipeline: Optional["PipelineSpec"] = None
+    #: Check IR well-formedness at every pass boundary (``--verify-passes``);
+    #: violations raise :class:`repro.errors.IRVerificationError` out of
+    #: ``compile_model``.
+    verify_passes: bool = False
 
 
 class CompiledModel(abc.ABC):
@@ -146,8 +150,8 @@ def create_compiler(name: str, options: Optional[CompileOptions] = None) -> "Com
 
 def build_compiler_set(names: Sequence[str], opt_level: int = 2,
                        bugs: Optional[BugConfig] = None,
-                       pipeline: Optional["PipelineSpec"] = None
-                       ) -> List["Compiler"]:
+                       pipeline: Optional["PipelineSpec"] = None,
+                       verify_passes: bool = False) -> List["Compiler"]:
     """Instantiate one compiler per name, all at the same optimization level.
 
     This is the per-cell factory of the matrix campaign engine: a
@@ -160,5 +164,6 @@ def build_compiler_set(names: Sequence[str], opt_level: int = 2,
     bugs = bugs if bugs is not None else BugConfig.all()
     return [create_compiler(name, CompileOptions(opt_level=opt_level,
                                                  bugs=bugs,
-                                                 pipeline=pipeline))
+                                                 pipeline=pipeline,
+                                                 verify_passes=verify_passes))
             for name in names]

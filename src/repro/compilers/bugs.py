@@ -39,14 +39,15 @@ class BugSpec:
     ``symptom`` names the oracle class that can observe the bug: ``crash``
     and ``semantic`` are visible to differential testing, ``perf``
     (optimized build slower than O0) only to the performance-regression
-    oracle, and ``gradient`` (wrong backward pass) only to the autodiff
-    gradient-check oracle.
+    oracle, ``gradient`` (wrong backward pass) only to the autodiff
+    gradient-check oracle, and ``verifier`` (executing-but-ill-formed IR)
+    only to the pass-boundary IR verifier (``--verify-passes``).
     """
 
     bug_id: str
     system: str              # "graphrt" | "deepc" | "turbo" | "exporter" | "autodiff"
     phase: str               # "transformation" | "conversion" | "unclassified"
-    symptom: str             # "crash" | "semantic" | "perf" | "gradient"
+    symptom: str             # "crash" | "semantic" | "perf" | "gradient" | "verifier"
     description: str
     required_features: FrozenSet[str] = frozenset()
     fixed: bool = True       # whether the analogue real-world bug was fixed
@@ -54,7 +55,8 @@ class BugSpec:
     def __post_init__(self) -> None:
         if self.phase not in ("transformation", "conversion", "unclassified"):
             raise ValueError(f"invalid phase {self.phase!r}")
-        if self.symptom not in ("crash", "semantic", "perf", "gradient"):
+        if self.symptom not in ("crash", "semantic", "perf", "gradient",
+                                "verifier"):
             raise ValueError(f"invalid symptom {self.symptom!r}")
 
 
@@ -161,6 +163,13 @@ _bug("graphrt-constfold-internal-biassoftmax", "graphrt", "transformation",
      "introduces.  The canonical pipeline folds constants long before the "
      "fusion pass, so the crash only surfaces under a non-canonical pass "
      "ordering that runs BiasSoftmaxFusion before ConstantFolding.",
+     [FEATURE_MULTI_OP])
+_bug("graphrt-biassoftmax-fusion-note", "graphrt", "transformation", "verifier",
+     "BiasSoftmaxFusion leaves a provenance-note attribute on the fused "
+     "node, outside the BiasSoftmax schema.  Every kernel ignores it and "
+     "results stay bit-identical, so no execution-based oracle (difftest, "
+     "perf, gradcheck) can observe the corruption; only the pass-boundary "
+     "IR verifier's attribute-conformance invariant reports it.",
      [FEATURE_MULTI_OP])
 _bug("graphrt-matmul-repack-small", "graphrt", "transformation", "perf",
      "MatMulRepackSelection rewrites MatMul/Gemm onto a 'cache-friendly' "

@@ -59,7 +59,8 @@ class DeepCCompiler(Compiler):
         # Graph-level transformation phase.
         applied: List[str] = []
         graph_ctx = DeepCPassContext(bugs=self.options.bugs,
-                                     opt_level=self.options.opt_level)
+                                     opt_level=self.options.opt_level,
+                                     verify=self.options.verify_passes)
         applied.extend(run_pass_pipeline("deepc-graph", graph, graph_ctx,
                                          spec.passes("deepc-graph")))
         triggered.extend(graph_ctx.triggered_bugs)
@@ -70,7 +71,8 @@ class DeepCCompiler(Compiler):
 
         # Low-level transformation phase.
         low_ctx = LowPassContext(bugs=self.options.bugs,
-                                 opt_level=self.options.opt_level)
+                                 opt_level=self.options.opt_level,
+                                 verify=self.options.verify_passes)
         applied.extend(run_pass_pipeline("deepc-low", module, low_ctx,
                                          spec.passes("deepc-low")))
         triggered.extend(low_ctx.triggered_bugs)

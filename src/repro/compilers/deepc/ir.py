@@ -93,6 +93,12 @@ class DGraph(Model):
     def remove_node(self, node: Node) -> None:
         super().remove_node(node)
         self.annotations.pop(node.name, None)
+        # Drop layout annotations of values whose type entry just vanished —
+        # a stale layouts key would point at a value the graph no longer
+        # declares (the pass-boundary verifier checks exactly this).
+        for value in list(self.layouts):
+            if value not in self.value_types:
+                del self.layouts[value]
         for group in self.fusion_groups:
             if node.name in group:
                 group.remove(node.name)

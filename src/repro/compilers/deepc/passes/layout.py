@@ -17,16 +17,60 @@ from typing import Optional
 
 from repro.compilers.deepc.ir import DGraph
 from repro.compilers.deepc.passes import DeepCPass, DeepCPassContext
-from repro.errors import TransformationError
+from repro.errors import ShapeInferenceError, TransformationError
 from repro.graph.node import Node
 from repro.graph.tensor_type import TensorType
-from repro.ops.registry import OpCategory
+from repro.ops.registry import OpCategory, register_op_attrs
+from repro.ops.shape_infer import infer_output_types, rule
 
 
 def packed_type(ttype: TensorType) -> TensorType:
     """The NCHW4c type corresponding to an NCHW tensor type."""
     batch, channels, height, width = ttype.shape
     return TensorType((batch, channels // 4, height, width, 4), ttype.dtype)
+
+
+# Type rules for the internal packed-layout operators, so structural
+# validation (and the pass-boundary verifier) can check layout-optimized
+# graphs like any other IR.
+@rule("LayoutPack4c")
+def _layout_pack_rule(node: Node, inputs) -> list:
+    x, = inputs
+    if x.rank != 4 or x.shape[1] % 4 != 0:
+        raise ShapeInferenceError(
+            "LayoutPack4c expects an NCHW input with channels divisible by 4")
+    return [packed_type(x)]
+
+
+@rule("LayoutUnpack4c")
+def _layout_unpack_rule(node: Node, inputs) -> list:
+    x, = inputs
+    if x.rank != 5 or x.shape[4] != 4:
+        raise ShapeInferenceError("LayoutUnpack4c expects an NCHW4c input")
+    batch, packed_ch, height, width, _lanes = x.shape
+    return [TensorType((batch, packed_ch * 4, height, width), x.dtype)]
+
+
+@rule("Conv2dNCHW4c")
+def _conv2d_nchw4c_rule(node: Node, inputs) -> list:
+    x = inputs[0]
+    if x.rank != 5 or x.shape[4] != 4:
+        raise ShapeInferenceError("Conv2dNCHW4c expects an NCHW4c input")
+    unpacked = TensorType((x.shape[0], x.shape[1] * 4, x.shape[2], x.shape[3]),
+                          x.dtype)
+    # Same arithmetic as Conv2d on the unpacked type, then repack.
+    proxy = Node("Conv2d", node.name, list(node.inputs), list(node.outputs),
+                 dict(node.attrs))
+    output, = infer_output_types(proxy, [unpacked] + list(inputs[1:]))
+    if output.shape[1] % 4 != 0:
+        raise ShapeInferenceError(
+            "Conv2dNCHW4c output channels must be divisible by 4")
+    return [packed_type(output)]
+
+
+register_op_attrs("LayoutPack4c", ())
+register_op_attrs("LayoutUnpack4c", ())
+register_op_attrs("Conv2dNCHW4c", ("stride", "padding", "dilation"))
 
 
 class AlterConvLayout(DeepCPass):

@@ -60,7 +60,9 @@ class GraphRTCompiler(Compiler):
     def compile_model(self, model: Model) -> GraphRTExecutable:
         imported = self._import(model)
         spec = self.options.pipeline or canonical_spec(self.options.opt_level)
-        ctx = PassContext(bugs=self.options.bugs, opt_level=self.options.opt_level)
+        ctx = PassContext(bugs=self.options.bugs,
+                          opt_level=self.options.opt_level,
+                          verify=self.options.verify_passes)
         applied: List[str] = run_pass_pipeline("graphrt", imported, ctx,
                                                spec.passes("graphrt"))
         return GraphRTExecutable(imported, applied, ctx.triggered_bugs,

@@ -12,11 +12,26 @@ from typing import Optional
 import numpy as np
 
 from repro.compilers.graphrt.passes import GraphPass, PassContext
-from repro.dtypes import DType
+from repro.dtypes import DType, promote
 from repro.errors import TransformationError
 from repro.graph.model import Model
 from repro.graph.node import Node
 from repro.graph.tensor_type import TensorType
+from repro.ops.registry import register_op_attrs
+from repro.ops.shape_infer import rule
+
+
+@rule("BiasSoftmax")
+def _bias_softmax_rule(node, inputs):
+    """Type rule for the internal fused op: the fusion replaces
+    ``Softmax(Add(x, bias))``, so the output type is the softmax of the
+    promoted addition."""
+    x, bias = inputs
+    dtype = promote(x.dtype, bias.dtype)
+    return [TensorType(x.shape, dtype if dtype.is_float else DType.float64)]
+
+
+register_op_attrs("BiasSoftmax", ("axis",))
 
 
 def _single_consumer(model: Model, value: str) -> Optional[Node]:
@@ -191,7 +206,14 @@ class ReluClipFusion(GraphPass):
 
 
 class BiasSoftmaxFusion(GraphPass):
-    """Fuse ``Add`` followed by ``Softmax`` into the internal BiasSoftmax op."""
+    """Fuse ``Add`` followed by ``Softmax`` into the internal BiasSoftmax op.
+
+    Seeded bug (``graphrt-biassoftmax-fusion-note``): the buggy path leaves a
+    provenance-note attribute on the fused node — outside the BiasSoftmax
+    schema, ignored by every kernel, invisible to the graph fingerprint.  The
+    IR executes bit-identically, so no execution-based oracle can see it;
+    only the pass-boundary verifier's attribute-conformance invariant does.
+    """
 
     def run(self, model: Model, ctx: PassContext) -> bool:
         changed = False
@@ -204,9 +226,15 @@ class BiasSoftmaxFusion(GraphPass):
             lhs, rhs = model.type_of(node.inputs[0]), model.type_of(node.inputs[1])
             if lhs.shape != model.type_of(node.outputs[0]).shape:
                 continue
+            attrs = {"axis": int(consumer.attrs.get("axis", -1))}
+            if ctx.bugs.enabled("graphrt-biassoftmax-fusion-note"):
+                # BUG: a debugging note shipped to production.  The constant
+                # value keeps CSE decisions unchanged; the marker inside it
+                # is what bug attribution recovers from verifier reports.
+                attrs["fused_from"] = \
+                    "[graphrt-biassoftmax-fusion-note] Add+Softmax"
             fused = Node("BiasSoftmax", model.fresh_node_name("bias_softmax"),
-                         list(node.inputs), [consumer.outputs[0]],
-                         {"axis": int(consumer.attrs.get("axis", -1))})
+                         list(node.inputs), [consumer.outputs[0]], attrs)
             model.nodes.append(fused)
             model.remove_node(consumer)
             model.remove_node(node)

@@ -59,6 +59,10 @@ class PipelineContext:
     triggered_bugs: List[str] = field(default_factory=list)
     #: Names of passes that modified the IR, in application order.
     modified_by: List[str] = field(default_factory=list)
+    #: When True, :func:`run_pass_pipeline` checks IR well-formedness at
+    #: every pass boundary (``--verify-passes``) and raises
+    #: :class:`repro.errors.IRVerificationError` on the first violation.
+    verify: bool = False
 
     def record_bug(self, bug_id: str) -> None:
         if bug_id not in self.triggered_bugs:
@@ -243,6 +247,11 @@ def run_pass_pipeline(stage: str, ir, ctx: PipelineContext,
     """
     if names is None:
         names = canonical_spec(ctx.opt_level).passes(stage)
+    if ctx.verify:
+        # Imported lazily: repro.analysis.verify imports this module for the
+        # stage vocabulary.
+        from repro.analysis.verify import check_pass_boundary
+        check_pass_boundary(stage, ir, after=None)
     applied: List[str] = []
     for name in names:
         pipeline_pass = create_pass(stage, name)
@@ -250,6 +259,8 @@ def run_pass_pipeline(stage: str, ir, ctx: PipelineContext,
         applied.append(pipeline_pass.name)
         if changed:
             ctx.modified_by.append(pipeline_pass.name)
+        if ctx.verify:
+            check_pass_boundary(stage, ir, after=pipeline_pass.name)
     return applied
 
 

@@ -181,6 +181,9 @@ def artifact_cache_key(compiler: Any, model: Model) -> Tuple:
         # pass sequences.
         None if pipeline is None else (pipeline.name, pipeline.stages),
         None if bugs is None else tuple(sorted(bugs.enabled_ids())),
+        # Pass-boundary verification turns some cached successes into
+        # IRVerificationError failures.
+        bool(getattr(options, "verify_passes", False)),
     )
 
 

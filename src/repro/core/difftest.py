@@ -23,7 +23,8 @@ import numpy as np
 from repro.compilers.base import CompileOptions, Compiler
 from repro.core.cache import compile_with_cache
 from repro.compilers.bugs import BugConfig
-from repro.errors import CompilerError, ConversionError, ExecutionError, ReproError
+from repro.errors import (CompilerError, ConversionError, ExecutionError,
+                          IRVerificationError, ReproError)
 from repro.graph.model import Model
 from repro.runtime.exporter import ExportReport, export_model
 from repro.runtime.interpreter import Interpreter, random_inputs
@@ -84,7 +85,7 @@ class CompilerVerdict:
     """Differential-testing outcome for one compiler on one test case."""
 
     compiler: str
-    status: str                      # "ok" | "crash" | "semantic" | "perf" | "gradient"
+    status: str                      # "ok" | "crash" | "semantic" | "perf" | "gradient" | "verifier"
     phase: str = ""                  # "conversion" | "transformation" | "execution" | "backward" | ""
     message: str = ""
     #: Ground-truth seeded bugs whose buggy path executed (compile + export).
@@ -108,15 +109,15 @@ class CompilerVerdict:
     def dedup_key(self) -> str:
         """Deduplication key mirroring "unique crashes by error message".
 
-        ``perf``/``gradient`` findings additionally key on the seeded bugs
-        whose buggy path executed: their messages embed per-case
-        measurements (ratios, max errors) that would explode the key,
-        while compiler/phase alone would collapse *distinct* seeded bugs
-        of one system into a single report.
+        ``perf``/``gradient``/``verifier`` findings additionally key on the
+        seeded bugs whose buggy path executed: their messages embed
+        per-case details (ratios, max errors, node labels) that would
+        explode the key, while compiler/phase alone would collapse
+        *distinct* seeded bugs of one system into a single report.
         """
         if self.status == "crash":
             return f"{self.compiler}|crash|{first_line(self.message)}"
-        if self.status in ("perf", "gradient"):
+        if self.status in ("perf", "gradient", "verifier"):
             marks = "+".join(sorted(self.triggered_bugs))
             return f"{self.compiler}|{self.status}|{self.phase}|{marks}"
         return f"{self.compiler}|{self.status}|{self.phase}"
@@ -168,7 +169,8 @@ class DifferentialTester:
     def for_compiler_names(cls, names: Sequence[str], opt_level: int = 2,
                            bugs: Optional[BugConfig] = None,
                            rtol: float = RELATIVE_TOLERANCE,
-                           atol: float = ABSOLUTE_TOLERANCE) -> "DifferentialTester":
+                           atol: float = ABSOLUTE_TOLERANCE,
+                           verify_passes: bool = False) -> "DifferentialTester":
         """Build a tester for a named compiler subset at one opt level.
 
         This is how the matrix campaign engine materializes a
@@ -180,7 +182,8 @@ class DifferentialTester:
         from repro.compilers.base import build_compiler_set
 
         bugs = bugs if bugs is not None else BugConfig.all()
-        return cls(build_compiler_set(names, opt_level=opt_level, bugs=bugs),
+        return cls(build_compiler_set(names, opt_level=opt_level, bugs=bugs,
+                                      verify_passes=verify_passes),
                    bugs=bugs, rtol=rtol, atol=atol)
 
     # ------------------------------------------------------------------ #
@@ -234,6 +237,12 @@ class DifferentialTester:
                        numerically_valid: bool) -> CompilerVerdict:
         try:
             compiled = compile_with_cache(compiler, exported)
+        except IRVerificationError as exc:
+            # The pass-boundary verifier refused an executing-but-ill-formed
+            # IR: a dedicated symptom, not a crash (the compiler would have
+            # carried on happily without --verify-passes).
+            return CompilerVerdict(compiler.name, "verifier", "transformation",
+                                   str(exc), _bugs_from_error(exc))
         except ConversionError as exc:
             return CompilerVerdict(compiler.name, "crash", "conversion", str(exc),
                                    _bugs_from_error(exc))

@@ -344,6 +344,7 @@ def config_to_dict(config) -> Dict[str, Any]:
         "oracle": config.oracle,
         "pipeline": config.pipeline,
         "enable_cache": config.enable_cache,
+        "verify_passes": config.verify_passes,
     }
 
 
@@ -393,6 +394,7 @@ def config_from_dict(payload: Dict[str, Any]):
         oracle=payload.get("oracle", FuzzerConfig().oracle),
         pipeline=payload.get("pipeline"),
         enable_cache=payload.get("enable_cache", True),
+        verify_passes=payload.get("verify_passes", False),
     )
 
 

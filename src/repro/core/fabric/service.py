@@ -101,13 +101,17 @@ class FabricWorker:
     def __init__(self, host: str, port: int, name: Optional[str] = None,
                  factory: Optional[Callable] = None,
                  die_after_iterations: Optional[int] = None,
-                 log: Callable[[str], None] = print) -> None:
+                 log: Callable[[str], None] = print,
+                 clock: Callable[[], float] = time.time) -> None:
         self.host = host
         self.port = port
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
         self.factory = factory
         self.die_after_iterations = die_after_iterations
         self.log = log
+        #: Injectable wall-clock seam: heartbeat timestamps go on the wire,
+        #: so tests can pin them by passing a fake clock.
+        self.clock = clock
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._sent_iterations = 0
@@ -130,7 +134,7 @@ class FabricWorker:
     def _heartbeat(self) -> None:
         while not self._stop.wait(HEARTBEAT_INTERVAL):
             try:
-                self._send(Heartbeat(worker=self.name, sent_at=time.time()))
+                self._send(Heartbeat(worker=self.name, sent_at=self.clock()))
             except Exception:
                 return  # connection gone; the main loop notices on read
 

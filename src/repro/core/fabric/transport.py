@@ -372,8 +372,8 @@ class SocketTransport(CoordinatorTransport):
                     if not self._lease_claimed(lease):
                         self._pending.append(Lease(
                             **{**_lease_fields(lease),
-                               "exclude": tuple(set(lease.exclude)
-                                                | {peer.name})}))
+                               "exclude": tuple(sorted(
+                                   set(lease.exclude) | {peer.name}))}))
                         self._assign_pending()
             try:
                 writer.close()

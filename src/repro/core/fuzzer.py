@@ -64,10 +64,11 @@ class BugReport:
     def dedup_key(self) -> str:
         """Same key as :meth:`CompilerVerdict.dedup_key` — crash messages are
         deduplicated by first line, semantic mismatches by compiler/phase,
-        perf/gradient findings by compiler/phase + triggered seeded bugs."""
+        perf/gradient/verifier findings by compiler/phase + triggered seeded
+        bugs."""
         if self.status == "crash":
             return f"{self.compiler}|crash|{first_line(self.message)}"
-        if self.status in ("perf", "gradient"):
+        if self.status in ("perf", "gradient", "verifier"):
             marks = "+".join(sorted(self.triggered_bugs))
             return f"{self.compiler}|{self.status}|{self.phase}|{marks}"
         return f"{self.compiler}|{self.status}|{self.phase}"
@@ -113,6 +114,11 @@ class FuzzerConfig:
     #: to caches off (enforced by ``tests/core/test_hot_path_cache.py``) —
     #: so the only reason to turn this off is benchmarking the cold path.
     enable_cache: bool = True
+    #: Check IR well-formedness at every pass boundary of every compile
+    #: (:mod:`repro.analysis`).  Violations surface as ``verifier``
+    #: verdicts; with the flag off campaign findings are bit-identical to
+    #: historical behavior.
+    verify_passes: bool = False
 
 
 @dataclass
@@ -438,14 +444,15 @@ def _bug_observable_by(bug_id: str, status: str) -> bool:
     time — e.g. the repack pessimization tags its node during *every*
     oracle's compile, so a difftest crash on the same model would otherwise
     credit a ``perf``-symptom bug to difftest, corrupting the per-oracle
-    Venn.  A ``perf`` bug counts as found only through a ``perf`` verdict
-    and a ``gradient`` bug only through a ``gradient`` verdict;
+    Venn.  A ``perf`` bug counts as found only through a ``perf`` verdict,
+    a ``gradient`` bug only through a ``gradient`` verdict and a
+    ``verifier`` bug only through a ``verifier`` verdict;
     crash/semantic bugs keep their historical any-failing-verdict credit.
     """
     from repro.compilers.bugs import _ALL_BUGS
 
     spec = _ALL_BUGS.get(bug_id)
-    if spec is None or spec.symptom not in ("perf", "gradient"):
+    if spec is None or spec.symptom not in ("perf", "gradient", "verifier"):
         return True
     return status == spec.symptom
 

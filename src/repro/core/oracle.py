@@ -37,7 +37,8 @@ from repro.core.cache import compile_with_cache
 from repro.compilers.bugs import BugConfig
 from repro.core.difftest import (CaseResult, CompilerVerdict,
                                  DifferentialTester, first_line)
-from repro.errors import CompilerError, ConversionError, ReproError
+from repro.errors import (CompilerError, ConversionError, IRVerificationError,
+                          ReproError)
 
 #: The oracle assumed when a config predates the registry.
 DEFAULT_ORACLE = "difftest"
@@ -185,6 +186,9 @@ class ShapeOnlyOracle(BaseOracle):
 
         try:
             compiled = compile_with_cache(compiler, exported)
+        except IRVerificationError as exc:
+            return CompilerVerdict(compiler.name, "verifier", "transformation",
+                                   str(exc), _bugs_from_error(exc))
         except ConversionError as exc:
             return CompilerVerdict(compiler.name, "crash", "conversion",
                                    str(exc), _bugs_from_error(exc))
@@ -254,6 +258,10 @@ class CrashOnlyOracle(BaseOracle):
                 compiled.run(inputs)
                 verdict = CompilerVerdict(compiler.name, "ok", "", "",
                                           triggered, modified)
+            except IRVerificationError as exc:
+                verdict = CompilerVerdict(compiler.name, "verifier",
+                                          "transformation", str(exc),
+                                          _bugs_from_error(exc))
             except ConversionError as exc:
                 verdict = CompilerVerdict(compiler.name, "crash", "conversion",
                                           str(exc), _bugs_from_error(exc))
@@ -436,6 +444,9 @@ class PerfRegressionOracle(BaseOracle):
 
         try:
             optimized = compile_with_cache(compiler, exported)
+        except IRVerificationError as exc:
+            return CompilerVerdict(compiler.name, "verifier", "transformation",
+                                   str(exc), _bugs_from_error(exc))
         except ConversionError as exc:
             return CompilerVerdict(compiler.name, "crash", "conversion",
                                    str(exc), _bugs_from_error(exc))
@@ -642,6 +653,9 @@ class GradientCheckOracle(BaseOracle):
 
         try:
             compiled = compile_with_cache(compiler, exported)
+        except IRVerificationError as exc:
+            return CompilerVerdict(compiler.name, "verifier", "transformation",
+                                   str(exc), _bugs_from_error(exc))
         except ConversionError as exc:
             return CompilerVerdict(compiler.name, "crash", "conversion",
                                    str(exc), _bugs_from_error(exc))

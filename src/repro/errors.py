@@ -70,5 +70,15 @@ class ExecutionError(CompilerError):
     """Raised by a compiled executable at run time."""
 
 
+class IRVerificationError(CompilerError):
+    """Raised by the pass-boundary IR verifier (:mod:`repro.analysis`).
+
+    A pass left the IR executing-but-ill-formed (dangling value ref, stale
+    recorded type, unknown attribute, ...).  Harness layers that want the
+    dedicated ``verifier`` symptom catch this *before* the generic
+    :class:`CompilerError` handler; anywhere else it degrades to a crash.
+    """
+
+
 class ExportError(ReproError):
     """Raised by the model exporter (the "PyTorch exporter" analogue)."""

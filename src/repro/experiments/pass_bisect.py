@@ -48,7 +48,7 @@ from repro.core.difftest import (
     compare_outputs,
     first_line,
 )
-from repro.errors import ReproError
+from repro.errors import IRVerificationError, ReproError
 from repro.graph.model import Model
 from repro.runtime.exporter import export_model
 from repro.runtime.interpreter import Interpreter, random_inputs
@@ -61,7 +61,7 @@ PassRef = Tuple[str, str]
 class Failure:
     """The observable signature of one failing compile/run probe."""
 
-    #: ``"crash"`` or ``"semantic"``.
+    #: ``"crash"``, ``"semantic"`` or ``"verifier"``.
     status: str
     #: Seeded-bug ids recovered from the crash message (may be empty).
     bug_ids: Tuple[str, ...]
@@ -154,14 +154,18 @@ def bisect_finding(model: Model, compiler_name: str,
                    bugs: Optional[BugConfig] = None,
                    inputs: Optional[Dict[str, np.ndarray]] = None,
                    rtol: float = RELATIVE_TOLERANCE,
-                   atol: float = ABSOLUTE_TOLERANCE) -> BisectResult:
+                   atol: float = ABSOLUTE_TOLERANCE,
+                   verify_passes: bool = False) -> BisectResult:
     """Shrink a pipeline-axis finding to its minimal pass subsequence.
 
     ``pipeline`` is the failing cell's pipeline token (``"rand:<s>:<i>"``)
     or an already-resolved :class:`PipelineSpec`.  The model is compiled
     under the full pipeline first to capture the failure signature
-    (crash with seeded-bug ids, or semantic mismatch versus the reference
-    interpreter), then ddmin probes subsequences until 1-minimal.
+    (crash with seeded-bug ids, semantic mismatch versus the reference
+    interpreter, or — with ``verify_passes=True``, matching the campaign
+    cell that produced a ``verifier`` finding — an ill-formed-IR report
+    from the pass-boundary verifier), then ddmin probes subsequences
+    until 1-minimal.
     """
     bugs = bugs if bugs is not None else BugConfig.all()
     spec = pipeline if isinstance(pipeline, PipelineSpec) \
@@ -174,10 +178,14 @@ def bisect_finding(model: Model, compiler_name: str,
     def probe(candidate: Sequence[PassRef]) -> Optional[Failure]:
         candidate_spec = spec_from_passes(f"{spec.name}|bisect", candidate)
         compiler = build_compiler_set([compiler_name], opt_level=opt_level,
-                                      bugs=bugs, pipeline=candidate_spec)[0]
+                                      bugs=bugs, pipeline=candidate_spec,
+                                      verify_passes=verify_passes)[0]
         try:
             compiled = compiler.compile_model(exported)
             outputs = compiled.run(inputs)
+        except IRVerificationError as exc:
+            return Failure("verifier", tuple(_bugs_from_error(exc)),
+                           first_line(str(exc)))
         except ReproError as exc:
             return Failure("crash", tuple(_bugs_from_error(exc)),
                            first_line(str(exc)))

@@ -13,6 +13,7 @@ from typing import List
 
 from repro.errors import GraphError, ShapeInferenceError, TypeCheckError
 from repro.graph.model import Model
+from repro.graph.node import Node
 from repro.ops.shape_infer import infer_output_types
 
 
@@ -28,24 +29,43 @@ def is_valid(model: Model) -> bool:
     return not validation_errors(model)
 
 
+def node_label(model: Model, node: Node) -> str:
+    """``node #<index> <name> (<op>)`` — the prefix of every per-node problem.
+
+    The index is the node's position in ``model.nodes``, so multi-error
+    reports (and verifier diffs across pass boundaries) stay attributable
+    even when several nodes share an operator kind.
+    """
+    for index, candidate in enumerate(model.nodes):
+        if candidate is node:
+            return f"node #{index} {node.name} ({node.op})"
+    return f"node #? {node.name} ({node.op})"
+
+
 def validation_errors(model: Model) -> List[str]:
     """Collect every validation problem instead of stopping at the first."""
     problems: List[str] = []
 
+    acyclic = True
     try:
-        model.topological_order()
+        ordered = list(model.topological_order())
     except GraphError as exc:
         problems.append(str(exc))
-        return problems
+        # A cycle defeats the def-before-use check, but every other
+        # structural check is order-independent: recover with the recorded
+        # node order instead of swallowing the remaining problems.
+        acyclic = False
+        ordered = list(model.nodes)
 
     produced = set(model.inputs) | set(model.initializers)
-    for node in model.topological_order():
+    for node in ordered:
+        label = node_label(model, node)
         for input_name in node.inputs:
             if input_name not in model.value_types:
-                problems.append(f"node {node.name}: unknown input {input_name!r}")
-            elif input_name not in produced:
+                problems.append(f"{label}: unknown input {input_name!r}")
+            elif acyclic and input_name not in produced:
                 problems.append(
-                    f"node {node.name}: input {input_name!r} used before production")
+                    f"{label}: input {input_name!r} used before production")
         input_types = []
         try:
             input_types = [model.type_of(name) for name in node.inputs]
@@ -54,20 +74,20 @@ def validation_errors(model: Model) -> List[str]:
         try:
             inferred = infer_output_types(node, input_types)
         except ShapeInferenceError as exc:
-            problems.append(f"node {node.name}: {exc}")
+            problems.append(f"{label}: {exc}")
             continue
         if len(inferred) != len(node.outputs):
             problems.append(
-                f"node {node.name}: produces {len(node.outputs)} values but "
+                f"{label}: produces {len(node.outputs)} values but "
                 f"inference yields {len(inferred)}")
             continue
         for output_name, expected in zip(node.outputs, inferred):
             recorded = model.value_types.get(output_name)
             if recorded is None:
-                problems.append(f"node {node.name}: undeclared output {output_name!r}")
+                problems.append(f"{label}: undeclared output {output_name!r}")
             elif recorded != expected:
                 problems.append(
-                    f"node {node.name}: output {output_name!r} recorded as "
+                    f"{label}: output {output_name!r} recorded as "
                     f"{recorded} but inferred as {expected}")
             produced.add(output_name)
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import UnsupportedOperatorError
 
@@ -146,3 +146,66 @@ register_op("ArgMin", _R, 1)
 SHAPE_PRESERVING_OPS = tuple(
     sorted(info.name for info in all_ops() if info.shape_preserving)
 )
+
+
+# --------------------------------------------------------------------------- #
+# Attribute schemas.
+# --------------------------------------------------------------------------- #
+#: Declared attribute names per operator kind.  The pass-boundary IR verifier
+#: (:mod:`repro.analysis`) checks attribute conformance against this table:
+#: an attribute outside an operator's schema (and outside the shared
+#: exemptions below) marks the IR as ill-formed.  Operators absent from the
+#: table declare no attributes.
+_ATTR_SCHEMAS: Dict[str, Tuple[str, ...]] = {}
+
+#: Attribute names tolerated on *any* operator: ``opset_unsupported`` is the
+#: exporter's opset-downgrade marker read by every backend front end, and
+#: underscore-prefixed attributes are backend-internal kernel-selection hints
+#: (e.g. ``_graphrt_repack_blocks``) exempted by convention.
+SHARED_ATTRS: Tuple[str, ...] = ("opset_unsupported",)
+
+
+def register_op_attrs(name: str, attrs: Sequence[str]) -> None:
+    """Declare (or extend) the attribute schema of an operator kind."""
+    merged = dict.fromkeys(_ATTR_SCHEMAS.get(name, ()))
+    merged.update(dict.fromkeys(attrs))
+    _ATTR_SCHEMAS[name] = tuple(merged)
+
+
+def declared_attrs(name: str) -> Tuple[str, ...]:
+    """The declared attribute names of an operator kind (may be empty)."""
+    return _ATTR_SCHEMAS.get(name, ())
+
+
+for _name, _attrs in {
+    "Cast": ("to",),
+    "LeakyRelu": ("alpha",),
+    "Clip": ("min", "max"),
+    "Dropout": ("ratio",),
+    "Softmax": ("axis",),
+    "Conv2d": ("stride", "padding", "dilation"),
+    "MaxPool2d": ("kh", "kw", "stride", "padding"),
+    "AvgPool2d": ("kh", "kw", "stride", "padding"),
+    "BatchNorm": ("epsilon",),
+    "Resize2d": ("scale_h", "scale_w"),
+    "Reshape": ("shape",),
+    "BroadcastTo": ("shape",),
+    "Flatten": ("axis",),
+    "Transpose": ("perm",),
+    "Squeeze": ("axes",),
+    "Unsqueeze": ("axes",),
+    "Slice": ("starts", "ends", "axes", "steps"),
+    "Pad": ("pads", "mode", "value"),
+    "Concat": ("axis",),
+    "Split": ("axis",),
+    "Tile": ("repeats",),
+    "Gather": ("axis",),
+    "ReduceSum": ("axes", "keepdims"),
+    "ReduceMean": ("axes", "keepdims"),
+    "ReduceMax": ("axes", "keepdims"),
+    "ReduceMin": ("axes", "keepdims"),
+    "ReduceProd": ("axes", "keepdims"),
+    "ArgMax": ("axis", "keepdims"),
+    "ArgMin": ("axis", "keepdims"),
+}.items():
+    register_op_attrs(_name, _attrs)

@@ -1,0 +1,223 @@
+"""Rule-level coverage of the contract linter (repro.analysis.lint)."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import (_RULES, LintFinding, compare_to_baseline,
+                                 findings_by_bucket, lint_file, lint_paths,
+                                 register_lint_rule)
+
+
+def lint_source(tmp_path, source, name="snippet.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_file(str(path))
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+# --------------------------------------------------------------------------- #
+# kernel-input-mutation
+# --------------------------------------------------------------------------- #
+def test_kernel_mutating_inputs_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        from repro.ops.semantics import kernel
+
+        @kernel("BadRelu")
+        def _bad_relu(attrs, inputs):
+            x, = inputs
+            x[x < 0] = 0
+            return [x]
+    """)
+    assert rules_of(findings) == ["kernel-input-mutation"]
+    assert "mutates input-derived value 'x'" in findings[0].message
+
+
+def test_kernel_augmented_assign_and_method_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        from repro.ops.semantics import kernel
+
+        @kernel("BadAdd")
+        def _bad_add(attrs, inputs):
+            inputs[0] += inputs[1]
+            inputs[0].sort()
+            return [inputs[0]]
+    """)
+    assert rules_of(findings) == ["kernel-input-mutation"] * 2
+
+
+def test_kernel_allocating_output_clean(tmp_path):
+    findings = lint_source(tmp_path, """
+        import numpy as np
+        from repro.ops.semantics import kernel
+
+        @kernel("GoodRelu")
+        def _good_relu(attrs, inputs):
+            x, = inputs
+            out = np.maximum(x, 0)
+            out[out > 10] = 10  # mutating a fresh allocation is fine
+            return [out]
+    """)
+    assert findings == []
+
+
+def test_non_kernel_function_not_in_scope(tmp_path):
+    findings = lint_source(tmp_path, """
+        def helper(buffer):
+            buffer[0] = 1  # not a kernel: out of this rule's scope
+    """)
+    assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# unseeded-global-random
+# --------------------------------------------------------------------------- #
+def test_global_numpy_draw_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        import numpy as np
+
+        def noise():
+            return np.random.rand(3) + np.random.normal(0, 1)
+    """)
+    assert rules_of(findings) == ["unseeded-global-random"] * 2
+
+
+def test_global_stdlib_draw_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        import random
+
+        def pick(items):
+            random.shuffle(items)
+            return random.choice(items)
+    """)
+    assert rules_of(findings) == ["unseeded-global-random"] * 2
+
+
+def test_seeded_generators_clean(tmp_path):
+    findings = lint_source(tmp_path, """
+        import random
+        import numpy as np
+
+        def draws(seed):
+            rng = np.random.default_rng(seed)
+            pyrng = random.Random(seed)
+            return rng.normal(), pyrng.randrange(10), np.random.SeedSequence(seed)
+    """)
+    assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# wall-clock-call
+# --------------------------------------------------------------------------- #
+def test_direct_clock_calls_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        import time
+        from datetime import datetime
+
+        def stamp():
+            return time.monotonic(), time.perf_counter(), datetime.now()
+    """)
+    assert rules_of(findings) == ["wall-clock-call"] * 3
+
+
+def test_injectable_timer_seam_clean(tmp_path):
+    findings = lint_source(tmp_path, """
+        import time
+
+        class Probe:
+            def __init__(self, timer=None):
+                # Passing the function is the seam; only calls are flagged.
+                self._timer = timer if timer is not None else time.perf_counter
+
+            def sample(self):
+                return self._timer()
+    """)
+    assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# set-order-escape
+# --------------------------------------------------------------------------- #
+def test_set_into_ordered_container_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        def frame(exclude, extra):
+            return {"exclude": tuple(set(exclude) | {extra})}
+    """)
+    assert rules_of(findings) == ["set-order-escape"]
+
+
+def test_for_loop_over_set_flagged(tmp_path):
+    findings = lint_source(tmp_path, """
+        def emit(names):
+            for name in set(names):
+                print(name)
+    """)
+    assert rules_of(findings) == ["set-order-escape"]
+
+
+def test_sorted_set_clean(tmp_path):
+    findings = lint_source(tmp_path, """
+        def frame(exclude, extra):
+            ordered = tuple(sorted(set(exclude) | {extra}))
+            for name in sorted({"a", "b"}):
+                print(name)
+            return ordered
+    """)
+    assert findings == []
+
+
+# --------------------------------------------------------------------------- #
+# Ratchet baseline mechanics
+# --------------------------------------------------------------------------- #
+def test_ratchet_regressions_and_improvements():
+    findings = [
+        LintFinding("wall-clock-call", "src/a.py", 1, "m"),
+        LintFinding("wall-clock-call", "src/a.py", 2, "m"),
+        LintFinding("set-order-escape", "src/b.py", 3, "m"),
+    ]
+    buckets = findings_by_bucket(findings)
+    assert buckets == {"wall-clock-call:src/a.py": 2,
+                       "set-order-escape:src/b.py": 1}
+    baseline = {"wall-clock-call:src/a.py": 1,
+                "set-order-escape:src/b.py": 2,
+                "unseeded-global-random:src/c.py": 1}
+    regressions, improvements = compare_to_baseline(buckets, baseline)
+    assert regressions == \
+        ["wall-clock-call:src/a.py: 2 findings > 1 baselined"]
+    assert len(improvements) == 2  # b.py shrank, c.py cleared entirely
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text(
+        "import time\nELAPSED = time.monotonic()\n", encoding="utf-8")
+    (tmp_path / "pkg" / "notes.txt").write_text("time.monotonic()",
+                                                encoding="utf-8")
+    findings = lint_paths([str(tmp_path)])
+    assert rules_of(findings) == ["wall-clock-call"]
+
+
+# --------------------------------------------------------------------------- #
+# Extension point
+# --------------------------------------------------------------------------- #
+def test_register_lint_rule_participates(tmp_path):
+    @register_lint_rule("no-print")
+    def _no_print(tree, path):
+        import ast
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id == "print":
+                yield LintFinding("no-print", path, node.lineno,
+                                  "print() in library code")
+
+    try:
+        findings = lint_source(tmp_path, "print('hi')\n")
+        assert rules_of(findings) == ["no-print"]
+        assert findings_by_bucket(findings) == {
+            f"no-print:{findings[0].path}": 1}
+    finally:
+        _RULES.pop("no-print", None)

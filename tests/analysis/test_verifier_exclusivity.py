@@ -1,0 +1,157 @@
+"""The seeded verifier-only bug is visible to exactly one observer.
+
+``graphrt-biassoftmax-fusion-note`` makes BiasSoftmaxFusion leave a
+provenance attribute on the fused node: the IR still executes
+bit-identically, so crash/difftest/perf/gradcheck oracles all see a clean
+run.  Only the pass-boundary verifier (``--verify-passes``) reports it —
+and with the flag off, campaign behavior must stay bit-identical to
+historical runs (no new triggered bugs, no new findings, same dedup keys).
+"""
+
+import numpy as np
+import pytest
+
+from repro.compilers.base import build_compiler_set, registered_compilers
+from repro.compilers.bugs import BugConfig, bug_spec
+from repro.core.difftest import DifferentialTester
+from repro.core.oracle import build_oracle
+from repro.errors import IRVerificationError
+from repro.experiments.pass_bisect import bisect_finding
+from repro.graph.builder import GraphBuilder
+
+BUG = "graphrt-biassoftmax-fusion-note"
+
+
+def bias_softmax_model():
+    builder = GraphBuilder("bias_softmax")
+    x = builder.input((2, 8), name="x")
+    bias = builder.weight(
+        np.linspace(-1.0, 1.0, 16, dtype=np.float32).reshape(2, 8))
+    added = builder.op1("Add", [x, bias])
+    builder.output(builder.op1("Softmax", [added], axis=1))
+    return builder.build()
+
+
+def inputs_for(model):
+    from repro.runtime.interpreter import random_inputs
+    return random_inputs(model, np.random.default_rng(7))
+
+
+def test_bug_is_registered_with_verifier_symptom():
+    spec = bug_spec(BUG)
+    assert spec.symptom == "verifier"
+    assert spec.phase == "transformation"
+
+
+def test_invisible_without_verifier():
+    """With --verify-passes off the bug leaves no observable trace at all:
+    no crash, no mismatch, no triggered-bug record (bit-identity)."""
+    bugs = BugConfig.all()
+    tester = DifferentialTester(
+        build_compiler_set(registered_compilers(), bugs=bugs), bugs=bugs)
+    model = bias_softmax_model()
+    case = tester.run_case(model, inputs=inputs_for(model))
+    for verdict in case.verdicts:
+        assert verdict.status == "ok", (verdict.compiler, verdict.message)
+        assert BUG not in verdict.triggered_bugs
+
+
+@pytest.mark.parametrize("oracle_name", ["difftest", "crash", "shape"])
+def test_execution_based_oracles_blind(oracle_name):
+    bugs = BugConfig.all()
+    oracle = build_oracle(oracle_name,
+                          build_compiler_set(registered_compilers(),
+                                             bugs=bugs), bugs=bugs)
+    model = bias_softmax_model()
+    case = oracle.run_case(model, inputs=inputs_for(model))
+    assert all(BUG not in verdict.triggered_bugs
+               for verdict in case.verdicts)
+    assert all(verdict.status != "verifier" for verdict in case.verdicts)
+
+
+def test_verifier_detects_and_attributes():
+    bugs = BugConfig.all()
+    tester = DifferentialTester(
+        build_compiler_set(registered_compilers(), bugs=bugs,
+                           verify_passes=True), bugs=bugs)
+    model = bias_softmax_model()
+    case = tester.run_case(model, inputs=inputs_for(model))
+    verdict = next(v for v in case.verdicts if v.compiler == "graphrt")
+    assert verdict.status == "verifier"
+    assert verdict.phase == "transformation"
+    assert BUG in verdict.triggered_bugs
+    assert "after pass BiasSoftmaxFusion" in verdict.message
+    assert "unknown attribute fused_from" in verdict.message
+    # The dedup key carries the bug id, not the per-case message detail.
+    assert verdict.dedup_key() == f"graphrt|verifier|transformation|{BUG}"
+    # The other compilers are untouched by graphrt's buggy pass.
+    assert all(v.status == "ok" for v in case.verdicts
+               if v.compiler != "graphrt")
+
+
+def test_disabled_bug_verifies_clean():
+    """The verifier itself has no false positive on this model: with the
+    bug disabled, verify-enabled compilation succeeds."""
+    bugs = BugConfig.none()
+    compiler, = build_compiler_set(["graphrt"], bugs=bugs,
+                                   verify_passes=True)
+    model = bias_softmax_model()
+    compiled = compiler.compile_model(model)
+    outputs = compiled.run(inputs_for(model))
+    assert all(np.isfinite(array).all() for array in outputs.values())
+
+
+def test_pass_bisect_attributes_to_fusion_pass():
+    model = bias_softmax_model()
+    result = bisect_finding(model, "graphrt", "O2",
+                            inputs=inputs_for(model), verify_passes=True)
+    assert result.reproduced
+    assert result.failure.status == "verifier"
+    assert BUG in result.failure.bug_ids
+    assert result.minimal == (("graphrt", "BiasSoftmaxFusion"),)
+
+
+def test_bisect_without_verifier_reproduces_nothing():
+    model = bias_softmax_model()
+    result = bisect_finding(model, "graphrt", "O2",
+                            inputs=inputs_for(model))
+    assert not result.reproduced
+
+
+def test_verifier_error_raised_at_compile_time():
+    bugs = BugConfig.all()
+    compiler, = build_compiler_set(["graphrt"], bugs=bugs,
+                                   verify_passes=True)
+    with pytest.raises(IRVerificationError) as excinfo:
+        compiler.compile_model(bias_softmax_model())
+    assert f"[{BUG}]" in str(excinfo.value)
+
+
+def test_campaign_findings_bit_identical_with_verifier_off():
+    """A short serial campaign with verify_passes=False produces exactly
+    the same signature as one that never heard of the flag — and the
+    verify-enabled twin differs only by verifier findings."""
+    from repro.core.parallel import run_sharded_serial
+    from repro.testing import campaign_signature, tiny_campaign_config
+
+    baseline_config = tiny_campaign_config(iterations=6, seed=11)
+    off_config = tiny_campaign_config(iterations=6, seed=11)
+    off_config.verify_passes = False
+
+    baseline = run_sharded_serial(baseline_config, 1)
+    off = run_sharded_serial(off_config, 1)
+    assert campaign_signature(off) == campaign_signature(baseline)
+
+    on_config = tiny_campaign_config(iterations=6, seed=11)
+    on_config.verify_passes = True
+    on = run_sharded_serial(on_config, 1)
+    # Verifier findings are additive: every non-verifier observation of
+    # the verify-enabled run already exists in the baseline run.
+    extra_keys = {key for report in on.reports
+                  for key in [report.dedup_key()]} - \
+        {report.dedup_key() for report in baseline.reports}
+    assert all("|verifier|" in key for key in extra_keys)
+    assert set(baseline.seeded_bugs_found) <= set(on.seeded_bugs_found)
+    assert all(bug_spec(bug).symptom == "verifier"
+               for bug in set(on.seeded_bugs_found)
+               - set(baseline.seeded_bugs_found))

@@ -1,0 +1,315 @@
+"""Per-invariant coverage of the stage-aware IR verifier.
+
+Each of the three IR adapters (graphrt model IR, deepc graph IR, deepc low
+IR) gets one deliberately ill-formed fixture per invariant, plus the
+multi-error aggregation order is pinned: reports must list problems in
+invariant registration order so verifier findings dedup deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verify import (check_pass_boundary, register_invariant,
+                                   registered_invariants, verify_ir)
+from repro.compilers.deepc.ir import DGraph
+from repro.compilers.deepc.lowir import Buffer, Kernel, LowModule, TensorInstr
+from repro.dtypes import DType
+from repro.errors import IRVerificationError
+from repro.graph.builder import GraphBuilder
+from repro.graph.node import Node
+from repro.graph.tensor_type import TensorType
+
+
+def build_model():
+    builder = GraphBuilder("m")
+    x = builder.input((2, 4), name="x")
+    w = builder.weight(np.ones((2, 4), dtype=np.float32), name="w")
+    added = builder.op1("Add", [x, w], name="add0")
+    out = builder.op1("Relu", [added], name="relu0")
+    builder.output(out)
+    return builder.build()
+
+
+def build_dgraph():
+    graph = DGraph("g")
+    graph.inputs = ["x"]
+    graph.value_types["x"] = TensorType((2, 4), DType.float32)
+    graph.nodes.append(Node("Relu", "relu0", ["x"], ["y"], {}))
+    graph.value_types["y"] = TensorType((2, 4), DType.float32)
+    graph.outputs = ["y"]
+    return graph
+
+
+def build_low_module():
+    ttype = TensorType((4,), DType.float32)
+    buffers = {"a": Buffer("a", ttype, "input"),
+               "b": Buffer("b", ttype, "output")}
+    instr = TensorInstr("Relu", "relu0", ["a"], ["b"], loop_extent=4)
+    kernel = Kernel("k0", [instr], buffers, ["a"], ["b"])
+    return LowModule("m", [kernel], ["a"], ["b"], {},
+                     {"a": ttype, "b": ttype})
+
+
+# --------------------------------------------------------------------------- #
+# Well-formed fixtures verify clean
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("stage,build", [
+    ("graphrt", build_model),
+    ("deepc-graph", build_dgraph),
+    ("deepc-low", build_low_module),
+])
+def test_well_formed_ir_has_no_problems(stage, build):
+    assert verify_ir(stage, build()) == []
+    check_pass_boundary(stage, build(), after="AnyPass")  # no raise
+
+
+def test_unknown_stage_rejected():
+    with pytest.raises(KeyError):
+        verify_ir("mlir", build_model())
+    with pytest.raises(KeyError):
+        register_invariant("mlir", lambda ir: [])
+
+
+# --------------------------------------------------------------------------- #
+# graphrt model-IR invariants
+# --------------------------------------------------------------------------- #
+def test_dangling_input_reference():
+    model = build_model()
+    model.nodes[0].inputs[1] = "ghost"
+    problems = verify_ir("graphrt", model)
+    assert any("ghost" in p for p in problems)
+
+
+def test_stale_recorded_type():
+    model = build_model()
+    add_output = model.nodes[0].outputs[0]
+    model.value_types[add_output] = TensorType((9, 9), DType.float32)
+    assert verify_ir("graphrt", model)
+
+
+def test_duplicate_value_definition():
+    model = build_model()
+    first = model.nodes[0]
+    model.nodes.append(Node("Relu", "dup", [first.inputs[0]],
+                            [first.outputs[0]], {}))
+    problems = verify_ir("graphrt", model)
+    assert any("already produced by" in p for p in problems)
+
+
+def test_duplicate_node_name():
+    model = build_model()
+    model.nodes[1].name = model.nodes[0].name
+    problems = verify_ir("graphrt", model)
+    assert any("duplicate node name" in p for p in problems)
+
+
+def test_output_shadows_initializer():
+    model = build_model()
+    model.nodes[0].outputs[0] = "w"
+    problems = verify_ir("graphrt", model)
+    assert any("shadows a graph input/initializer" in p
+               or "writes read-only value" in p for p in problems)
+
+
+def test_unknown_attribute_outside_schema():
+    model = build_model()
+    model.nodes[0].attrs["debug_note"] = "oops"
+    problems = verify_ir("graphrt", model)
+    assert any("unknown attribute debug_note='oops' outside the Add schema"
+               in p for p in problems)
+
+
+def test_underscore_and_shared_attrs_exempt():
+    model = build_model()
+    model.nodes[0].attrs["_backend_hint"] = 3
+    model.nodes[0].attrs["opset_unsupported"] = True
+    assert verify_ir("graphrt", model) == []
+
+
+def test_aliased_initializers():
+    model = build_model()
+    model.initializers["w2"] = model.initializers["w"]
+    model.value_types["w2"] = model.value_types["w"]
+    problems = verify_ir("graphrt", model)
+    assert any("alias the same array object" in p for p in problems)
+
+
+def test_input_declared_as_initializer():
+    model = build_model()
+    model.initializers["x"] = np.zeros((2, 4), dtype=np.float32)
+    problems = verify_ir("graphrt", model)
+    assert any("declared both graph input and initializer" in p
+               for p in problems)
+
+
+def test_unreachable_node_is_advisory_only():
+    model = build_model()
+    dead = model.fresh_value_name("dead")
+    model.value_types[dead] = model.value_types["x"]
+    model.nodes.append(Node("Relu", "dead_relu", ["x"], [dead], {}))
+    # Not an error: mid-pipeline IRs legitimately carry dead nodes.
+    assert verify_ir("graphrt", model) == []
+    check_pass_boundary("graphrt", model, after="AnyPass")  # no raise
+    advisory = verify_ir("graphrt", model, include_advisory=True)
+    assert any("unreachable from any graph output" in p for p in advisory)
+
+
+def test_multi_error_aggregation_order_pinned():
+    """Problems appear in invariant registration order: structural errors
+    first, then duplicate defs, then attribute conformance."""
+    model = build_model()
+    model.nodes[1].attrs["bogus"] = 1          # attribute-conformance
+    model.nodes.append(Node("Relu", "dup", ["x"],
+                            [model.nodes[0].outputs[0]], {}))  # duplicate def
+    model.nodes[0].inputs[1] = "ghost"         # structure-and-types
+    problems = verify_ir("graphrt", model)
+    ghost = next(i for i, p in enumerate(problems) if "ghost" in p)
+    dup = next(i for i, p in enumerate(problems)
+               if "already produced by" in p)
+    attr = next(i for i, p in enumerate(problems) if "bogus" in p)
+    assert ghost < dup < attr
+
+
+def test_boundary_error_names_the_pass():
+    model = build_model()
+    model.nodes[0].attrs["bogus"] = 1
+    with pytest.raises(IRVerificationError) as excinfo:
+        check_pass_boundary("graphrt", model, after="BiasSoftmaxFusion")
+    assert "graphrt IR verification failed after pass BiasSoftmaxFusion" \
+        in str(excinfo.value)
+    with pytest.raises(IRVerificationError) as excinfo:
+        check_pass_boundary("graphrt", model, after=None)
+    assert "at pipeline entry" in str(excinfo.value)
+
+
+# --------------------------------------------------------------------------- #
+# deepc graph-IR invariants
+# --------------------------------------------------------------------------- #
+def test_dgraph_layout_on_unknown_value():
+    graph = build_dgraph()
+    graph.layouts["ghost"] = "NCHW4c"
+    assert any("layout tag on unknown value 'ghost'" in p
+               for p in verify_ir("deepc-graph", graph))
+
+
+def test_dgraph_unknown_layout_tag():
+    graph = build_dgraph()
+    graph.layouts["y"] = "NHWC"
+    assert any("unknown layout 'NHWC'" in p
+               for p in verify_ir("deepc-graph", graph))
+
+
+def test_dgraph_fusion_group_integrity():
+    graph = build_dgraph()
+    graph.fusion_groups = [[], ["phantom"], ["relu0"], ["relu0"]]
+    problems = verify_ir("deepc-graph", graph)
+    assert any("fusion group #0 is empty" in p for p in problems)
+    assert any("references unknown node 'phantom'" in p for p in problems)
+    assert any("appears in fusion groups #2 and #3" in p for p in problems)
+
+
+def test_dgraph_annotation_on_unknown_node():
+    graph = build_dgraph()
+    graph.annotations["phantom"] = {"pattern": None}
+    assert any("annotation on unknown node 'phantom'" in p
+               for p in verify_ir("deepc-graph", graph))
+
+
+def test_dgraph_remove_node_drops_stale_layouts():
+    graph = build_dgraph()
+    extra = Node("Relu", "relu1", ["x"], ["z"], {})
+    graph.nodes.append(extra)
+    graph.value_types["z"] = graph.value_types["x"]
+    graph.layouts["z"] = "NCHW"
+    graph.remove_node(extra)
+    assert verify_ir("deepc-graph", graph) == []
+
+
+# --------------------------------------------------------------------------- #
+# deepc low-IR invariants
+# --------------------------------------------------------------------------- #
+def test_low_duplicate_kernel_name():
+    module = build_low_module()
+    module.kernels.append(build_low_module().kernels[0])
+    assert any("duplicate kernel name" in p
+               for p in verify_ir("deepc-low", module))
+
+
+def test_low_buffer_name_and_kind():
+    module = build_low_module()
+    kernel = module.kernels[0]
+    kernel.buffers["a"].name = "renamed"
+    kernel.buffers["b"].kind = "scratch"
+    problems = verify_ir("deepc-low", module)
+    assert any("registered as 'a' but named 'renamed'" in p for p in problems)
+    assert any("unknown kind 'scratch'" in p for p in problems)
+
+
+def test_low_read_before_write():
+    module = build_low_module()
+    kernel = module.kernels[0]
+    ttype = kernel.buffers["a"].ttype
+    kernel.buffers["tmp"] = Buffer("tmp", ttype, "intermediate")
+    kernel.instrs.insert(0, TensorInstr("Relu", "early", ["tmp"], ["b"],
+                                        loop_extent=4))
+    assert any("reads buffer 'tmp' before it is written" in p
+               for p in verify_ir("deepc-low", module))
+
+
+def test_low_write_to_input_buffer():
+    module = build_low_module()
+    kernel = module.kernels[0]
+    kernel.instrs[0].outputs = ["a"]
+    problems = verify_ir("deepc-low", module)
+    assert any("writes read-only input buffer 'a'" in p for p in problems)
+    # ... and the declared output is now never written.
+    assert any("declared output 'b' is never written" in p for p in problems)
+
+
+def test_low_instr_metadata():
+    module = build_low_module()
+    instr = module.kernels[0].instrs[0]
+    instr.loop_extent = -1
+    instr.vector_width = 0
+    instr.index_dtype = "int7"
+    problems = verify_ir("deepc-low", module)
+    assert any("negative loop extent -1" in p for p in problems)
+    assert any("invalid vector width 0" in p for p in problems)
+    assert any("unknown index dtype 'int7'" in p for p in problems)
+
+
+def test_low_module_missing_types():
+    module = build_low_module()
+    del module.value_types["b"]
+    module.params["p"] = np.zeros(2, dtype=np.float32)
+    problems = verify_ir("deepc-low", module)
+    assert any("module output 'b' has no recorded type" in p
+               for p in problems)
+    assert any("module param 'p' has no recorded type" in p for p in problems)
+
+
+# --------------------------------------------------------------------------- #
+# Extension point
+# --------------------------------------------------------------------------- #
+def test_register_invariant_participates_and_orders_last():
+    def no_gemm(model):
+        return [f"custom: {node.name} is a Gemm"
+                for node in model.nodes if node.op == "Gemm"]
+
+    before = len(registered_invariants("graphrt"))
+    register_invariant("graphrt", no_gemm, name="no-gemm")
+    try:
+        builder = GraphBuilder("g")
+        x = builder.input((2, 3), name="x")
+        w = builder.weight(np.ones((3, 2), dtype=np.float32))
+        b = builder.weight(np.zeros(2, dtype=np.float32))
+        builder.output(builder.op1("Gemm", [x, w, b], name="gemm0"))
+        model = builder.build()
+        problems = verify_ir("graphrt", model)
+        assert problems == ["custom: gemm0 is a Gemm"]
+        with pytest.raises(IRVerificationError):
+            check_pass_boundary("graphrt", model, after="SomePass")
+    finally:
+        from repro.analysis import verify as verify_module
+        verify_module._INVARIANTS["graphrt"] = \
+            verify_module._INVARIANTS["graphrt"][:before]

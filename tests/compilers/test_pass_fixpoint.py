@@ -1,23 +1,32 @@
-"""Fixpoint/idempotence property of every registered pipeline pass.
+"""Per-pass contract properties of every registered pipeline pass.
 
-Running any pass twice in a row must report no modification the second
-time: graph rewrites in this codebase are expected to reach a fixpoint in
-one application (they loop internally until done).  A pass that keeps
-reporting changes on its own output would make ``modified_by`` provenance
-meaningless and could loop forever in a future fixpoint driver.
+Two properties, both checked over the regression-corpus models (every
+frozen bug-triggering graph, the most pass-exercising population we have)
+plus the hand-built test models, with seeded bugs disabled — the property
+under test is the passes' contract, not the seeded deviations from it:
 
-The property is checked over the regression-corpus models (every frozen
-bug-triggering graph, the most pass-exercising population we have) plus
-the hand-built test models, with seeded bugs disabled — the property under
-test is the passes' contract, not the seeded deviations from it.
+* **Fixpoint/idempotence** — running any pass twice in a row must report
+  no modification the second time: graph rewrites in this codebase are
+  expected to reach a fixpoint in one application (they loop internally
+  until done).  A pass that keeps reporting changes on its own output
+  would make ``modified_by`` provenance meaningless and could loop
+  forever in a future fixpoint driver.
+
+* **Solo semantic preservation** — every pass, run *alone* as a
+  one-pass pipeline, is difftested against the no-pass pipeline: where
+  the unoptimized compile executes, the solo-pass compile must execute
+  too and produce numerically equivalent outputs.  This isolates each
+  pass's correctness from the canonical orderings (a pass that is only
+  correct because an earlier pass canonicalizes its input fails here).
 """
 
 import json
 from pathlib import Path
 
+import numpy as np
 import pytest
 
-from repro.compilers.base import CompileOptions
+from repro.compilers.base import CompileOptions, build_compiler_set
 from repro.compilers.bugs import BugConfig
 from repro.compilers.deepc import converter
 from repro.compilers.deepc.lowering import lower_graph
@@ -25,14 +34,26 @@ from repro.compilers.graphrt.compiler import GraphRTCompiler
 from repro.compilers.pipeline import (
     STAGES,
     PipelineContext,
+    PipelineSpec,
     create_pass,
     registered_passes,
 )
+from repro.core.difftest import (
+    ABSOLUTE_TOLERANCE,
+    RELATIVE_TOLERANCE,
+    compare_outputs,
+)
 from repro.errors import ReproError
 from repro.graph.serialize import model_from_dict
+from repro.runtime.exporter import export_model
+from repro.runtime.interpreter import random_inputs
 from repro.testing import build_conv_model, build_mlp_model
 
 CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+#: Which compiler runs each pipeline stage's passes.
+_STAGE_COMPILER = {"graphrt": "graphrt", "deepc-graph": "deepc",
+                   "deepc-low": "deepc"}
 
 
 def _source_models():
@@ -93,5 +114,68 @@ def test_pass_is_idempotent(stage, pass_name, stage_irs):
             (f"{stage}:{pass_name} reported a modification on its own "
              f"output (model {ir.name!r})")
         assert not second.modified_by
+        exercised += 1
+    assert exercised > 0
+
+
+# --------------------------------------------------------------------------- #
+# Solo semantic preservation: each pass alone vs the no-pass pipeline
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def exported_cases():
+    """(exported model, inputs) pairs shared by every solo-pass difftest."""
+    bugs = BugConfig.none()
+    cases = []
+    for index, model in enumerate(_source_models()):
+        exported = export_model(model, bugs=bugs)
+        inputs = random_inputs(exported, np.random.default_rng(index))
+        cases.append((exported, inputs))
+    return cases
+
+
+@pytest.fixture(scope="module")
+def nopass_outputs(exported_cases):
+    """Reference outputs of the empty pipeline, per compiler and case.
+
+    ``None`` marks cases a backend cannot compile/run at all (unsupported
+    operators, exceptional values) — those are skipped for that backend's
+    passes rather than failing the property.
+    """
+    bugs = BugConfig.none()
+    empty = PipelineSpec.from_stage_map("nopass", {})
+    reference = {}
+    for compiler_name in sorted(set(_STAGE_COMPILER.values())):
+        compiler, = build_compiler_set([compiler_name], bugs=bugs,
+                                       pipeline=empty)
+        outputs = []
+        for exported, inputs in exported_cases:
+            try:
+                outputs.append(compiler.compile_model(exported).run(inputs))
+            except ReproError:
+                outputs.append(None)
+        reference[compiler_name] = outputs
+    return reference
+
+
+@pytest.mark.parametrize("stage,pass_name", _stage_pass_ids(),
+                         ids=[f"{s}:{n}" for s, n in _stage_pass_ids()])
+def test_pass_alone_preserves_semantics(stage, pass_name, exported_cases,
+                                        nopass_outputs):
+    bugs = BugConfig.none()
+    compiler_name = _STAGE_COMPILER[stage]
+    solo = PipelineSpec.from_stage_map(f"solo|{stage}|{pass_name}",
+                                       {stage: [pass_name]})
+    compiler, = build_compiler_set([compiler_name], bugs=bugs, pipeline=solo)
+    exercised = 0
+    for (exported, inputs), expected in zip(exported_cases,
+                                            nopass_outputs[compiler_name]):
+        if expected is None:
+            continue
+        actual = compiler.compile_model(exported).run(inputs)
+        mismatch = compare_outputs(expected, actual, RELATIVE_TOLERANCE,
+                                   ABSOLUTE_TOLERANCE)
+        assert mismatch is None, \
+            (f"{stage}:{pass_name} alone diverges from the no-pass "
+             f"pipeline on model {exported.name!r}: {mismatch}")
         exercised += 1
     assert exercised > 0

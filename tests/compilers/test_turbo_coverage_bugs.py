@@ -159,7 +159,8 @@ class TestBugRegistry:
             assert spec.system in ("graphrt", "deepc", "turbo", "exporter",
                                    "autodiff")
             assert spec.phase in ("transformation", "conversion", "unclassified")
-            assert spec.symptom in ("crash", "semantic", "perf", "gradient")
+            assert spec.symptom in ("crash", "semantic", "perf", "gradient",
+                                    "verifier")
             assert spec.required_features
             assert spec.description
 

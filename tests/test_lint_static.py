@@ -1,0 +1,48 @@
+"""Tier-1 smoke: the engine sources stay inside the lint ratchet.
+
+Runs the contract linter (:mod:`repro.analysis.lint`) over ``src/`` and
+fails on any finding not covered by the committed baseline
+(``tools/lint_baseline.json``).  New determinism/purity violations —
+kernels mutating inputs, unseeded global RNG draws, raw clock reads,
+set iteration order escaping into wire frames — therefore fail CI the
+moment they are introduced; baselined debt can only burn down
+(``make lint-static`` / ``--update-baseline``).
+"""
+
+from pathlib import Path
+
+from repro.analysis.lint import (compare_to_baseline, findings_by_bucket,
+                                 lint_paths, load_baseline)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "tools" / "lint_baseline.json"
+
+
+def test_src_has_no_findings_above_the_ratchet():
+    assert BASELINE.exists(), \
+        "missing tools/lint_baseline.json — run `make lint-baseline`"
+    findings = lint_paths([str(REPO_ROOT / "src")], root=str(REPO_ROOT))
+    buckets = findings_by_bucket(findings)
+    regressions, _improvements = compare_to_baseline(
+        buckets, load_baseline(str(BASELINE)))
+    offending = [finding.format() for finding in findings
+                 if any(entry.startswith(
+                     f"{finding.rule}:{finding.path}:")
+                     for entry in regressions)]
+    assert not regressions, (
+        "lint findings above the ratchet baseline (fix them, or if "
+        "legitimately deferred run `python -m repro.analysis.lint src "
+        "--update-baseline`):\n  " + "\n  ".join(regressions + offending))
+
+
+def test_baseline_has_no_dead_entries():
+    """Entries for findings that no longer exist must be ratcheted away,
+    otherwise they quietly grant headroom for new violations."""
+    findings = lint_paths([str(REPO_ROOT / "src")], root=str(REPO_ROOT))
+    buckets = findings_by_bucket(findings)
+    baseline = load_baseline(str(BASELINE))
+    dead = {key: allowed for key, allowed in baseline.items()
+            if buckets.get(key, 0) < allowed}
+    assert not dead, (
+        f"baseline grants more findings than exist — ratchet it down with "
+        f"`python -m repro.analysis.lint src --update-baseline`: {dead}")

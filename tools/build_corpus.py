@@ -37,6 +37,14 @@ frozen this way gets a ``format_version`` 3 entry recording the
 :mod:`repro.experiments.pass_bisect` — the replay test re-runs the case
 under the recorded pipeline *and* re-derives the attribution.
 
+Bugs whose symptom is ``verifier`` (a pass leaves the IR
+executing-but-ill-formed — invisible to every execution-based oracle) are
+harvested through a differential tester whose compilers run with
+``verify_passes=True``: the bug is frozen only when a ``verifier`` verdict
+carries its id, and the entry (``format_version`` 4,
+``"verify_passes": true``) records the pipeline token plus the
+``"minimal_passes"`` attribution so the replay re-derives both.
+
 The generator knobs are pinned small (``max_dim=8``) so the frozen weights
 stay a few kilobytes per file.  Regenerate only when trigger conditions
 legitimately change; the corpus is otherwise append-only.
@@ -66,8 +74,10 @@ from repro.runtime.interpreter import random_inputs
 #: v2 entries carry the detecting oracle (``"oracle"``); v1 entries predate
 #: the oracle registry and implicitly mean ``difftest``.  v3 entries may
 #: additionally carry the triggering ``"pipeline"`` token and its
-#: ``"minimal_passes"`` bisection attribution.
-CORPUS_FORMAT_VERSION = 3
+#: ``"minimal_passes"`` bisection attribution.  v4 entries may carry
+#: ``"verify_passes": true`` — the bug is observable only by the
+#: pass-boundary IR verifier.
+CORPUS_FORMAT_VERSION = 4
 
 #: Which registry oracle can observe each oracle-only bug symptom.
 _SYMPTOM_ORACLES = {"perf": "perf", "gradient": "gradcheck"}
@@ -128,9 +138,18 @@ def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
         pipeline_testers[token] = DifferentialTester(
             build_compiler_set(registered_compilers(), bugs=bugs,
                                pipeline=spec), bugs=bugs)
+    # Verifier-only bugs (a pass leaves executing-but-ill-formed IR) never
+    # surface through execution — their ids only appear in the
+    # IRVerificationError a verify-enabled compile raises at the offending
+    # pass boundary.
+    verifier_tester = None
+    if any(bug_spec(bug).symptom == "verifier" for bug in wanted):
+        verifier_tester = DifferentialTester(
+            build_compiler_set(registered_compilers(), bugs=bugs,
+                               verify_passes=True), bugs=bugs)
 
     def freeze(bug, via, oracle_name, iteration, model, inputs,
-               pipeline=None, minimal_passes=None):
+               pipeline=None, minimal_passes=None, verify_passes=False):
         found[bug] = {
             "format_version": CORPUS_FORMAT_VERSION,
             "bug_id": bug,
@@ -148,9 +167,12 @@ def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
         if pipeline is not None:
             found[bug]["pipeline"] = pipeline
             found[bug]["minimal_passes"] = minimal_passes
+        if verify_passes:
+            found[bug]["verify_passes"] = True
         print(f"[{len(found):2d}] {bug:<40} via {via}/{oracle_name} "
               f"(iteration {iteration}"
-              + (f", pipeline {pipeline}" if pipeline else "") + ")")
+              + (f", pipeline {pipeline}" if pipeline else "")
+              + (", verify" if verify_passes else "") + ")")
 
     for iteration in range(1, max_iterations + 1):
         if wanted <= set(found):
@@ -174,8 +196,9 @@ def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
         for bug, via in triggered.items():
             if bug in found or bug not in wanted:
                 continue
-            if bug_spec(bug).symptom in _SYMPTOM_ORACLES:
-                continue  # needs its own oracle to *detect*, handled below
+            if bug_spec(bug).symptom in _SYMPTOM_ORACLES or \
+                    bug_spec(bug).symptom == "verifier":
+                continue  # needs its own oracle/mode to *detect*, see below
             freeze(bug, via, "difftest", iteration, model, inputs)
         for oracle_name, oracle in extra_oracles.items():
             if not any(bug not in found and
@@ -208,7 +231,8 @@ def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
                 for bug in verdict.triggered_bugs:
                     if bug in found or bug not in wanted:
                         continue
-                    if bug_spec(bug).symptom in _SYMPTOM_ORACLES:
+                    if bug_spec(bug).symptom in _SYMPTOM_ORACLES or \
+                            bug_spec(bug).symptom == "verifier":
                         continue
                     from repro.experiments.pass_bisect import bisect_finding
 
@@ -219,6 +243,34 @@ def build_corpus(max_iterations: int = 4000, n_nodes: int = 8,
                     freeze(bug, verdict.compiler, "difftest", iteration,
                            model, inputs, pipeline=token,
                            minimal_passes=minimal)
+        if verifier_tester is not None and any(
+                bug not in found and bug_spec(bug).symptom == "verifier"
+                for bug in wanted):
+            try:
+                verify_case = verifier_tester.run_case(model, inputs=inputs)
+            except Exception:
+                verify_case = None
+            for verdict in (verify_case.verdicts if verify_case else ()):
+                if verdict.status != "verifier":
+                    continue  # trigger without detection: keep hunting
+                for bug in verdict.triggered_bugs:
+                    if bug in found or bug not in wanted:
+                        continue
+                    if bug_spec(bug).symptom != "verifier":
+                        continue
+                    from repro.experiments.pass_bisect import bisect_finding
+
+                    # The verify-enabled tester runs the canonical O2
+                    # pipeline; record it so the replay can re-derive the
+                    # offending-pass attribution.
+                    result = bisect_finding(model, verdict.compiler, "O2",
+                                            bugs=bugs, inputs=inputs,
+                                            verify_passes=True)
+                    minimal = [list(ref) for ref in result.minimal] \
+                        if result.reproduced else None
+                    freeze(bug, verdict.compiler, "difftest", iteration,
+                           model, inputs, pipeline="O2",
+                           minimal_passes=minimal, verify_passes=True)
 
     os.makedirs(CORPUS_DIR, exist_ok=True)
     for bug, entry in sorted(found.items()):
